@@ -1,0 +1,48 @@
+"""Ablation: idle-detection window length for the hardware-managed policy."""
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.tables import format_table, percentage
+from repro.core.config import SimulationConfig
+from repro.core.regate import simulate_workload
+from repro.gating.bet import DEFAULT_PARAMETERS
+from repro.gating.report import PolicyName
+
+WORKLOAD = "llama3-70b-decode"
+WINDOW_FRACTIONS = (1.0 / 6.0, 1.0 / 3.0, 2.0 / 3.0, 1.0)
+
+
+def _run():
+    points = []
+    for fraction in WINDOW_FRACTIONS:
+        parameters = replace(DEFAULT_PARAMETERS, detection_window_bet_fraction=fraction)
+        config = SimulationConfig(gating_parameters=parameters)
+        result = simulate_workload(WORKLOAD, config)
+        points.append(
+            (
+                fraction,
+                result.energy_savings(PolicyName.REGATE_HW),
+                result.performance_overhead(PolicyName.REGATE_HW),
+            )
+        )
+    return points
+
+
+def test_ablation_detection_window(benchmark):
+    points = run_once(benchmark, _run)
+    rows = [
+        [f"{fraction:.2f} x BET", percentage(savings), percentage(overhead, 3)]
+        for fraction, savings, overhead in points
+    ]
+    emit(
+        format_table(
+            ["detection window", "ReGate-HW savings", "overhead"],
+            rows,
+            title=f"Ablation — idle-detection window length ({WORKLOAD})",
+        )
+    )
+    # A longer window means the detector waits longer before gating, so
+    # savings cannot increase.
+    savings = [s for _, s, _ in points]
+    assert savings == sorted(savings, reverse=True)

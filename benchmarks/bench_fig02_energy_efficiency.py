@@ -1,0 +1,41 @@
+"""Figure 2: energy efficiency of ML workloads across NPU generations."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import characterization
+from repro.analysis.tables import format_table
+
+WORKLOADS = (
+    "llama3-8b-training",
+    "llama3-8b-prefill",
+    "llama3-8b-decode",
+    "llama3-70b-prefill",
+    "llama3-70b-decode",
+    "dlrm-s-inference",
+    "dlrm-l-inference",
+    "dit-xl-inference",
+    "gligen-inference",
+)
+
+
+def test_fig02_energy_efficiency(benchmark, quick_chips):
+    points = run_once(
+        benchmark,
+        lambda: characterization.energy_efficiency(list(WORKLOADS), chips=quick_chips),
+    )
+    rows = [
+        [p.workload, p.chip, f"{p.energy_per_work_j:.4e}", p.iteration_unit]
+        for p in points
+    ]
+    emit(
+        format_table(
+            ["workload", "NPU", "J per unit", "unit"],
+            rows,
+            title="Figure 2 — energy efficiency per NPU generation (NoPG)",
+        )
+    )
+    # Newer generations are more energy-efficient for every workload.
+    by_workload = {}
+    for point in points:
+        by_workload.setdefault(point.workload, {})[point.chip] = point.energy_per_work_j
+    for workload, per_chip in by_workload.items():
+        assert per_chip["NPU-D"] < per_chip["NPU-A"], workload

@@ -1,0 +1,44 @@
+"""Figure 3: static/dynamic/idle energy breakdown per component."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import characterization
+from repro.analysis.tables import format_table, percentage
+from repro.hardware.components import Component
+
+WORKLOADS = (
+    "llama3-70b-training",
+    "llama3-70b-prefill",
+    "llama3-70b-decode",
+    "dlrm-m-inference",
+    "dit-xl-inference",
+)
+
+
+def _breakdowns():
+    return [
+        characterization.energy_breakdown(workload, "NPU-D") for workload in WORKLOADS
+    ]
+
+
+def test_fig03_energy_breakdown(benchmark):
+    breakdowns = run_once(benchmark, _breakdowns)
+    rows = []
+    for b in breakdowns:
+        row = [b.workload, percentage(b.idle_fraction)]
+        for component in Component.all():
+            row.append(percentage(b.static_fractions[component]))
+        row.append(percentage(b.busy_static_fraction))
+        rows.append(row)
+    emit(
+        format_table(
+            ["workload", "idle"]
+            + [f"static {c.value}" for c in Component.all()]
+            + ["busy static share"],
+            rows,
+            title="Figure 3 — energy breakdown on NPU-D (NoPG)",
+        )
+    )
+    for b in breakdowns:
+        # §3: idle waste 17-32%, busy static share 30-72%.
+        assert 0.10 <= b.idle_fraction <= 0.40
+        assert 0.30 <= b.busy_static_fraction <= 0.90

@@ -1,0 +1,39 @@
+"""Figure 4: systolic-array temporal utilization."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import characterization
+from repro.analysis.tables import format_table, percentage
+from repro.hardware.components import Component
+
+WORKLOADS = (
+    "llama3-70b-prefill",
+    "llama3.1-405b-prefill",
+    "llama3-70b-decode",
+    "llama3.1-405b-decode",
+    "dlrm-m-inference",
+    "dlrm-l-inference",
+    "dit-xl-inference",
+    "gligen-inference",
+)
+
+
+def test_fig04_sa_temporal_utilization(benchmark, quick_chips):
+    table = run_once(
+        benchmark,
+        lambda: characterization.temporal_utilization(
+            Component.SA, list(WORKLOADS), chips=quick_chips
+        ),
+    )
+    rows = [
+        [workload, chip, percentage(value)] for (workload, chip), value in table.items()
+    ]
+    emit(
+        format_table(
+            ["workload", "NPU", "SA temporal util"],
+            rows,
+            title="Figure 4 — SA temporal utilization",
+        )
+    )
+    # Prefill is SA-heavy; DLRM barely touches the SA.
+    assert table[("llama3-70b-prefill", "NPU-D")] > 0.6
+    assert table[("dlrm-m-inference", "NPU-D")] < 0.3

@@ -1,0 +1,37 @@
+"""Figure 6: vector-unit temporal utilization."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import characterization
+from repro.analysis.tables import format_table, percentage
+from repro.hardware.components import Component
+
+WORKLOADS = (
+    "llama3-70b-prefill",
+    "llama3.1-405b-prefill",
+    "llama3-70b-decode",
+    "llama3.1-405b-decode",
+    "dlrm-m-inference",
+    "dit-xl-inference",
+    "gligen-inference",
+)
+
+
+def test_fig06_vu_temporal_utilization(benchmark, quick_chips):
+    table = run_once(
+        benchmark,
+        lambda: characterization.temporal_utilization(
+            Component.VU, list(WORKLOADS), chips=quick_chips
+        ),
+    )
+    rows = [
+        [workload, chip, percentage(value)] for (workload, chip), value in table.items()
+    ]
+    emit(
+        format_table(
+            ["workload", "NPU", "VU temporal util"],
+            rows,
+            title="Figure 6 — VU temporal utilization",
+        )
+    )
+    # §3: the VU utilization is below 60% for all workloads.
+    assert all(value < 0.60 for value in table.values())

@@ -1,0 +1,42 @@
+"""Figure 7: distribution of SRAM capacity demands of tensor operators."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import characterization
+from repro.analysis.tables import format_table
+
+WORKLOADS = (
+    "llama3-8b-training",
+    "llama3-70b-prefill",
+    "llama3-70b-decode",
+    "dlrm-m-inference",
+    "dit-xl-inference",
+)
+
+PERCENTILES = (0.25, 0.50, 0.75, 0.95)
+
+
+def _demand_table():
+    rows = []
+    for workload in WORKLOADS:
+        row = [workload]
+        for percentile in PERCENTILES:
+            demand = characterization.sram_demand_percentile(workload, percentile)
+            row.append(round(demand / 1e6, 1))
+        rows.append(row)
+    return rows
+
+
+def test_fig07_sram_demand_distribution(benchmark):
+    rows = run_once(benchmark, _demand_table)
+    emit(
+        format_table(
+            ["workload"] + [f"p{int(100 * p)} (MB)" for p in PERCENTILES],
+            rows,
+            title="Figure 7 — SRAM demand CDF points (NPU-D, demand in MB)",
+        )
+    )
+    demands = {row[0]: row[-1] for row in rows}
+    # DLRM's demand is a small fraction of the 128 MB SRAM; compute-bound
+    # workloads demand far more than decode.
+    assert demands["dlrm-m-inference"] < 64
+    assert demands["llama3-70b-prefill"] > demands["llama3-70b-decode"]

@@ -1,0 +1,39 @@
+"""Figure 8: inter-chip interconnect temporal utilization."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import characterization
+from repro.analysis.tables import format_table, percentage
+from repro.hardware.components import Component
+
+WORKLOADS = (
+    "llama3-70b-prefill",
+    "llama3.1-405b-prefill",
+    "llama3-70b-decode",
+    "dlrm-m-inference",
+    "dlrm-l-inference",
+    "dit-xl-inference",
+    "gligen-inference",
+)
+
+
+def test_fig08_ici_temporal_utilization(benchmark, quick_chips):
+    table = run_once(
+        benchmark,
+        lambda: characterization.temporal_utilization(
+            Component.ICI, list(WORKLOADS), chips=quick_chips
+        ),
+    )
+    rows = [
+        [workload, chip, percentage(value)] for (workload, chip), value in table.items()
+    ]
+    emit(
+        format_table(
+            ["workload", "NPU", "ICI temporal util"],
+            rows,
+            title="Figure 8 — ICI temporal utilization",
+        )
+    )
+    # Single-pod diffusion inference never touches the ICI; DLRM's
+    # all-to-all keeps it comparatively busy.
+    assert table[("dit-xl-inference", "NPU-D")] < 0.05
+    assert table[("dlrm-l-inference", "NPU-D")] > table[("dit-xl-inference", "NPU-D")]

@@ -1,0 +1,38 @@
+"""Figure 9: HBM temporal utilization."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import characterization
+from repro.analysis.tables import format_table, percentage
+from repro.hardware.components import Component
+
+WORKLOADS = (
+    "llama3-70b-prefill",
+    "llama3.1-405b-prefill",
+    "llama3-70b-decode",
+    "llama3.1-405b-decode",
+    "dlrm-m-inference",
+    "dit-xl-inference",
+    "gligen-inference",
+)
+
+
+def test_fig09_hbm_temporal_utilization(benchmark, quick_chips):
+    table = run_once(
+        benchmark,
+        lambda: characterization.temporal_utilization(
+            Component.HBM, list(WORKLOADS), chips=quick_chips
+        ),
+    )
+    rows = [
+        [workload, chip, percentage(value)] for (workload, chip), value in table.items()
+    ]
+    emit(
+        format_table(
+            ["workload", "NPU", "HBM temporal util"],
+            rows,
+            title="Figure 9 — HBM temporal utilization",
+        )
+    )
+    # Compute-bound prefill leaves the HBM mostly idle; decode keeps it busy.
+    assert table[("llama3-70b-prefill", "NPU-D")] < 0.4
+    assert table[("llama3-70b-decode", "NPU-D")] > table[("llama3-70b-prefill", "NPU-D")]

@@ -1,0 +1,40 @@
+"""Figure 16: simulator validation (R^2 against an independent reference)."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import validation
+from repro.analysis.tables import format_table
+
+
+def _validate():
+    series = {
+        "llama2-13b-prefill": validation.validate_llm(
+            "llama2-13b", "prefill", batch_sizes=(1, 2, 4, 8), tensor_degrees=(1, 2, 4)
+        ),
+        "llama2-13b-decode": validation.validate_llm(
+            "llama2-13b", "decode", batch_sizes=(16, 32, 64, 128), tensor_degrees=(1, 2, 4)
+        ),
+        "llama3-70b-prefill": validation.validate_llm(
+            "llama3-70b", "prefill", batch_sizes=(1, 2, 4), tensor_degrees=(2, 4, 8)
+        ),
+        "llama3-70b-decode": validation.validate_llm(
+            "llama3-70b", "decode", batch_sizes=(32, 64, 128), tensor_degrees=(2, 4, 8)
+        ),
+    }
+    series.update(validation.validate_single_operators())
+    return series
+
+
+def test_fig16_simulator_validation(benchmark):
+    series = run_once(benchmark, _validate)
+    rows = [
+        [name, len(s.simulated_s), round(s.r_squared, 4)] for name, s in series.items()
+    ]
+    emit(
+        format_table(
+            ["scenario", "#points", "R^2"],
+            rows,
+            title="Figure 16 — simulated vs. reference execution time correlation",
+        )
+    )
+    # The paper reports R^2 > 0.97 everywhere.
+    assert all(s.r_squared > 0.95 for s in series.values())

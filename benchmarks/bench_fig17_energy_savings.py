@@ -1,0 +1,67 @@
+"""Figure 17: energy savings of ReGate designs, broken down by component."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import evaluation
+from repro.analysis.tables import format_table, percentage
+from repro.gating.report import PolicyName
+from repro.hardware.components import Component
+
+WORKLOADS = (
+    "llama3-8b-training",
+    "llama3-70b-training",
+    "llama3-8b-prefill",
+    "llama3-70b-prefill",
+    "llama3-8b-decode",
+    "llama3-70b-decode",
+    "dlrm-s-inference",
+    "dlrm-m-inference",
+    "dlrm-l-inference",
+    "dit-xl-inference",
+    "gligen-inference",
+)
+
+
+def _savings():
+    table = {}
+    for workload in WORKLOADS:
+        table[workload] = evaluation.energy_savings_breakdown(workload)
+    return table
+
+
+def test_fig17_energy_savings_breakdown(benchmark):
+    table = run_once(benchmark, _savings)
+    rows = []
+    for workload, breakdowns in table.items():
+        for breakdown in breakdowns:
+            rows.append(
+                [
+                    workload,
+                    breakdown.policy.value,
+                    percentage(breakdown.total_savings),
+                    percentage(breakdown.by_component[Component.SA]),
+                    percentage(breakdown.by_component[Component.VU]),
+                    percentage(breakdown.by_component[Component.SRAM]),
+                    percentage(breakdown.by_component[Component.ICI]),
+                    percentage(breakdown.by_component[Component.HBM]),
+                ]
+            )
+    emit(
+        format_table(
+            ["workload", "design", "total", "SA", "VU", "SRAM", "ICI", "HBM"],
+            rows,
+            title="Figure 17 — energy savings vs NoPG (per-component breakdown)",
+        )
+    )
+    full = {
+        workload: next(
+            b.total_savings for b in breakdowns if b.policy is PolicyName.REGATE_FULL
+        )
+        for workload, breakdowns in table.items()
+    }
+    # Paper shape: every workload saves >5%, DLRM is the best case (>25%),
+    # compute-bound LLM work the worst, and the mean sits around 15%.
+    assert all(0.05 <= value <= 0.40 for value in full.values())
+    assert full["dlrm-m-inference"] > 0.25
+    assert full["dlrm-m-inference"] > full["llama3-70b-prefill"]
+    mean = sum(full.values()) / len(full)
+    assert 0.10 <= mean <= 0.25

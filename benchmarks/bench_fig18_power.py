@@ -1,0 +1,46 @@
+"""Figure 18: average and peak per-chip power of every design."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import evaluation
+from repro.analysis.tables import format_table
+from repro.gating.report import PolicyName
+
+WORKLOADS = (
+    "llama3-70b-training",
+    "llama3-70b-prefill",
+    "llama3-70b-decode",
+    "dlrm-m-inference",
+    "dit-xl-inference",
+)
+
+
+def _power():
+    return {workload: evaluation.power_consumption(workload) for workload in WORKLOADS}
+
+
+def test_fig18_average_and_peak_power(benchmark):
+    table = run_once(benchmark, _power)
+    rows = []
+    for workload, points in table.items():
+        for point in points:
+            rows.append(
+                [
+                    workload,
+                    point.policy.value,
+                    round(point.average_power_w, 1),
+                    round(point.peak_power_w, 1),
+                ]
+            )
+    emit(
+        format_table(
+            ["workload", "design", "avg power (W)", "peak power (W)"],
+            rows,
+            title="Figure 18 — average / peak per-chip power",
+        )
+    )
+    for workload, points in table.items():
+        by_policy = {p.policy: p for p in points}
+        nopg = by_policy[PolicyName.NOPG]
+        full = by_policy[PolicyName.REGATE_FULL]
+        assert full.average_power_w < nopg.average_power_w
+        assert full.peak_power_w <= nopg.peak_power_w + 1e-6

@@ -1,0 +1,49 @@
+"""Figure 23: energy savings of power gating on different NPU generations."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import sensitivity
+from repro.analysis.tables import format_table, percentage
+from repro.gating.report import PolicyName
+
+WORKLOADS = (
+    "llama3.1-405b-training",
+    "llama3.1-405b-prefill",
+    "llama3.1-405b-decode",
+    "dlrm-l-inference",
+    "dit-xl-inference",
+)
+
+
+def _sweep():
+    return {w: sensitivity.generation_sensitivity(w) for w in WORKLOADS}
+
+
+def test_fig23_generation_sweep(benchmark):
+    table = run_once(benchmark, _sweep)
+    rows = [
+        [workload, point.parameter, point.policy.value, percentage(point.savings)]
+        for workload, points in table.items()
+        for point in points
+    ]
+    emit(
+        format_table(
+            ["workload", "NPU", "design", "savings"],
+            rows,
+            title="Figure 23 — energy savings per NPU generation",
+        )
+    )
+    for workload, points in table.items():
+        full = {
+            p.parameter: p.savings for p in points if p.policy is PolicyName.REGATE_FULL
+        }
+        # ReGate saves substantially on every generation, including the
+        # projected NPU-E.
+        assert all(value > 0.05 for value in full.values())
+    # The memory-bound workloads benefit more on NPU-E (larger SRAM/SAs)
+    # than on NPU-D.
+    decode_full = {
+        p.parameter: p.savings
+        for p in table["llama3.1-405b-decode"]
+        if p.policy is PolicyName.REGATE_FULL
+    }
+    assert decode_full["NPU-E"] > 0.5 * decode_full["NPU-D"]

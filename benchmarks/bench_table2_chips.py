@@ -1,0 +1,52 @@
+"""Table 2: NPU chip specifications and derived peak rates."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.tables import format_table
+from repro.hardware.chips import chips_in_order
+from repro.hardware.power import ChipPowerModel
+
+
+def _build_table():
+    rows = []
+    for chip in chips_in_order():
+        power = ChipPowerModel(chip)
+        rows.append(
+            [
+                chip.name,
+                chip.technology_nm,
+                chip.frequency_mhz,
+                f"{chip.num_sa}x{chip.sa_width}",
+                chip.num_vu,
+                chip.sram_mb,
+                chip.hbm.bandwidth_gbps,
+                chip.hbm.capacity_gb,
+                round(chip.peak_sa_flops / 1e12, 1),
+                round(power.total_static_w, 1),
+                round(power.tdp_w, 1),
+            ]
+        )
+    return rows
+
+
+def test_table2_chip_specifications(benchmark):
+    rows = run_once(benchmark, _build_table)
+    emit(
+        format_table(
+            [
+                "NPU",
+                "node(nm)",
+                "MHz",
+                "SAs",
+                "VUs",
+                "SRAM(MB)",
+                "HBM(GB/s)",
+                "HBM(GB)",
+                "TFLOPS",
+                "static(W)",
+                "TDP(W)",
+            ],
+            rows,
+            title="Table 2 — NPU specifications (plus modelled static power / TDP)",
+        )
+    )
+    assert len(rows) == 5

@@ -1,0 +1,23 @@
+"""Table 3: power-on/off delays and break-even times of each component."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.tables import format_table
+from repro.gating.bet import TABLE3_TIMINGS
+
+
+def test_table3_break_even_times(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: [
+            [name, timing.delay_cycles, timing.bet_cycles]
+            for name, timing in TABLE3_TIMINGS.items()
+        ],
+    )
+    emit(
+        format_table(
+            ["component", "on/off delay (cycles)", "BET (cycles)"],
+            rows,
+            title="Table 3 — wake-up delays and break-even times",
+        )
+    )
+    assert dict((r[0], r[2]) for r in rows)["vu"] == 32

@@ -1,0 +1,45 @@
+"""Table 4: most energy-efficient SLO-compliant NPU-D configurations."""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.tables import format_table
+from repro.core.slo import SLOSearch
+
+# A representative subset keeps the sweep fast; extend the list to cover
+# every workload when regenerating the full table.
+WORKLOADS = (
+    "llama3-8b-training",
+    "llama3-8b-prefill",
+    "llama3-8b-decode",
+    "llama3-70b-prefill",
+    "llama3-70b-decode",
+    "dlrm-m-inference",
+)
+
+
+def _run_search():
+    search = SLOSearch(chip_counts=(1, 2, 4, 8, 16), batch_scales=(0.5, 1.0, 2.0))
+    return search.table4(list(WORKLOADS))
+
+
+def test_table4_slo_configurations(benchmark):
+    selections = run_once(benchmark, _run_search)
+    rows = [
+        [
+            s.workload,
+            s.num_chips,
+            s.batch_size,
+            s.parallelism.describe(),
+            f"{s.throughput:.3e}",
+            f"{s.energy_per_work_j:.3e}",
+            "yes" if s.meets_slo else f"{s.attained_slo:.1f}x",
+        ]
+        for s in selections
+    ]
+    emit(
+        format_table(
+            ["workload", "#chips", "batch", "parallelism", "throughput", "J/work", "meets SLO"],
+            rows,
+            title="Table 4 — SLO-compliant configurations on NPU-D",
+        )
+    )
+    assert all(s.num_chips >= 1 for s in selections)

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the rows/series of one table or figure of the
+paper and prints them as a text table (run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables).  Benchmarks execute exactly one
+round: the interesting output is the regenerated data, not the wall-clock
+time of the analysis itself.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table underneath the benchmark output."""
+    print()
+    print(text)
+    sys.stdout.flush()
+
+
+@pytest.fixture(scope="session")
+def quick_chips():
+    """NPU generations used by the characterization benchmarks."""
+    return ("NPU-A", "NPU-B", "NPU-C", "NPU-D")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fleet-level carbon planning with and without power gating.
+
+Reproduces the §6.6 style analysis for an operator planning an NPU fleet:
+how much operational carbon does ReGate save per year, and how does it
+shift the optimal device-replacement cadence (Figure 25)?
+"""
+
+from repro import simulate_workload
+from repro.analysis.tables import format_table, percentage
+from repro.carbon.lifespan import LifespanAnalysis
+from repro.carbon.operational import OperationalCarbonModel
+from repro.gating.report import PolicyName
+
+WORKLOADS = ("llama3-70b-prefill", "llama3-70b-decode", "dlrm-l-inference")
+FLEET_CHIPS = 8960  # one TPU-pod-scale deployment, as cited in the paper
+
+
+def main() -> None:
+    carbon = OperationalCarbonModel()
+    rows = []
+    for workload in WORKLOADS:
+        result = simulate_workload(workload)
+        reduction = carbon.carbon_reduction(result, PolicyName.REGATE_FULL)
+        # Scale the per-pod power saving to the whole fleet.
+        nopg_power = result.average_power_w(PolicyName.NOPG)
+        full_power = result.average_power_w(PolicyName.REGATE_FULL)
+        fleet_saving_kw = (nopg_power - full_power) * FLEET_CHIPS / 1e3
+        rows.append(
+            [
+                workload,
+                percentage(reduction),
+                f"{nopg_power:.0f} -> {full_power:.0f}",
+                f"{fleet_saving_kw:.0f} kW",
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "operational carbon cut", "per-chip W (NoPG -> Full)", "fleet power saved"],
+            rows,
+            title=f"Fleet of {FLEET_CHIPS} NPU-D chips with ReGate-Full",
+        )
+    )
+    print()
+
+    # Optimal device lifespan with and without power gating.
+    lifespan_rows = []
+    for workload in WORKLOADS:
+        result = simulate_workload(workload)
+        analysis = LifespanAnalysis(result)
+        lifespan_rows.append(
+            [
+                workload,
+                analysis.optimal_lifespan(PolicyName.NOPG),
+                analysis.optimal_lifespan(PolicyName.REGATE_FULL),
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "optimal lifespan NoPG (years)", "with ReGate-Full (years)"],
+            lifespan_rows,
+            title="Optimal device lifespan (embodied vs operational carbon trade-off)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload and compare the power-gating designs.
+
+Run with::
+
+    python examples/quickstart.py [workload] [chip]
+
+Defaults to Llama3-70B inference prefill on NPU-D (the paper's main
+evaluation target).
+"""
+
+import sys
+
+from repro import simulate_workload
+from repro.analysis.tables import format_table, percentage
+from repro.gating.report import PolicyName
+from repro.hardware.components import Component
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "llama3-70b-prefill"
+    chip = sys.argv[2] if len(sys.argv) > 2 else "NPU-D"
+
+    result = simulate_workload(workload, chip=chip)
+    nopg = result.report(PolicyName.NOPG)
+
+    print(f"workload      : {result.workload}")
+    print(f"chip          : {result.chip.name}  x{result.num_chips} "
+          f"({result.parallelism.describe()})")
+    print(f"batch size    : {result.batch_size}")
+    print(f"iteration time: {nopg.total_time_s * 1e3:.2f} ms")
+    print(f"busy energy   : {nopg.total_energy_j:.1f} J per iteration per chip")
+    print(f"static share  : {percentage(nopg.static_fraction())}")
+    print()
+
+    rows = []
+    for policy in result.reports:
+        report = result.report(policy)
+        rows.append(
+            [
+                policy.value,
+                f"{report.total_energy_j:.1f}",
+                percentage(result.energy_savings(policy)),
+                f"{report.average_power_w:.1f}",
+                f"{report.peak_power_w:.1f}",
+                percentage(result.performance_overhead(policy), 3),
+            ]
+        )
+    print(
+        format_table(
+            ["design", "energy (J)", "savings", "avg W", "peak W", "overhead"],
+            rows,
+            title="Power-gating designs (per chip, per iteration)",
+        )
+    )
+    print()
+
+    print("Component utilization (the power-gating opportunity):")
+    for component in Component.gateable():
+        print(
+            f"  {component.pretty:<16} temporal util "
+            f"{percentage(result.temporal_utilization(component))}"
+        )
+    print(f"  SA spatial utilization {percentage(result.sa_spatial_utilization())}")
+
+
+if __name__ == "__main__":
+    main()

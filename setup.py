@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e . --no-use-pep517`` (legacy editable
+installs) keeps working on environments without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

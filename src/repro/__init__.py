@@ -1,0 +1,42 @@
+"""ReGate reproduction: power gating for neural processing units.
+
+This package reproduces the system described in "ReGate: Enabling Power
+Gating in Neural Processing Units" (MICRO 2025).  It provides:
+
+* A parametric NPU hardware model (chips derived from TPUv2..v6p).
+* Workload graph generators for LLMs, DLRM and diffusion models.
+* A compiler pipeline (parallelism, tiling, fusion, SRAM allocation,
+  scheduling, idleness analysis and ``setpm`` instrumentation).
+* A tile-level performance simulator plus a cycle-level systolic-array
+  model with processing-element granularity power gating.
+* Power-gating policies (NoPG, ReGate-Base, ReGate-HW, ReGate-Full, Ideal)
+  with break-even-time accounting.
+* Energy, power, performance and carbon analyses that regenerate every
+  table and figure of the paper's evaluation.
+
+The most convenient entry point is :func:`repro.core.regate.simulate_workload`
+and the helpers in :mod:`repro.analysis`.
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.regate import simulate_workload
+from repro.core.results import EnergyReport, SimulationResult
+from repro.gating.policies import PolicyName
+from repro.hardware.chips import NPUChipSpec, get_chip, list_chips
+from repro.workloads.registry import get_workload, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnergyReport",
+    "NPUChipSpec",
+    "PolicyName",
+    "SimulationConfig",
+    "SimulationResult",
+    "get_chip",
+    "get_workload",
+    "list_chips",
+    "list_workloads",
+    "simulate_workload",
+    "__version__",
+]

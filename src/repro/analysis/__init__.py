@@ -1,0 +1,12 @@
+"""Analyses that regenerate the paper's tables and figures."""
+
+from repro.analysis import characterization, evaluation, sensitivity, validation
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "characterization",
+    "evaluation",
+    "format_table",
+    "sensitivity",
+    "validation",
+]

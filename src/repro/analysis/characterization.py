@@ -1,0 +1,211 @@
+"""Characterization study (§3 of the paper): Figures 2-9.
+
+These helpers run the simulator across workloads and NPU generations and
+return the exact series the paper plots: energy efficiency per
+generation (Figure 2), the static/dynamic energy breakdown per component
+(Figure 3), the temporal utilization of SAs, VUs, ICI and HBM (Figures
+4, 6, 8, 9), the SA spatial utilization (Figure 5), and the SRAM demand
+distribution (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DEFAULT_DUTY_CYCLE, DEFAULT_PUE, SimulationConfig
+from repro.core.regate import simulate_workload
+from repro.core.results import SimulationResult
+from repro.gating.report import PolicyName
+from repro.hardware.components import Component
+from repro.hardware.power import ChipPowerModel
+from repro.workloads.registry import get_workload
+
+#: The NPU generations covered by the characterization figures.
+CHARACTERIZATION_CHIPS = ("NPU-A", "NPU-B", "NPU-C", "NPU-D")
+
+#: Workload groups as presented in the paper's figures.
+LLM_MODELS = ("llama3-8b", "llama2-13b", "llama3-70b", "llama3.1-405b")
+LLM_PHASES = ("training", "prefill", "decode")
+DLRM_WORKLOADS = ("dlrm-s-inference", "dlrm-m-inference", "dlrm-l-inference")
+DIFFUSION_WORKLOADS = ("dit-xl-inference", "gligen-inference")
+
+
+def all_characterization_workloads() -> list[str]:
+    """Every workload appearing in the §3 study."""
+    names = [f"{model}-{phase}" for model in LLM_MODELS for phase in LLM_PHASES]
+    names.extend(DLRM_WORKLOADS)
+    names.extend(DIFFUSION_WORKLOADS)
+    return names
+
+
+def simulate_on(workload: str, chip: str, policy: PolicyName = PolicyName.NOPG) -> SimulationResult:
+    """Simulate a workload on one NPU generation with its default pod size."""
+    config = SimulationConfig(chip=chip, policies=(policy,))
+    return simulate_workload(workload, config)
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2: energy efficiency across NPU generations
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One bar of Figure 2."""
+
+    workload: str
+    chip: str
+    energy_per_work_j: float
+    iteration_unit: str
+
+
+def energy_efficiency(
+    workloads: list[str] | None = None,
+    chips: tuple[str, ...] = CHARACTERIZATION_CHIPS,
+) -> list[EfficiencyPoint]:
+    """Energy per unit of work for each workload on each generation."""
+    workloads = workloads or all_characterization_workloads()
+    points = []
+    for workload in workloads:
+        for chip in chips:
+            result = simulate_on(workload, chip)
+            points.append(
+                EfficiencyPoint(
+                    workload=workload,
+                    chip=chip,
+                    energy_per_work_j=result.energy_per_work(PolicyName.NOPG),
+                    iteration_unit=result.iteration_unit,
+                )
+            )
+    return points
+
+
+# ---------------------------------------------------------------------- #
+# Figure 3: energy breakdown
+# ---------------------------------------------------------------------- #
+@dataclass
+class EnergyBreakdown:
+    """Normalized energy shares of one workload on one generation."""
+
+    workload: str
+    chip: str
+    idle_fraction: float
+    static_fractions: dict[Component, float] = field(default_factory=dict)
+    dynamic_fractions: dict[Component, float] = field(default_factory=dict)
+
+    @property
+    def busy_static_fraction(self) -> float:
+        """Static share of the busy (non-idle) energy."""
+        busy = 1.0 - self.idle_fraction
+        if busy <= 0:
+            return 0.0
+        return sum(self.static_fractions.values()) / busy
+
+
+def energy_breakdown(
+    workload: str,
+    chip: str,
+    duty_cycle: float = DEFAULT_DUTY_CYCLE,
+) -> EnergyBreakdown:
+    """Static/dynamic/idle energy shares for one workload (Figure 3)."""
+    result = simulate_on(workload, chip)
+    report = result.report(PolicyName.NOPG)
+    power_model = ChipPowerModel(result.chip)
+    idle_seconds = report.total_time_s * (1.0 - duty_cycle) / duty_cycle
+    idle_energy = power_model.idle_power_w * idle_seconds
+    total = report.total_energy_j + idle_energy
+    breakdown = EnergyBreakdown(
+        workload=workload,
+        chip=chip,
+        idle_fraction=idle_energy / total,
+    )
+    for component in Component.all():
+        breakdown.static_fractions[component] = (
+            report.static_energy_j.get(component, 0.0) / total
+        )
+        breakdown.dynamic_fractions[component] = (
+            report.dynamic_energy_j.get(component, 0.0) / total
+        )
+    return breakdown
+
+
+# ---------------------------------------------------------------------- #
+# Figures 4, 6, 8, 9: temporal utilization; Figure 5: spatial utilization
+# ---------------------------------------------------------------------- #
+def temporal_utilization(
+    component: Component,
+    workloads: list[str],
+    chips: tuple[str, ...] = CHARACTERIZATION_CHIPS,
+) -> dict[tuple[str, str], float]:
+    """Temporal utilization of one component per (workload, chip)."""
+    table = {}
+    for workload in workloads:
+        for chip in chips:
+            result = simulate_on(workload, chip)
+            table[(workload, chip)] = result.temporal_utilization(component)
+    return table
+
+
+def sa_spatial_utilization(
+    workloads: list[str],
+    chips: tuple[str, ...] = CHARACTERIZATION_CHIPS,
+) -> dict[tuple[str, str], float]:
+    """SA spatial utilization per (workload, chip) (Figure 5)."""
+    table = {}
+    for workload in workloads:
+        for chip in chips:
+            result = simulate_on(workload, chip)
+            table[(workload, chip)] = result.sa_spatial_utilization()
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7: SRAM demand distribution
+# ---------------------------------------------------------------------- #
+def sram_demand_cdf(workload: str, chip: str = "NPU-D") -> list[tuple[float, float]]:
+    """CDF of SRAM demand weighted by operator execution time.
+
+    Returns (demand_bytes, cumulative_time_fraction) points sorted by
+    demand — the Figure 7 series.
+    """
+    result = simulate_on(workload, chip)
+    pairs = sorted(result.profile.sram_demand_distribution(), key=lambda p: p[0])
+    total_time = sum(duration for _, duration in pairs)
+    if total_time <= 0:
+        return []
+    cdf = []
+    cumulative = 0.0
+    for demand, duration in pairs:
+        cumulative += duration
+        cdf.append((demand, cumulative / total_time))
+    return cdf
+
+
+def sram_demand_percentile(
+    workload: str, percentile: float, chip: str = "NPU-D"
+) -> float:
+    """SRAM demand (bytes) at a given execution-time percentile."""
+    if not 0.0 <= percentile <= 1.0:
+        raise ValueError("percentile must be in [0, 1]")
+    cdf = sram_demand_cdf(workload, chip)
+    for demand, fraction in cdf:
+        if fraction >= percentile:
+            return demand
+    return cdf[-1][0] if cdf else 0.0
+
+
+__all__ = [
+    "CHARACTERIZATION_CHIPS",
+    "DIFFUSION_WORKLOADS",
+    "DLRM_WORKLOADS",
+    "EfficiencyPoint",
+    "EnergyBreakdown",
+    "LLM_MODELS",
+    "LLM_PHASES",
+    "all_characterization_workloads",
+    "energy_breakdown",
+    "energy_efficiency",
+    "sa_spatial_utilization",
+    "simulate_on",
+    "sram_demand_cdf",
+    "sram_demand_percentile",
+    "temporal_utilization",
+]

@@ -1,0 +1,196 @@
+"""Evaluation analyses (§6.2-§6.4): Figures 17, 18, 19, 20 and 24.
+
+Each helper runs the five designs (NoPG, ReGate-Base, ReGate-HW,
+ReGate-Full, Ideal) on one workload and extracts the series the paper
+plots: per-component energy-saving breakdowns, average/peak power,
+performance overhead, ``setpm`` instruction rates, and operational
+carbon reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.carbon.operational import OperationalCarbonModel
+from repro.core.config import SimulationConfig
+from repro.core.regate import simulate_workload
+from repro.core.results import SimulationResult
+from repro.gating.report import PolicyName
+from repro.hardware.components import Component
+
+#: The workloads in the paper's evaluation figures (NPU-D defaults).
+EVALUATION_WORKLOADS = (
+    "llama3-8b-training",
+    "llama2-13b-training",
+    "llama3-70b-training",
+    "llama3.1-405b-training",
+    "llama3-8b-prefill",
+    "llama2-13b-prefill",
+    "llama3-70b-prefill",
+    "llama3.1-405b-prefill",
+    "llama3-8b-decode",
+    "llama2-13b-decode",
+    "llama3-70b-decode",
+    "llama3.1-405b-decode",
+    "dlrm-s-inference",
+    "dlrm-m-inference",
+    "dlrm-l-inference",
+    "dit-xl-inference",
+    "gligen-inference",
+)
+
+GATING_POLICIES = (
+    PolicyName.REGATE_BASE,
+    PolicyName.REGATE_HW,
+    PolicyName.REGATE_FULL,
+    PolicyName.IDEAL,
+)
+
+
+def evaluate(workload: str, chip: str = "NPU-D", config: SimulationConfig | None = None) -> SimulationResult:
+    """Run all five policies on one workload."""
+    config = config or SimulationConfig(chip=chip)
+    if config.resolve_chip().name != chip:
+        config = config.with_chip(chip)
+    return simulate_workload(workload, config)
+
+
+# ---------------------------------------------------------------------- #
+# Figure 17: energy savings breakdown
+# ---------------------------------------------------------------------- #
+@dataclass
+class SavingsBreakdown:
+    """Energy savings of one policy, broken down by component."""
+
+    workload: str
+    policy: PolicyName
+    total_savings: float
+    by_component: dict[Component, float] = field(default_factory=dict)
+
+
+def energy_savings_breakdown(
+    workload: str, chip: str = "NPU-D", config: SimulationConfig | None = None
+) -> list[SavingsBreakdown]:
+    """Per-component energy savings of every policy vs NoPG (Figure 17)."""
+    result = evaluate(workload, chip, config)
+    breakdowns = []
+    for policy in GATING_POLICIES:
+        if policy not in result.reports:
+            continue
+        breakdown = SavingsBreakdown(
+            workload=workload,
+            policy=policy,
+            total_savings=result.energy_savings(policy),
+        )
+        for component in Component.gateable():
+            breakdown.by_component[component] = result.component_savings(policy, component)
+        breakdowns.append(breakdown)
+    return breakdowns
+
+
+# ---------------------------------------------------------------------- #
+# Figure 18: average and peak power
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PowerPoint:
+    """Average/peak power of one policy on one workload (per chip)."""
+
+    workload: str
+    policy: PolicyName
+    average_power_w: float
+    peak_power_w: float
+
+
+def power_consumption(
+    workload: str, chip: str = "NPU-D", config: SimulationConfig | None = None
+) -> list[PowerPoint]:
+    """Average and peak per-chip power of every design (Figure 18)."""
+    result = evaluate(workload, chip, config)
+    return [
+        PowerPoint(
+            workload=workload,
+            policy=policy,
+            average_power_w=result.average_power_w(policy),
+            peak_power_w=result.peak_power_w(policy),
+        )
+        for policy in result.reports
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Figure 19: performance overhead
+# ---------------------------------------------------------------------- #
+def performance_overhead(
+    workload: str, chip: str = "NPU-D", config: SimulationConfig | None = None
+) -> dict[PolicyName, float]:
+    """Slowdown of each gating design relative to NoPG (Figure 19)."""
+    result = evaluate(workload, chip, config)
+    return {
+        policy: result.performance_overhead(policy)
+        for policy in GATING_POLICIES
+        if policy in result.reports
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Figure 20: setpm instruction rate
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SetpmRate:
+    """Executed ``setpm`` instructions per 1,000 cycles (ReGate-Full)."""
+
+    workload: str
+    vu_setpm_per_kcycle: float
+    sram_setpm_per_kcycle: float
+
+
+def setpm_rate(workload: str, chip: str = "NPU-D") -> SetpmRate:
+    """Estimate the Figure 20 metric from the gating-event counts.
+
+    Every software-gated VU idle interval costs one power-off and one
+    power-on ``setpm``; SRAM ``setpm`` instructions are only needed when
+    the capacity demand changes (operator boundaries).
+    """
+    result = evaluate(workload, chip)
+    report = result.report(PolicyName.REGATE_FULL)
+    total_cycles = result.chip.seconds_to_cycles(report.total_time_s)
+    if total_cycles <= 0:
+        return SetpmRate(workload, 0.0, 0.0)
+    vu_setpm = 2.0 * report.gating_events.get(Component.VU, 0.0)
+    sram_setpm = 2.0 * report.gating_events.get(Component.SRAM, 0.0)
+    return SetpmRate(
+        workload=workload,
+        vu_setpm_per_kcycle=1000.0 * vu_setpm / total_cycles,
+        sram_setpm_per_kcycle=1000.0 * sram_setpm / total_cycles,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figure 24: operational carbon reduction
+# ---------------------------------------------------------------------- #
+def carbon_reduction(
+    workload: str, chip: str = "NPU-D", config: SimulationConfig | None = None
+) -> dict[PolicyName, float]:
+    """Operational-carbon reduction of each design vs NoPG (Figure 24)."""
+    result = evaluate(workload, chip, config)
+    model = OperationalCarbonModel()
+    return {
+        policy: model.carbon_reduction(result, policy)
+        for policy in GATING_POLICIES
+        if policy in result.reports
+    }
+
+
+__all__ = [
+    "EVALUATION_WORKLOADS",
+    "GATING_POLICIES",
+    "PowerPoint",
+    "SavingsBreakdown",
+    "SetpmRate",
+    "carbon_reduction",
+    "energy_savings_breakdown",
+    "evaluate",
+    "performance_overhead",
+    "power_consumption",
+    "setpm_rate",
+]

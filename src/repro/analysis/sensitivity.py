@@ -1,0 +1,136 @@
+"""Sensitivity analyses (§6.5): Figures 21, 22 and 23.
+
+The effectiveness of power gating depends on circuit-level parameters:
+the leakage of gated logic and drowsy/off SRAM (threshold and retention
+voltages), the power-gate/wake-up delay, and the chip generation.  These
+sweeps mirror the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig
+from repro.core.regate import simulate_workload
+from repro.gating.bet import (
+    DEFAULT_PARAMETERS,
+    FIGURE21_LEAKAGE_POINTS,
+    FIGURE22_DELAY_MULTIPLIERS,
+)
+from repro.gating.report import PolicyName
+
+#: Workloads shown in the sensitivity figures.
+SENSITIVITY_WORKLOADS = (
+    "llama3.1-405b-training",
+    "llama3.1-405b-prefill",
+    "llama3.1-405b-decode",
+    "dlrm-l-inference",
+    "dit-xl-inference",
+)
+
+GATING_POLICIES = (
+    PolicyName.REGATE_BASE,
+    PolicyName.REGATE_HW,
+    PolicyName.REGATE_FULL,
+)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Energy savings (and overhead) of one policy at one sweep point."""
+
+    workload: str
+    policy: PolicyName
+    parameter: str
+    savings: float
+    overhead: float
+
+
+# ---------------------------------------------------------------------- #
+# Figure 21: leakage-ratio sweep
+# ---------------------------------------------------------------------- #
+def leakage_sensitivity(
+    workload: str,
+    chip: str = "NPU-D",
+    points: tuple[tuple[float, float, float], ...] = FIGURE21_LEAKAGE_POINTS,
+) -> list[SensitivityPoint]:
+    """Energy savings for each (logic-off, SRAM-sleep, SRAM-off) leakage point."""
+    results = []
+    for logic_off, sram_sleep, sram_off in points:
+        parameters = DEFAULT_PARAMETERS.with_leakage(logic_off, sram_sleep, sram_off)
+        config = SimulationConfig(chip=chip, gating_parameters=parameters)
+        result = simulate_workload(workload, config)
+        label = f"{logic_off}/{sram_sleep}/{sram_off}"
+        for policy in GATING_POLICIES:
+            results.append(
+                SensitivityPoint(
+                    workload=workload,
+                    policy=policy,
+                    parameter=label,
+                    savings=result.energy_savings(policy),
+                    overhead=result.performance_overhead(policy),
+                )
+            )
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Figure 22: wake-up delay sweep
+# ---------------------------------------------------------------------- #
+def delay_sensitivity(
+    workload: str,
+    chip: str = "NPU-D",
+    multipliers: tuple[float, ...] = FIGURE22_DELAY_MULTIPLIERS,
+) -> list[SensitivityPoint]:
+    """Energy savings and overhead for scaled power-gate/wake-up delays."""
+    results = []
+    for multiplier in multipliers:
+        parameters = DEFAULT_PARAMETERS.with_delay_multiplier(multiplier)
+        config = SimulationConfig(chip=chip, gating_parameters=parameters)
+        result = simulate_workload(workload, config)
+        for policy in GATING_POLICIES:
+            results.append(
+                SensitivityPoint(
+                    workload=workload,
+                    policy=policy,
+                    parameter=f"{multiplier}x",
+                    savings=result.energy_savings(policy),
+                    overhead=result.performance_overhead(policy),
+                )
+            )
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Figure 23: NPU generations (including the projected NPU-E)
+# ---------------------------------------------------------------------- #
+def generation_sensitivity(
+    workload: str,
+    chips: tuple[str, ...] = ("NPU-A", "NPU-B", "NPU-C", "NPU-D", "NPU-E"),
+) -> list[SensitivityPoint]:
+    """Energy savings of each design on every NPU generation (Figure 23)."""
+    results = []
+    for chip in chips:
+        config = SimulationConfig(chip=chip)
+        result = simulate_workload(workload, config)
+        for policy in (*GATING_POLICIES, PolicyName.IDEAL):
+            results.append(
+                SensitivityPoint(
+                    workload=workload,
+                    policy=policy,
+                    parameter=chip,
+                    savings=result.energy_savings(policy),
+                    overhead=result.performance_overhead(policy),
+                )
+            )
+    return results
+
+
+__all__ = [
+    "GATING_POLICIES",
+    "SENSITIVITY_WORKLOADS",
+    "SensitivityPoint",
+    "delay_sensitivity",
+    "generation_sensitivity",
+    "leakage_sensitivity",
+]

@@ -1,0 +1,52 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; this module renders them as aligned text tables so the output of
+``pytest benchmarks/`` is directly readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned text table."""
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in formatted_rows)
+    return "\n".join(lines)
+
+
+def percentage(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+__all__ = ["format_table", "percentage"]

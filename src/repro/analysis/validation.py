@@ -1,0 +1,174 @@
+"""Simulator validation (Figure 16 analogue).
+
+The paper validates its performance simulator against real TPUv4 chips,
+reporting the Pearson correlation (R^2) of profiled vs. simulated
+execution times across models, batch sizes and parallelism settings, and
+across representative single operators.
+
+We have no TPUs, so the reproduction validates the operator-level
+simulator against an *independent first-principles roofline reference*:
+the reference ignores the per-operator decomposition and instead bounds
+the whole graph by aggregate FLOPs, HBM bytes and ICI bytes with perfect
+overlap.  The two models are computed differently, so a high correlation
+across a sweep of configurations is a meaningful internal-consistency
+check — the same role Figure 16 plays in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import SimulationConfig
+from repro.core.regate import simulate_graph, simulate_workload
+from repro.gating.report import PolicyName
+from repro.hardware.chips import NPUChipSpec, get_chip
+from repro.simulator.timing import HBM_EFFICIENCY, ICI_EFFICIENCY
+from repro.workloads.base import OperatorGraph, ParallelismConfig
+from repro.workloads.llm import build_decode_graph, build_prefill_graph
+from repro.workloads.registry import get_workload
+
+
+def roofline_reference_time_s(graph: OperatorGraph, chip: NPUChipSpec) -> float:
+    """Aggregate roofline execution-time estimate for a whole graph.
+
+    Bounds the execution by total matrix FLOPs at peak SA throughput,
+    total vector FLOPs at peak VU throughput, total HBM traffic at
+    effective bandwidth and total ICI traffic at effective bandwidth,
+    assuming perfect overlap across operators.
+    """
+    sa_time = graph.total_sa_flops / chip.peak_sa_flops
+    vu_time = graph.total_vu_flops / chip.peak_vu_flops
+    hbm_time = graph.total_hbm_bytes / (chip.hbm_bandwidth_bytes * HBM_EFFICIENCY)
+    ici_time = graph.total_ici_bytes / (chip.ici_bandwidth_bytes * ICI_EFFICIENCY)
+    return max(sa_time, vu_time, hbm_time, ici_time)
+
+
+def pearson_r_squared(xs: list[float], ys: list[float]) -> float:
+    """Squared Pearson correlation coefficient of two series."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two paired samples")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    r = cov / math.sqrt(var_x * var_y)
+    return r * r
+
+
+@dataclass(frozen=True)
+class ValidationSeries:
+    """Paired simulated/reference times for one validation scenario."""
+
+    name: str
+    simulated_s: list[float]
+    reference_s: list[float]
+
+    @property
+    def r_squared(self) -> float:
+        return pearson_r_squared(self.simulated_s, self.reference_s)
+
+
+def validate_llm(
+    model: str,
+    phase: str,
+    chip: str = "NPU-D",
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16),
+    tensor_degrees: tuple[int, ...] = (1, 2, 4, 8),
+) -> ValidationSeries:
+    """Validate end-to-end LLM times across batch and parallelism sweeps."""
+    chip_spec = get_chip(chip)
+    simulated, reference = [], []
+    for batch in batch_sizes:
+        for tensor in tensor_degrees:
+            parallelism = ParallelismConfig(data=1, tensor=tensor, pipeline=1)
+            if phase == "prefill":
+                graph = build_prefill_graph(model, batch, 4096, parallelism)
+            else:
+                graph = build_decode_graph(model, batch, 4096, 512, parallelism)
+            config = SimulationConfig(
+                chip=chip, parallelism=parallelism, policies=(PolicyName.NOPG,)
+            )
+            result = simulate_graph(graph, config)
+            simulated.append(result.report(PolicyName.NOPG).total_time_s)
+            reference.append(roofline_reference_time_s(graph, chip_spec))
+    return ValidationSeries(
+        name=f"{model}-{phase}", simulated_s=simulated, reference_s=reference
+    )
+
+
+def validate_single_operators(chip: str = "NPU-D") -> dict[str, ValidationSeries]:
+    """Validate representative operators (MatMul, LayerNorm, collectives)."""
+    from repro.workloads.base import (
+        CollectiveKind,
+        OperatorGraph,
+        WorkloadPhase,
+        collective_op,
+        elementwise_op,
+        matmul_op,
+    )
+
+    chip_spec = get_chip(chip)
+    scenarios: dict[str, ValidationSeries] = {}
+
+    def run(name: str, operators) -> ValidationSeries:
+        simulated, reference = [], []
+        for op in operators:
+            graph = OperatorGraph(
+                name=f"single-{name}", phase=WorkloadPhase.INFERENCE, operators=[op]
+            )
+            config = SimulationConfig(chip=chip, policies=(PolicyName.NOPG,))
+            result = simulate_graph(graph, config)
+            simulated.append(result.report(PolicyName.NOPG).total_time_s)
+            reference.append(roofline_reference_time_s(graph, chip_spec))
+        return ValidationSeries(name=name, simulated_s=simulated, reference_s=reference)
+
+    sizes = (256, 512, 1024, 2048, 4096, 8192)
+    scenarios["matmul"] = run(
+        "matmul", [matmul_op(f"matmul_{n}", m=n, k=n, n=n) for n in sizes]
+    )
+    scenarios["layernorm"] = run(
+        "layernorm",
+        [
+            elementwise_op(f"layernorm_{n}", elements=n * 8192, flops_per_element=16.0)
+            for n in sizes
+        ],
+    )
+    scenarios["reducescatter"] = run(
+        "reducescatter",
+        [
+            collective_op(
+                f"reducescatter_{n}",
+                CollectiveKind.REDUCE_SCATTER,
+                payload_bytes=n * 1024 * 1024,
+                num_chips=8,
+            )
+            for n in sizes
+        ],
+    )
+    scenarios["allgather"] = run(
+        "allgather",
+        [
+            collective_op(
+                f"allgather_{n}",
+                CollectiveKind.ALL_GATHER,
+                payload_bytes=n * 1024 * 1024,
+                num_chips=8,
+            )
+            for n in sizes
+        ],
+    )
+    return scenarios
+
+
+__all__ = [
+    "ValidationSeries",
+    "pearson_r_squared",
+    "roofline_reference_time_s",
+    "validate_llm",
+    "validate_single_operators",
+]

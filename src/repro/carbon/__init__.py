@@ -1,0 +1,13 @@
+"""Carbon-efficiency models (operational + embodied, §6.6 of the paper)."""
+
+from repro.carbon.operational import OperationalCarbonModel
+from repro.carbon.embodied import EMBODIED_CARBON_KG, embodied_carbon_kg
+from repro.carbon.lifespan import LifespanAnalysis, LifespanPoint
+
+__all__ = [
+    "EMBODIED_CARBON_KG",
+    "LifespanAnalysis",
+    "LifespanPoint",
+    "OperationalCarbonModel",
+    "embodied_carbon_kg",
+]

@@ -1,0 +1,46 @@
+"""Embodied carbon of NPU chips.
+
+Embodied carbon is the emission from manufacturing a chip (wafer
+processing, HBM stacks, packaging, the share of the host and
+infrastructure attributed to the accelerator).  The paper takes its
+values from the TPU life-cycle analysis of Schneider et al.; absent the
+exact per-SKU numbers we use estimates that scale with die area, HBM
+capacity and technology node, which preserves the trade-off the lifespan
+study (Figure 25) explores.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.area import AreaModel
+from repro.hardware.chips import NPUChipSpec, get_chip
+
+# Manufacturing carbon intensity per mm^2 of logic die, by node (kgCO2e/mm^2).
+# Newer nodes need more lithography passes / EUV energy per area.
+_DIE_CARBON_PER_MM2 = {16: 0.18, 7: 0.28, 4: 0.40}
+# HBM embodied carbon per GB (kgCO2e/GB).
+_HBM_CARBON_PER_GB = 0.55
+# Packaging, substrate, and attributed host/infrastructure share.
+_PACKAGING_CARBON_KG = 25.0
+
+#: Fixed per-generation estimates, exposed for tests and quick studies.
+EMBODIED_CARBON_KG: dict[str, float] = {}
+
+
+def embodied_carbon_kg(chip: str | NPUChipSpec) -> float:
+    """Embodied carbon of manufacturing one NPU chip (kgCO2e)."""
+    spec = chip if isinstance(chip, NPUChipSpec) else get_chip(chip)
+    area = AreaModel(spec).breakdown()
+    die = area.total_mm2 * _DIE_CARBON_PER_MM2[spec.technology_nm]
+    hbm = spec.hbm.capacity_gb * _HBM_CARBON_PER_GB
+    return die + hbm + _PACKAGING_CARBON_KG
+
+
+def _populate_table() -> None:
+    for name in ("NPU-A", "NPU-B", "NPU-C", "NPU-D", "NPU-E"):
+        EMBODIED_CARBON_KG[name] = embodied_carbon_kg(name)
+
+
+_populate_table()
+
+
+__all__ = ["EMBODIED_CARBON_KG", "embodied_carbon_kg"]

@@ -1,0 +1,100 @@
+"""Device-lifespan analysis trading embodied vs. operational carbon.
+
+Figure 25 of the paper: over a 10-year horizon, upgrading the NPU fleet
+every ``L`` years amortizes the embodied carbon over more work as ``L``
+grows, but keeps older, less energy-efficient chips in service longer,
+so the operational carbon per unit of work grows.  The optimum lifespan
+minimizes the total carbon per unit of work; power gating lowers the
+operational component and therefore *extends* the optimal lifespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.carbon.embodied import embodied_carbon_kg
+from repro.carbon.operational import OperationalCarbonModel
+from repro.core.results import SimulationResult
+from repro.gating.report import PolicyName
+
+
+@dataclass(frozen=True)
+class LifespanPoint:
+    """Carbon per unit of work for one device lifespan."""
+
+    lifespan_years: int
+    embodied_kg_per_work: float
+    operational_kg_per_work: float
+
+    @property
+    def total_kg_per_work(self) -> float:
+        return self.embodied_kg_per_work + self.operational_kg_per_work
+
+
+@dataclass
+class LifespanAnalysis:
+    """Sweeps device lifespans for one workload result."""
+
+    result: SimulationResult
+    operational_model: OperationalCarbonModel = field(
+        default_factory=OperationalCarbonModel
+    )
+    horizon_years: int = 10
+    #: Year-over-year energy-efficiency improvement of new chip generations
+    #: (the paper uses the NPU-D over NPU-C ratio).
+    yearly_efficiency_gain: float = 0.22
+    utilization_seconds_per_year: float = 365.25 * 24 * 3600
+
+    # ------------------------------------------------------------------ #
+    def work_per_chip_year(self, policy: PolicyName) -> float:
+        """Units of work one pod completes per year at the duty cycle."""
+        duty = self.operational_model.duty_cycle
+        iterations_per_s = 1.0 / self.result.iteration_time_s(policy)
+        return (
+            iterations_per_s
+            * duty
+            * self.utilization_seconds_per_year
+            * self.result.work_per_iteration
+        )
+
+    def _operational_per_work(self, policy: PolicyName, device_age_years: float) -> float:
+        """Operational carbon per work for a chip of a given age.
+
+        Older chips are less efficient than the newest generation by the
+        yearly efficiency gain compounding over their age.
+        """
+        base = self.operational_model.carbon_per_work_kg(self.result, policy)
+        return base * (1.0 + self.yearly_efficiency_gain) ** device_age_years
+
+    # ------------------------------------------------------------------ #
+    def point(self, lifespan_years: int, policy: PolicyName) -> LifespanPoint:
+        """Carbon per unit of work if devices are replaced every ``L`` years."""
+        if lifespan_years < 1:
+            raise ValueError("lifespan must be at least one year")
+        embodied_total = embodied_carbon_kg(self.result.chip) * self.result.num_chips
+        work_per_year = self.work_per_chip_year(policy)
+        embodied_per_work = embodied_total / (lifespan_years * work_per_year)
+        # Average operational carbon over the device's service life: the
+        # chip falls behind the state of the art by one year of efficiency
+        # gain for every year it stays in service.
+        ages = range(lifespan_years)
+        operational = sum(self._operational_per_work(policy, age) for age in ages)
+        operational_per_work = operational / lifespan_years
+        return LifespanPoint(
+            lifespan_years=lifespan_years,
+            embodied_kg_per_work=embodied_per_work,
+            operational_kg_per_work=operational_per_work,
+        )
+
+    def sweep(self, policy: PolicyName) -> list[LifespanPoint]:
+        """Carbon per work for lifespans 1..horizon (Figure 25 series)."""
+        return [self.point(years, policy) for years in range(1, self.horizon_years + 1)]
+
+    def optimal_lifespan(self, policy: PolicyName) -> int:
+        """The lifespan minimizing total carbon per unit of work."""
+        points = self.sweep(policy)
+        best = min(points, key=lambda point: point.total_kg_per_work)
+        return best.lifespan_years
+
+
+__all__ = ["LifespanAnalysis", "LifespanPoint"]

@@ -1,0 +1,96 @@
+"""Operational carbon emissions of NPU fleets.
+
+Operational carbon is the emission caused by the electricity the chips
+draw at runtime.  Following the paper (§6.6) we assume a grid carbon
+intensity of 0.0624 kgCO2e/kWh, a data-center PUE of 1.1 and a 60% chip
+duty cycle; energy drawn while the chip is powered on but idle counts
+too, which is why power gating reduces operational carbon by more than
+it reduces busy energy (Figure 24).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import (
+    DEFAULT_CARBON_INTENSITY,
+    DEFAULT_DUTY_CYCLE,
+    DEFAULT_PUE,
+)
+from repro.core.results import SimulationResult
+from repro.gating.report import PolicyName
+from repro.hardware.components import Component
+from repro.hardware.power import ChipPowerModel
+
+JOULES_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class OperationalCarbonModel:
+    """Converts simulation results into operational carbon emissions."""
+
+    carbon_intensity_kg_per_kwh: float = DEFAULT_CARBON_INTENSITY
+    pue: float = DEFAULT_PUE
+    duty_cycle: float = DEFAULT_DUTY_CYCLE
+
+    # ------------------------------------------------------------------ #
+    def energy_to_carbon_kg(self, energy_j: float) -> float:
+        """Facility-level carbon of a given amount of chip energy."""
+        return energy_j * self.pue * self.carbon_intensity_kg_per_kwh / JOULES_PER_KWH
+
+    def idle_power_w(self, result: SimulationResult, policy: PolicyName) -> float:
+        """Chip power while powered on but running no job.
+
+        Without power gating the idle chip still leaks its full static
+        power; a gating policy brings every gateable component down to
+        its gated leakage ratio.
+        """
+        power_model = ChipPowerModel(result.chip)
+        breakdown = power_model.breakdown()
+        if policy is PolicyName.NOPG:
+            return breakdown.idle_w
+        report = result.report(policy)
+        clock_w = 0.04 * breakdown.total_peak_dynamic_w
+        static_w = 0.0
+        for component in Component.all():
+            base = power_model.static_power_w(component)
+            if component is Component.OTHER:
+                static_w += base
+            elif policy is PolicyName.IDEAL:
+                static_w += 0.0
+            elif component is Component.SRAM:
+                static_w += base * 0.002 if policy is PolicyName.REGATE_FULL else base * 0.25
+            else:
+                static_w += base * 0.03
+        return static_w + clock_w
+
+    # ------------------------------------------------------------------ #
+    def carbon_per_iteration_kg(
+        self, result: SimulationResult, policy: PolicyName
+    ) -> float:
+        """Operational carbon of one workload iteration on the whole pod.
+
+        Includes the pro-rated idle energy implied by the duty cycle: for
+        every second of busy execution the chip also spends
+        ``(1 - duty) / duty`` seconds powered on but idle.
+        """
+        report = result.report(policy)
+        busy_energy = report.total_energy_j
+        idle_seconds = report.total_time_s * (1.0 - self.duty_cycle) / self.duty_cycle
+        idle_energy = self.idle_power_w(result, policy) * idle_seconds
+        per_chip = busy_energy + idle_energy
+        return self.energy_to_carbon_kg(per_chip * result.num_chips)
+
+    def carbon_per_work_kg(self, result: SimulationResult, policy: PolicyName) -> float:
+        """Operational carbon per unit of work (token, image, request, step)."""
+        return self.carbon_per_iteration_kg(result, policy) / result.work_per_iteration
+
+    def carbon_reduction(self, result: SimulationResult, policy: PolicyName) -> float:
+        """Fractional operational-carbon reduction versus NoPG (Figure 24)."""
+        baseline = self.carbon_per_iteration_kg(result, PolicyName.NOPG)
+        if baseline <= 0:
+            return 0.0
+        return 1.0 - self.carbon_per_iteration_kg(result, policy) / baseline
+
+
+__all__ = ["JOULES_PER_KWH", "OperationalCarbonModel"]

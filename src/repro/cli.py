@@ -1,0 +1,171 @@
+"""Command-line interface for the ReGate reproduction.
+
+Usage::
+
+    python -m repro list
+    python -m repro chips
+    python -m repro simulate llama3-70b-prefill --chip NPU-D
+    python -m repro simulate dlrm-m --chip NPU-E --num-chips 16 --policy ReGate-Full
+
+The CLI is a thin wrapper over :func:`repro.core.regate.simulate_workload`
+and prints the same per-policy summary the quickstart example shows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table, percentage
+from repro.core.config import SimulationConfig
+from repro.core.regate import simulate_workload
+from repro.gating.report import PolicyName
+from repro.hardware.chips import chips_in_order, get_chip
+from repro.hardware.components import Component
+from repro.hardware.power import ChipPowerModel
+from repro.workloads.registry import get_workload, list_workloads
+
+
+def _cmd_list(_: argparse.Namespace) -> str:
+    rows = []
+    for name in list_workloads():
+        spec = get_workload(name)
+        rows.append([name, spec.family, spec.default_num_chips, spec.default_batch_size])
+    return format_table(
+        ["workload", "family", "default #chips", "default batch"],
+        rows,
+        title="Registered workloads (Table 1)",
+    )
+
+
+def _cmd_chips(_: argparse.Namespace) -> str:
+    rows = []
+    for chip in chips_in_order():
+        power = ChipPowerModel(chip)
+        rows.append(
+            [
+                chip.name,
+                chip.technology_nm,
+                round(chip.peak_sa_flops / 1e12, 1),
+                chip.sram_mb,
+                chip.hbm.capacity_gb,
+                round(power.total_static_w, 1),
+                round(power.tdp_w, 1),
+            ]
+        )
+    return format_table(
+        ["NPU", "node(nm)", "TFLOPS", "SRAM(MB)", "HBM(GB)", "static(W)", "TDP(W)"],
+        rows,
+        title="NPU generations (Table 2)",
+    )
+
+
+def _parse_policies(names: list[str] | None) -> tuple[PolicyName, ...]:
+    if not names:
+        return SimulationConfig().policies
+    lookup = {p.value.lower(): p for p in PolicyName}
+    lookup.update({p.name.lower(): p for p in PolicyName})
+    selected = []
+    for name in names:
+        key = name.strip().lower()
+        if key not in lookup:
+            raise SystemExit(f"unknown policy {name!r}; choose from "
+                             f"{', '.join(p.value for p in PolicyName)}")
+        selected.append(lookup[key])
+    if PolicyName.NOPG not in selected:
+        selected.insert(0, PolicyName.NOPG)
+    return tuple(selected)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    config = SimulationConfig(
+        chip=args.chip,
+        num_chips=args.num_chips,
+        batch_size=args.batch_size,
+        policies=_parse_policies(args.policy),
+    )
+    result = simulate_workload(args.workload, config)
+    nopg = result.report(PolicyName.NOPG)
+    lines = [
+        f"workload      : {result.workload}",
+        f"chip          : {result.chip.name} x{result.num_chips} "
+        f"({result.parallelism.describe()})",
+        f"batch size    : {result.batch_size}",
+        f"iteration time: {nopg.total_time_s * 1e3:.3f} ms",
+        f"static share  : {percentage(nopg.static_fraction())}",
+        "",
+    ]
+    rows = []
+    for policy in result.reports:
+        report = result.report(policy)
+        rows.append(
+            [
+                policy.value,
+                f"{report.total_energy_j:.2f}",
+                percentage(result.energy_savings(policy)),
+                f"{report.average_power_w:.1f}",
+                percentage(result.performance_overhead(policy), 3),
+            ]
+        )
+    lines.append(
+        format_table(
+            ["design", "energy (J/chip/iter)", "savings", "avg power (W)", "overhead"],
+            rows,
+        )
+    )
+    if args.utilization:
+        lines.append("")
+        util_rows = [
+            [c.pretty, percentage(result.temporal_utilization(c))]
+            for c in Component.gateable()
+        ]
+        util_rows.append(["SA (spatial)", percentage(result.sa_spatial_utilization())])
+        lines.append(format_table(["component", "utilization"], util_rows))
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReGate reproduction: NPU power-gating simulation",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered workloads").set_defaults(
+        handler=_cmd_list
+    )
+    subparsers.add_parser("chips", help="list NPU generations").set_defaults(
+        handler=_cmd_chips
+    )
+
+    simulate = subparsers.add_parser("simulate", help="simulate one workload")
+    simulate.add_argument("workload", help="workload name (see `repro list`)")
+    simulate.add_argument("--chip", default="NPU-D", help="NPU generation (default NPU-D)")
+    simulate.add_argument("--num-chips", type=int, default=None, help="pod size override")
+    simulate.add_argument("--batch-size", type=int, default=None, help="batch override")
+    simulate.add_argument(
+        "--policy",
+        action="append",
+        help="evaluate only these policies (repeatable); NoPG is always included",
+    )
+    simulate.add_argument(
+        "--utilization", action="store_true", help="also print component utilization"
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        output = args.handler(args)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""ML compiler passes for the NPU backend.
+
+The paper integrates its power-management support into the device
+backend of an ML compiler (§4.3): after instruction scheduling and SRAM
+allocation, a *component idleness analysis* pass extracts idle intervals
+and a *setpm instrumentation* pass inserts power-management
+instructions.  This package implements that pipeline over the operator
+IR defined in :mod:`repro.workloads.base`:
+
+* :mod:`repro.compiler.tiling`        — tile-size selection and SRAM demand.
+* :mod:`repro.compiler.fusion`        — operator fusion.
+* :mod:`repro.compiler.parallelism`   — pod partitioning search.
+* :mod:`repro.compiler.allocation`    — SRAM buffer allocation and lifetimes.
+* :mod:`repro.compiler.scheduling`    — tile-level VLIW instruction traces.
+* :mod:`repro.compiler.idleness`      — component idleness analysis.
+* :mod:`repro.compiler.instrumentation` — ``setpm`` insertion.
+"""
+
+from repro.compiler.tiling import TileInfo, TilingPass
+from repro.compiler.fusion import FusionPass
+from repro.compiler.parallelism import enumerate_parallelism, valid_parallelism
+from repro.compiler.allocation import BufferAllocation, SramAllocator
+from repro.compiler.idleness import IdlenessAnalysis, IdleInterval
+from repro.compiler.instrumentation import InstrumentationPass, SetpmPlan
+
+__all__ = [
+    "BufferAllocation",
+    "FusionPass",
+    "IdleInterval",
+    "IdlenessAnalysis",
+    "InstrumentationPass",
+    "SetpmPlan",
+    "SramAllocator",
+    "TileInfo",
+    "TilingPass",
+    "enumerate_parallelism",
+    "valid_parallelism",
+]

@@ -1,0 +1,135 @@
+"""Operator fusion pass.
+
+Consecutive small operators are fused so their intermediate tensors stay
+in SRAM, eliminating round trips to HBM.  This mirrors the common ML
+compiler optimization (XLA/TVM style) that the paper's simulator
+frontend applies; the SRAM-demand study in §3 explicitly fuses "as many
+consecutive operators as possible when they are small enough to fit
+entirely into the 128 MB SRAM".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.tiling import TilingPass
+from repro.hardware.chips import NPUChipSpec
+from repro.workloads.base import Operator, OperatorGraph, OpKind
+
+
+@dataclass
+class FusionGroup:
+    """A maximal run of operators fused into a single kernel."""
+
+    operators: list[Operator] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return "+".join(op.name for op in self.operators)
+
+    @property
+    def sram_demand_bytes(self) -> float:
+        return sum(getattr(op, "_fused_demand", 0.0) for op in self.operators)
+
+
+class FusionPass:
+    """Fuses eligible elementwise consumers into their producers.
+
+    The pass operates on the operator list in program order.  A fusable
+    elementwise/softmax/layernorm operator whose working set fits in the
+    SRAM together with its producer is merged: its HBM read traffic for
+    the producer's output and the producer's HBM write traffic for that
+    intermediate are removed.
+    """
+
+    _FUSABLE_KINDS = (OpKind.ELEMENTWISE, OpKind.SOFTMAX, OpKind.LAYERNORM)
+
+    def __init__(self, chip: NPUChipSpec):
+        self.chip = chip
+        self.tiling = TilingPass(chip)
+
+    def _fits_in_sram(self, producer: Operator, consumer: Operator) -> bool:
+        demand = (
+            self.tiling.tile(producer).sram_demand_bytes
+            + self.tiling.tile(consumer).sram_demand_bytes
+        )
+        return demand <= self.chip.sram_bytes
+
+    def run(self, graph: OperatorGraph) -> tuple[OperatorGraph, list[FusionGroup]]:
+        """Apply fusion, returning the rewritten graph and fusion groups.
+
+        The original graph is not modified.
+        """
+        fused_ops: list[Operator] = []
+        groups: list[FusionGroup] = []
+        current = FusionGroup()
+
+        previous: Operator | None = None
+        for op in graph.operators:
+            fusable = (
+                previous is not None
+                and op.kind in self._FUSABLE_KINDS
+                and op.fusable
+                and op.count == previous.count
+                and self._fits_in_sram(previous, op)
+            )
+            if fusable:
+                # The intermediate tensor stays in SRAM: drop the consumer's
+                # read of it and the producer's write of it.
+                rewritten = Operator(
+                    name=op.name,
+                    kind=op.kind,
+                    sa_flops=op.sa_flops,
+                    vu_flops=op.vu_flops,
+                    hbm_read_bytes=max(0.0, op.hbm_read_bytes - previous.hbm_write_bytes),
+                    hbm_write_bytes=op.hbm_write_bytes,
+                    ici_bytes=op.ici_bytes,
+                    collective=op.collective,
+                    dims=op.dims,
+                    count=op.count,
+                    fusable=op.fusable,
+                    dtype_bytes=op.dtype_bytes,
+                )
+                previous_rewritten = fused_ops[-1]
+                fused_ops[-1] = Operator(
+                    name=previous_rewritten.name,
+                    kind=previous_rewritten.kind,
+                    sa_flops=previous_rewritten.sa_flops,
+                    vu_flops=previous_rewritten.vu_flops,
+                    hbm_read_bytes=previous_rewritten.hbm_read_bytes,
+                    hbm_write_bytes=max(
+                        0.0, previous_rewritten.hbm_write_bytes - op.hbm_read_bytes
+                    ),
+                    ici_bytes=previous_rewritten.ici_bytes,
+                    collective=previous_rewritten.collective,
+                    dims=previous_rewritten.dims,
+                    count=previous_rewritten.count,
+                    fusable=previous_rewritten.fusable,
+                    dtype_bytes=previous_rewritten.dtype_bytes,
+                )
+                fused_ops.append(rewritten)
+                current.operators.append(op)
+                previous = op
+                continue
+            if current.operators:
+                groups.append(current)
+            current = FusionGroup(operators=[op])
+            fused_ops.append(op)
+            previous = op
+        if current.operators:
+            groups.append(current)
+
+        fused_graph = OperatorGraph(
+            name=graph.name,
+            phase=graph.phase,
+            operators=fused_ops,
+            parallelism=graph.parallelism,
+            iteration_unit=graph.iteration_unit,
+            work_per_iteration=graph.work_per_iteration,
+            model_name=graph.model_name,
+            batch_size=graph.batch_size,
+        )
+        return fused_graph, groups
+
+
+__all__ = ["FusionGroup", "FusionPass"]

@@ -1,0 +1,129 @@
+"""Component idleness analysis (compiler pass, §4.3 of the paper).
+
+The pass extracts, from a statically scheduled program, the idle
+intervals of each functional unit: the distance in cycles between two
+consecutive instructions in the same VLIW slot.  If a DMA operation
+falls between two VU instructions, the paper treats the distance as
+infinite (the DMA latency is always much longer than the VU break-even
+time), which we model with ``math.inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hardware.components import Component
+from repro.isa.instructions import Opcode, Program, SlotKind
+
+_SLOT_TO_COMPONENT = {
+    SlotKind.SA: Component.SA,
+    SlotKind.VU: Component.VU,
+    SlotKind.DMA: Component.HBM,
+    SlotKind.ICI: Component.ICI,
+}
+
+
+@dataclass(frozen=True)
+class IdleInterval:
+    """An idle interval of one functional unit."""
+
+    component: Component
+    unit_index: int
+    start_cycle: int
+    end_cycle: int
+    effective_cycles: float  # may be math.inf when a DMA guarantees slack
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass
+class IdlenessAnalysis:
+    """Result of the idleness analysis pass over one program."""
+
+    intervals: list[IdleInterval] = field(default_factory=list)
+    total_cycles: int = 0
+    units: dict[Component, int] = field(default_factory=dict)
+
+    def for_component(self, component: Component) -> list[IdleInterval]:
+        return [iv for iv in self.intervals if iv.component is component]
+
+    def idle_cycles(self, component: Component) -> int:
+        return sum(iv.cycles for iv in self.for_component(component))
+
+    def idle_fraction(self, component: Component) -> float:
+        """Idle unit-cycles over total unit-cycles, averaged over the
+        functional units of this component that appear in the program."""
+        num_units = self.units.get(component, 1)
+        if self.total_cycles == 0 or num_units == 0:
+            return 0.0
+        return self.idle_cycles(component) / (self.total_cycles * num_units)
+
+
+class IdlenessPass:
+    """Runs the idleness analysis on a scheduled program."""
+
+    def __init__(self, treat_dma_as_infinite: bool = True):
+        self.treat_dma_as_infinite = treat_dma_as_infinite
+
+    def run(self, program: Program) -> IdlenessAnalysis:
+        """Analyze ``program`` and return per-unit idle intervals."""
+        analysis = IdlenessAnalysis(total_cycles=program.num_cycles)
+        busy: dict[tuple[Component, int], list[tuple[int, int]]] = {}
+        dma_cycles: list[int] = []
+        for bundle in program.bundles:
+            for instruction in bundle.instructions:
+                if instruction.opcode in (Opcode.SETPM, Opcode.NOP):
+                    continue
+                component = _SLOT_TO_COMPONENT.get(instruction.slot)
+                if component is None:
+                    continue
+                key = (component, instruction.unit_index)
+                busy.setdefault(key, []).append(
+                    (bundle.cycle, bundle.cycle + instruction.duration_cycles)
+                )
+                if instruction.slot is SlotKind.DMA:
+                    dma_cycles.append(bundle.cycle)
+        for component in set(component for component, _ in busy):
+            analysis.units[component] = len(
+                {unit for comp, unit in busy if comp is component}
+            )
+        for (component, unit_index), spans in busy.items():
+            spans.sort()
+            previous_end = 0
+            for start, end in spans:
+                if start > previous_end:
+                    effective: float = start - previous_end
+                    if (
+                        self.treat_dma_as_infinite
+                        and component is Component.VU
+                        and any(previous_end <= c < start for c in dma_cycles)
+                    ):
+                        effective = math.inf
+                    analysis.intervals.append(
+                        IdleInterval(
+                            component=component,
+                            unit_index=unit_index,
+                            start_cycle=previous_end,
+                            end_cycle=start,
+                            effective_cycles=effective,
+                        )
+                    )
+                previous_end = max(previous_end, end)
+            if previous_end < analysis.total_cycles:
+                analysis.intervals.append(
+                    IdleInterval(
+                        component=component,
+                        unit_index=unit_index,
+                        start_cycle=previous_end,
+                        end_cycle=analysis.total_cycles,
+                        effective_cycles=analysis.total_cycles - previous_end,
+                    )
+                )
+        analysis.intervals.sort(key=lambda iv: (iv.component.value, iv.unit_index, iv.start_cycle))
+        return analysis
+
+
+__all__ = ["IdleInterval", "IdlenessAnalysis", "IdlenessPass"]

@@ -1,0 +1,157 @@
+"""``setpm`` instrumentation pass (§4.3 of the paper).
+
+Given the idle intervals produced by the idleness analysis and the
+break-even times of each component, this pass inserts ``setpm``
+instructions into a scheduled program: a power-off at the start of a
+sufficiently long idle interval and a power-on early enough before the
+next use that the wake-up delay is hidden.
+
+The BET-based policy: an interval is instrumented only if it is longer
+than the component's break-even time *and* longer than twice its
+power-on/off delay (otherwise gating would either waste energy or expose
+wake-up latency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.compiler.allocation import BufferAllocation, SramAllocator
+from repro.compiler.idleness import IdleInterval, IdlenessAnalysis
+from repro.gating.bet import GatingParameters
+from repro.hardware.components import Component, PowerState
+from repro.isa.instructions import Program, SetpmInstruction, VLIWBundle
+
+
+@dataclass
+class SetpmPlan:
+    """The instrumentation decisions for one program."""
+
+    power_off_points: list[tuple[int, SetpmInstruction]] = field(default_factory=list)
+    power_on_points: list[tuple[int, SetpmInstruction]] = field(default_factory=list)
+    skipped_intervals: list[IdleInterval] = field(default_factory=list)
+
+    @property
+    def num_setpm(self) -> int:
+        return len(self.power_off_points) + len(self.power_on_points)
+
+    def setpm_per_kcycle(self, total_cycles: int) -> float:
+        """Executed ``setpm`` instructions per 1,000 cycles (Figure 20 metric)."""
+        if total_cycles <= 0:
+            return 0.0
+        return 1000.0 * self.num_setpm / total_cycles
+
+
+class InstrumentationPass:
+    """Inserts ``setpm`` instructions for software-managed power gating."""
+
+    def __init__(self, parameters: GatingParameters, instrumented: tuple[Component, ...] = (Component.VU,)):
+        self.parameters = parameters
+        self.instrumented = instrumented
+
+    def should_gate(self, interval: IdleInterval) -> bool:
+        """BET policy: gate only intervals long enough to pay off."""
+        timing = self.parameters.timing(interval.component)
+        threshold = max(timing.bet_cycles, 2 * timing.delay_cycles)
+        return interval.effective_cycles > threshold
+
+    def run(self, program: Program, analysis: IdlenessAnalysis) -> tuple[Program, SetpmPlan]:
+        """Instrument ``program``; returns a new program and the plan."""
+        plan = SetpmPlan()
+        insertions: dict[int, list[SetpmInstruction]] = {}
+        for interval in analysis.intervals:
+            if interval.component not in self.instrumented:
+                continue
+            if not self.should_gate(interval):
+                plan.skipped_intervals.append(interval)
+                continue
+            timing = self.parameters.timing(interval.component)
+            bitmap = 1 << interval.unit_index
+            off = SetpmInstruction(
+                target=interval.component, mode=PowerState.OFF, unit_bitmap=bitmap
+            )
+            wake_cycle = max(interval.start_cycle, interval.end_cycle - timing.delay_cycles)
+            on = SetpmInstruction(
+                target=interval.component, mode=PowerState.ON, unit_bitmap=bitmap
+            )
+            plan.power_off_points.append((interval.start_cycle, off))
+            plan.power_on_points.append((wake_cycle, on))
+            insertions.setdefault(interval.start_cycle, []).append(off)
+            insertions.setdefault(wake_cycle, []).append(on)
+
+        instrumented = Program()
+        existing_cycles = {bundle.cycle for bundle in program.bundles}
+        pending = dict(insertions)
+        for bundle in program.bundles:
+            new_bundle = VLIWBundle(cycle=bundle.cycle)
+            for instruction in bundle.instructions:
+                new_bundle.add(instruction)
+            for setpm in pending.pop(bundle.cycle, []):
+                try:
+                    new_bundle.add(setpm)
+                except ValueError:
+                    # Misc slot already taken this cycle: issue one cycle later.
+                    pending.setdefault(bundle.cycle + 1, []).append(setpm)
+            instrumented.append(new_bundle)
+        # Any remaining insertions fall on cycles without an existing bundle.
+        extra_cycles = sorted(cycle for cycle in pending if cycle not in existing_cycles)
+        bundles = instrumented.bundles
+        for cycle in extra_cycles:
+            bundle = VLIWBundle(cycle=cycle)
+            for setpm in pending[cycle][:1]:
+                bundle.add(setpm)
+            bundles.append(bundle)
+        bundles.sort(key=lambda b: b.cycle)
+        result = Program()
+        last = -1
+        for bundle in bundles:
+            if bundle.cycle <= last:
+                continue
+            result.append(bundle)
+            last = bundle.cycle
+        return result, plan
+
+
+def instrument_sram_regions(
+    allocator: SramAllocator,
+    allocations: list[BufferAllocation],
+    total_instructions: int,
+) -> SetpmPlan:
+    """Plan SRAM ``setpm`` instructions from buffer lifetimes.
+
+    The compiler powers off the SRAM region above the peak live address
+    for the whole program, and switches segments off outside their
+    buffers' lifetimes.  Following the paper's observation, ``setpm`` for
+    SRAM only needs to be issued when the capacity demand changes
+    (operator boundaries), so the plan contains one off/on pair per
+    contiguous allocated region.
+    """
+    plan = SetpmPlan()
+    if not allocations:
+        # The whole SRAM can be turned off for this program.
+        off = SetpmInstruction(
+            target=Component.SRAM,
+            mode=PowerState.OFF,
+            address_range=(0, allocator.capacity),
+        )
+        plan.power_off_points.append((0, off))
+        return plan
+    peak = allocator.peak_usage_bytes(allocations)
+    if peak < allocator.capacity:
+        off = SetpmInstruction(
+            target=Component.SRAM,
+            mode=PowerState.OFF,
+            address_range=(peak, allocator.capacity),
+        )
+        plan.power_off_points.append((0, off))
+        on = SetpmInstruction(
+            target=Component.SRAM,
+            mode=PowerState.AUTO,
+            address_range=(peak, allocator.capacity),
+        )
+        plan.power_on_points.append((max(0, total_instructions - 1), on))
+    return plan
+
+
+__all__ = ["InstrumentationPass", "SetpmPlan", "instrument_sram_regions"]

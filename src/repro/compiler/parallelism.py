@@ -1,0 +1,91 @@
+"""Parallelism configuration search.
+
+The paper's SLO study (§3 and Table 4) sweeps "all possible NPU pod
+configurations (NPU version, number of chips, data/tensor/pipeline
+parallelisms, batch size)" and picks the most energy-efficient
+SLO-compliant configuration per workload.  This module enumerates and
+validates those configurations; the actual sweep is driven from
+:mod:`repro.core.slo`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.hardware.chips import NPUChipSpec
+from repro.workloads.base import ParallelismConfig
+from repro.workloads.registry import WorkloadSpec
+
+
+def divisors(value: int) -> list[int]:
+    """All positive divisors of ``value`` in ascending order."""
+    if value < 1:
+        raise ValueError("value must be positive")
+    small, large = [], []
+    for candidate in range(1, int(math.isqrt(value)) + 1):
+        if value % candidate == 0:
+            small.append(candidate)
+            if candidate != value // candidate:
+                large.append(value // candidate)
+    return small + large[::-1]
+
+
+def enumerate_parallelism(
+    num_chips: int,
+    max_tensor: int = 8,
+    max_pipeline: int = 16,
+) -> Iterator[ParallelismConfig]:
+    """Yield every (data, tensor, pipeline) factorization of ``num_chips``."""
+    for tensor in divisors(num_chips):
+        if tensor > max_tensor:
+            continue
+        remaining = num_chips // tensor
+        for pipeline in divisors(remaining):
+            if pipeline > max_pipeline:
+                continue
+            data = remaining // pipeline
+            yield ParallelismConfig(data=data, tensor=tensor, pipeline=pipeline)
+
+
+def valid_parallelism(
+    spec: WorkloadSpec,
+    parallelism: ParallelismConfig,
+    chip: NPUChipSpec,
+    batch_size: int,
+) -> bool:
+    """Whether a configuration fits in HBM and divides the batch sensibly."""
+    if parallelism.data > batch_size:
+        return False
+    footprint = spec.memory_per_chip(parallelism, batch_size)
+    return footprint <= chip.hbm.capacity_bytes
+
+
+def best_parallelism(
+    spec: WorkloadSpec,
+    num_chips: int,
+    chip: NPUChipSpec,
+    batch_size: int,
+) -> ParallelismConfig | None:
+    """Pick a reasonable parallelism for ``num_chips`` (least sharding that fits).
+
+    Among valid configurations the one with the smallest tensor and
+    pipeline degrees is preferred (least communication), matching the
+    heuristic in :func:`repro.workloads.registry.llm_parallelism`.
+    """
+    candidates = [
+        candidate
+        for candidate in enumerate_parallelism(num_chips)
+        if valid_parallelism(spec, candidate, chip, batch_size)
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda c: (c.tensor * c.pipeline, c.pipeline, c.tensor))
+
+
+__all__ = [
+    "best_parallelism",
+    "divisors",
+    "enumerate_parallelism",
+    "valid_parallelism",
+]

@@ -1,0 +1,172 @@
+"""Tile-level VLIW instruction scheduling.
+
+The scheduler lowers a (tiled) operator into a statically scheduled
+:class:`~repro.isa.instructions.Program` of VLIW bundles — push/pop
+operations on the systolic arrays, vector post-processing on the VUs,
+and DMA transfers.  The paper's compiler performs this step before the
+power-management passes; here it is used to drive the idleness analysis
+and ``setpm`` instrumentation on concrete traces (Figure 15) and to
+validate the pipeline power-state handling.
+
+Full workloads are simulated analytically (``repro.simulator.engine``);
+the scheduler is intentionally bounded so traces stay small.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compiler.tiling import TileInfo
+from repro.hardware.chips import NPUChipSpec
+from repro.isa.instructions import Instruction, Opcode, Program, SlotKind, VLIWBundle
+from repro.workloads.base import Operator
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Knobs of the tile-level scheduler."""
+
+    push_cycles: int = 8  # cycles to feed one 8x128 slice into an SA
+    pop_cycles: int = 8  # cycles to drain one output slice from an SA
+    vu_cycles_per_tile: int = 1  # VU cycles to post-process one SA output slice
+    dma_cycles: int = 64  # cycles per DMA burst (tile fetch)
+    max_steady_state_tiles: int = 64  # bound on the emitted trace length
+
+
+def schedule_matmul_pipeline(
+    num_sa: int,
+    num_vu: int,
+    num_tiles: int,
+    config: ScheduleConfig | None = None,
+    dma_every_tiles: int = 0,
+) -> Program:
+    """Emit the steady-state schedule of a tiled matmul (Figure 15 style).
+
+    Every ``push_cycles`` the SAs accept a new input slice and produce an
+    output slice which the VUs post-process in ``vu_cycles_per_tile``
+    cycles; optionally a DMA burst is issued every ``dma_every_tiles``
+    tiles to fetch the next weight panel.
+    """
+    config = config or ScheduleConfig()
+    program = Program()
+    cycle = 0
+    for tile in range(min(num_tiles, config.max_steady_state_tiles)):
+        bundle = VLIWBundle(cycle=cycle)
+        for sa in range(num_sa):
+            bundle.add(
+                Instruction(
+                    opcode=Opcode.POP,
+                    slot=SlotKind.SA,
+                    unit_index=sa,
+                    duration_cycles=config.pop_cycles,
+                )
+            )
+        if dma_every_tiles and tile % dma_every_tiles == 0:
+            bundle.add(
+                Instruction(
+                    opcode=Opcode.DMA_IN,
+                    slot=SlotKind.DMA,
+                    duration_cycles=config.dma_cycles,
+                )
+            )
+        program.append(bundle)
+        # While the VUs post-process the freshly popped slice, the SAs
+        # start pushing the next input slice (weight-stationary overlap).
+        vu_bundle = VLIWBundle(cycle=cycle + config.pop_cycles)
+        for sa in range(num_sa):
+            vu_bundle.add(
+                Instruction(
+                    opcode=Opcode.PUSH,
+                    slot=SlotKind.SA,
+                    unit_index=sa,
+                    duration_cycles=config.push_cycles,
+                )
+            )
+        for vu in range(num_vu):
+            vu_bundle.add(
+                Instruction(
+                    opcode=Opcode.VADD,
+                    slot=SlotKind.VU,
+                    unit_index=vu,
+                    duration_cycles=config.vu_cycles_per_tile,
+                )
+            )
+        program.append(vu_bundle)
+        cycle += config.pop_cycles + config.push_cycles
+    return program
+
+
+class TileScheduler:
+    """Schedules a single operator into a bounded VLIW trace."""
+
+    def __init__(self, chip: NPUChipSpec, config: ScheduleConfig | None = None):
+        self.chip = chip
+        self.config = config or ScheduleConfig()
+
+    def schedule(self, op: Operator, tile_info: TileInfo) -> Program:
+        """Lower one operator invocation into a representative trace."""
+        if op.kind.uses_sa and op.dims is not None:
+            tiles = min(
+                max(1, tile_info.num_output_tiles), self.config.max_steady_state_tiles
+            )
+            dma_every = max(1, tiles // max(1, tile_info.num_dma_bursts))
+            return schedule_matmul_pipeline(
+                num_sa=self.chip.num_sa,
+                num_vu=self.chip.num_vu,
+                num_tiles=tiles,
+                config=self.config,
+                dma_every_tiles=dma_every,
+            )
+        return self._schedule_streaming(op, tile_info)
+
+    def _schedule_streaming(self, op: Operator, tile_info: TileInfo) -> Program:
+        """Vector/streaming operator: DMA in, VU compute, DMA out."""
+        program = Program()
+        bursts = min(tile_info.num_dma_bursts, self.config.max_steady_state_tiles)
+        vu_cycles = max(
+            1,
+            int(
+                op.vu_flops
+                / max(1.0, self.chip.vu_alus)
+                / max(1, bursts)
+            ),
+        )
+        vu_cycles = min(vu_cycles, 4096)
+        cycle = 0
+        for _ in range(max(1, bursts)):
+            bundle = VLIWBundle(cycle=cycle)
+            if op.hbm_bytes > 0:
+                bundle.add(
+                    Instruction(
+                        opcode=Opcode.DMA_IN,
+                        slot=SlotKind.DMA,
+                        duration_cycles=self.config.dma_cycles,
+                    )
+                )
+            if op.ici_bytes > 0:
+                bundle.add(
+                    Instruction(
+                        opcode=Opcode.ICI_SEND,
+                        slot=SlotKind.ICI,
+                        duration_cycles=self.config.dma_cycles,
+                    )
+                )
+            program.append(bundle)
+            if op.vu_flops > 0:
+                vu_bundle = VLIWBundle(cycle=cycle + self.config.dma_cycles)
+                for vu in range(self.chip.num_vu):
+                    vu_bundle.add(
+                        Instruction(
+                            opcode=Opcode.VADD,
+                            slot=SlotKind.VU,
+                            unit_index=vu,
+                            duration_cycles=vu_cycles,
+                        )
+                    )
+                program.append(vu_bundle)
+            cycle += self.config.dma_cycles + vu_cycles + 1
+        return program
+
+
+__all__ = ["ScheduleConfig", "TileScheduler", "schedule_matmul_pipeline"]

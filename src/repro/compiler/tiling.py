@@ -1,0 +1,113 @@
+"""Tile-size selection and SRAM demand estimation.
+
+The paper quantifies the SRAM demand of a tensor operator as "the
+minimum tile size that maximizes the on-chip data reuse"; for streaming
+operators whose reuse does not depend on tile size, the demand is the
+minimum tile that hides the HBM latency (§3, Figure 7).  This pass
+computes that demand per operator and derives the tile counts used by
+the performance simulator (number of weight panels pushed into an SA,
+number of output tiles post-processed by the VUs, number of DMA bursts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.chips import NPUChipSpec
+from repro.workloads.base import Operator, OpKind
+
+
+@dataclass(frozen=True)
+class TileInfo:
+    """Tiling decision for one operator."""
+
+    sram_demand_bytes: float
+    num_weight_tiles: int  # weight panels loaded into the SA
+    num_output_tiles: int  # output tiles handed to the VUs
+    num_dma_bursts: int  # discrete HBM transfers
+    tile_m: int = 0
+    tile_k: int = 0
+    tile_n: int = 0
+
+    @property
+    def double_buffered_bytes(self) -> float:
+        """Demand including double buffering of the streamed operand."""
+        return self.sram_demand_bytes
+
+
+class TilingPass:
+    """Computes :class:`TileInfo` for each operator on a given chip."""
+
+    def __init__(self, chip: NPUChipSpec, double_buffer: bool = True):
+        self.chip = chip
+        self.double_buffer = double_buffer
+
+    # ------------------------------------------------------------------ #
+    def streaming_demand_bytes(self) -> float:
+        """Minimum SRAM needed to hide HBM latency for a streaming operator."""
+        inflight = self.chip.hbm_bandwidth_bytes * self.chip.hbm.access_latency_ns * 1e-9
+        factor = 2.0 if self.double_buffer else 1.0
+        return inflight * factor
+
+    def matmul_demand_bytes(self, m: int, k: int, n: int, dtype_bytes: int) -> float:
+        """SRAM demand of a matmul with full data reuse.
+
+        Holding the weight matrix, one activation panel and one output
+        panel on chip lets every HBM byte be read exactly once, which is
+        the reuse-maximizing point the paper uses for Figure 7.
+        """
+        weights = k * n * dtype_bytes
+        # Activation and output panels are streamed tile-by-tile; a panel
+        # of ``sa_width`` rows is enough to keep the SA busy.
+        panel_rows = min(m, 4 * self.chip.sa_width)
+        activations = panel_rows * k * dtype_bytes
+        outputs = panel_rows * n * dtype_bytes
+        factor = 2.0 if self.double_buffer else 1.0
+        demand = weights + factor * (activations + outputs)
+        return max(demand, self.streaming_demand_bytes())
+
+    # ------------------------------------------------------------------ #
+    def tile(self, op: Operator) -> TileInfo:
+        """Compute tiling information for ``op``."""
+        width = self.chip.sa_width
+        if op.kind.uses_sa and op.dims is not None:
+            dims = op.dims
+            demand = self.matmul_demand_bytes(dims.m, dims.k, dims.n, op.dtype_bytes)
+            weight_tiles = math.ceil(dims.k / width) * math.ceil(dims.n / width)
+            output_tiles = max(1, math.ceil(dims.m / width)) * math.ceil(dims.n / width)
+            dma_bursts = max(1, math.ceil(dims.n / width))
+            return TileInfo(
+                sram_demand_bytes=demand,
+                num_weight_tiles=weight_tiles,
+                num_output_tiles=output_tiles,
+                num_dma_bursts=dma_bursts,
+                tile_m=min(dims.m, width),
+                tile_k=min(dims.k, width),
+                tile_n=min(dims.n, width),
+            )
+        if op.kind is OpKind.COLLECTIVE:
+            demand = min(op.hbm_read_bytes, 8 * self.streaming_demand_bytes())
+            return TileInfo(
+                sram_demand_bytes=max(demand, self.streaming_demand_bytes()),
+                num_weight_tiles=0,
+                num_output_tiles=0,
+                num_dma_bursts=max(1, int(op.ici_bytes // (4 * 1024 * 1024)) or 1),
+            )
+        # Streaming / elementwise / embedding operators.
+        demand = self.streaming_demand_bytes()
+        bursts = max(1, int(op.hbm_bytes // (4 * 1024 * 1024)) or 1)
+        vu_tiles = max(1, int(op.vu_flops // (self.chip.vu_alus * 64)) or 1)
+        return TileInfo(
+            sram_demand_bytes=demand,
+            num_weight_tiles=0,
+            num_output_tiles=vu_tiles,
+            num_dma_bursts=bursts,
+        )
+
+    def graph_demands(self, operators: list[Operator]) -> list[tuple[Operator, TileInfo]]:
+        """Tile every operator of a graph."""
+        return [(op, self.tile(op)) for op in operators]
+
+
+__all__ = ["TileInfo", "TilingPass"]

@@ -1,0 +1,16 @@
+"""Top-level simulation API: configuration, results, SLO search."""
+
+from repro.core.config import SimulationConfig
+from repro.core.regate import simulate_graph, simulate_workload
+from repro.core.results import EnergyReport, SimulationResult
+from repro.core.slo import SLOSearch, SLOSelection
+
+__all__ = [
+    "EnergyReport",
+    "SLOSearch",
+    "SLOSelection",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate_graph",
+    "simulate_workload",
+]

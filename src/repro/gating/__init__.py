@@ -1,0 +1,26 @@
+"""Power-gating mechanisms and policies (ReGate's core contribution)."""
+
+from repro.gating.bet import ComponentTiming, GatingParameters, DEFAULT_PARAMETERS
+from repro.gating.idle_detection import IdleDetector
+from repro.gating.policies import (
+    PolicyName,
+    PowerGatingPolicy,
+    get_policy,
+    list_policies,
+)
+from repro.gating.sa_gating import SpatialGatingModel, spatial_utilization
+from repro.gating.sram_gating import SramGatingModel
+
+__all__ = [
+    "ComponentTiming",
+    "DEFAULT_PARAMETERS",
+    "GatingParameters",
+    "IdleDetector",
+    "PolicyName",
+    "PowerGatingPolicy",
+    "SpatialGatingModel",
+    "SramGatingModel",
+    "get_policy",
+    "list_policies",
+    "spatial_utilization",
+]

@@ -1,0 +1,170 @@
+"""Break-even times, wake-up delays and leakage ratios (Table 3, §6.1).
+
+The break-even time (BET) is the minimum idle duration for which power
+gating saves energy: shorter idle periods do not amortize the dynamic
+energy spent switching the supply off and on.  Both the BET and the
+power-on/off delay of each component come from the paper's synthesized
+prototype (Table 3); the default leakage ratios of gated logic, drowsy
+SRAM and powered-off SRAM come from §6.1.  All of them are exposed as
+configuration so the sensitivity analyses (Figures 21-22) can sweep
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hardware.chips import NPUChipSpec
+from repro.hardware.components import Component
+
+
+@dataclass(frozen=True)
+class ComponentTiming:
+    """Wake-up delay and break-even time of one gateable block."""
+
+    delay_cycles: float
+    bet_cycles: float
+
+    def scaled(self, factor: float) -> "ComponentTiming":
+        """Scale the power-gate & wake-up delay (Figure 22 sweep).
+
+        The BET grows with the transition delay because a slower switch
+        dissipates more transition energy; we scale it proportionally,
+        matching how the paper's sweep treats "power-gate & wake-up
+        delay" as a single knob.
+        """
+        return ComponentTiming(
+            delay_cycles=self.delay_cycles * factor,
+            bet_cycles=self.bet_cycles * factor,
+        )
+
+
+# Table 3 of the paper.
+TABLE3_TIMINGS: dict[str, ComponentTiming] = {
+    "sa_pe": ComponentTiming(delay_cycles=1, bet_cycles=47),
+    "sa_full": ComponentTiming(delay_cycles=10, bet_cycles=469),
+    "vu": ComponentTiming(delay_cycles=2, bet_cycles=32),
+    "hbm": ComponentTiming(delay_cycles=60, bet_cycles=412),
+    "ici": ComponentTiming(delay_cycles=60, bet_cycles=459),
+    "sram_sleep": ComponentTiming(delay_cycles=4, bet_cycles=41),
+    "sram_off": ComponentTiming(delay_cycles=10, bet_cycles=82),
+}
+
+
+@dataclass(frozen=True)
+class LeakageRatios:
+    """Leakage power of gated blocks relative to their ON-state leakage.
+
+    The defaults (§6.1): gated logic 3%, drowsy (sleep) SRAM 25%,
+    powered-off SRAM 0.2%.
+    """
+
+    logic_off: float = 0.03
+    sram_sleep: float = 0.25
+    sram_off: float = 0.002
+
+    def __post_init__(self) -> None:
+        for name in ("logic_off", "sram_sleep", "sram_off"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class GatingParameters:
+    """All tunable parameters of the power-gating mechanisms."""
+
+    timings: dict[str, ComponentTiming] = field(
+        default_factory=lambda: dict(TABLE3_TIMINGS)
+    )
+    leakage: LeakageRatios = field(default_factory=LeakageRatios)
+    # The idle-detection state machine waits this fraction of the BET
+    # before gating (the paper's baseline uses a 1/3-BET window, §6.1).
+    detection_window_bet_fraction: float = 1.0 / 3.0
+    # Weight-register share of a PE's leakage when held in W_on mode.
+    pe_weight_register_share: float = 0.12
+
+    # ------------------------------------------------------------------ #
+    _COMPONENT_KEYS = {
+        Component.SA: "sa_full",
+        Component.VU: "vu",
+        Component.HBM: "hbm",
+        Component.ICI: "ici",
+        Component.SRAM: "sram_sleep",
+    }
+
+    def timing(self, component: Component, variant: str | None = None) -> ComponentTiming:
+        """Timing of a component; ``variant`` selects e.g. ``"sa_pe"``."""
+        key = variant or self._COMPONENT_KEYS[component]
+        return self.timings[key]
+
+    def detection_window_cycles(self, component: Component, variant: str | None = None) -> float:
+        """Idle-detection window before the hardware policy gates a block."""
+        return self.timing(component, variant).bet_cycles * self.detection_window_bet_fraction
+
+    def off_leakage(self, component: Component) -> float:
+        """Leakage ratio of a fully gated component."""
+        if component is Component.SRAM:
+            return self.leakage.sram_off
+        return self.leakage.logic_off
+
+    def sleep_leakage(self) -> float:
+        """Leakage ratio of drowsy SRAM."""
+        return self.leakage.sram_sleep
+
+    # ------------------------------------------------------------------ #
+    def with_delay_multiplier(self, factor: float) -> "GatingParameters":
+        """Return parameters with all delays/BETs scaled (Figure 22)."""
+        scaled = {key: timing.scaled(factor) for key, timing in self.timings.items()}
+        return replace(self, timings=scaled)
+
+    def with_leakage(
+        self, logic_off: float, sram_sleep: float, sram_off: float
+    ) -> "GatingParameters":
+        """Return parameters with new leakage ratios (Figure 21)."""
+        return replace(
+            self,
+            leakage=LeakageRatios(
+                logic_off=logic_off, sram_sleep=sram_sleep, sram_off=sram_off
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    def transition_energy_j(
+        self, static_power_w: float, chip: NPUChipSpec, component: Component,
+        variant: str | None = None,
+    ) -> float:
+        """Dynamic energy of one power-off/on cycle.
+
+        Defined so that gating an idle period exactly equal to the BET is
+        energy neutral: ``E_trans = P_static * BET * (1 - off_leakage)``.
+        """
+        timing = self.timing(component, variant)
+        bet_s = chip.cycles_to_seconds(timing.bet_cycles)
+        return static_power_w * bet_s * (1.0 - self.off_leakage(component))
+
+
+DEFAULT_PARAMETERS = GatingParameters()
+
+# Leakage sweep points of Figure 21 (logic off / SRAM sleep / SRAM off).
+FIGURE21_LEAKAGE_POINTS: tuple[tuple[float, float, float], ...] = (
+    (0.03, 0.25, 0.002),
+    (0.10, 0.30, 0.010),
+    (0.20, 0.40, 0.100),
+    (0.40, 0.50, 0.250),
+    (0.60, 0.80, 0.400),
+)
+
+# Delay multipliers of Figure 22.
+FIGURE22_DELAY_MULTIPLIERS: tuple[float, ...] = (1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+__all__ = [
+    "ComponentTiming",
+    "DEFAULT_PARAMETERS",
+    "FIGURE21_LEAKAGE_POINTS",
+    "FIGURE22_DELAY_MULTIPLIERS",
+    "GatingParameters",
+    "LeakageRatios",
+    "TABLE3_TIMINGS",
+]

@@ -1,0 +1,379 @@
+"""Power-gating policies: NoPG, ReGate-Base, ReGate-HW, ReGate-Full, Ideal.
+
+Each policy takes the activity profile produced by the performance
+simulator and accounts the static energy of every component, the dynamic
+energy of power-state transitions, and the exposed wake-up delays:
+
+* **NoPG** — every component leaks at full static power all the time.
+* **ReGate-Base** — conventional hardware idle detection at component
+  granularity: whole SAs, VUs, the HBM and ICI controllers are gated
+  after an idle-detection window (1/3 of the break-even time); unused
+  SRAM can only be put to sleep.
+* **ReGate-HW** — adds ReGate's PE-granularity spatial SA gating and the
+  cheap (1-cycle) PE wake-up that the diagonal ``PE_on`` wavefront
+  provides.
+* **ReGate-Full** — adds software-managed gating: the compiler gates VUs
+  on exact idle intervals (no detection window, no missed wake-ups) and
+  powers unused SRAM capacity fully off.
+* **Ideal** — a roofline with zero leakage when gated, zero transition
+  cost and perfect idleness knowledge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gating.bet import DEFAULT_PARAMETERS, GatingParameters
+from repro.gating.report import EnergyReport, PolicyName
+from repro.gating.sa_gating import SpatialGatingModel
+from repro.gating.sram_gating import SramGatingModel
+from repro.hardware.components import Component
+from repro.hardware.power import ChipPowerModel
+from repro.simulator.engine import GapProfile, OperatorProfile, WorkloadProfile
+
+# The hardware VU idle detector waits at least 8 cycles to avoid blocking
+# the SA pipeline (§4.1 of the paper).
+MIN_VU_DETECTION_WINDOW_CYCLES = 8.0
+
+
+@dataclass
+class _IdleAccounting:
+    """Static energy and bookkeeping for one component's idle time."""
+
+    energy_j: float = 0.0
+    gated_gaps: float = 0.0
+    exposed_wake_cycles: float = 0.0
+
+
+class PowerGatingPolicy:
+    """Base class: shared accounting helpers for all policies."""
+
+    name: PolicyName = PolicyName.NOPG
+    #: Whether the SA is gated at PE granularity during active time.
+    spatial_sa_gating: bool = False
+    #: Whether VU / SRAM power gating is driven by the compiler.
+    software_managed: bool = False
+    #: Whether any power gating happens at all.
+    gating_enabled: bool = False
+
+    def __init__(self, parameters: GatingParameters | None = None):
+        self.parameters = parameters or DEFAULT_PARAMETERS
+
+    # ------------------------------------------------------------------ #
+    # Idle-period accounting
+    # ------------------------------------------------------------------ #
+    def _timing_variant(self, component: Component) -> str | None:
+        if component is Component.SA:
+            return "sa_pe" if self.spatial_sa_gating else "sa_full"
+        return None
+
+    def _detection_window_s(self, component: Component, chip) -> float:
+        window = self.parameters.detection_window_cycles(
+            component, self._timing_variant(component)
+        )
+        if component is Component.VU:
+            window = max(window, MIN_VU_DETECTION_WINDOW_CYCLES)
+        return chip.cycles_to_seconds(window)
+
+    def _uses_software_gating(self, component: Component) -> bool:
+        return self.software_managed and component is Component.VU
+
+    def _idle_energy(
+        self,
+        component: Component,
+        gaps: list[GapProfile],
+        static_power_w: float,
+        chip,
+    ) -> _IdleAccounting:
+        """Static energy of a component's idle time under this policy."""
+        accounting = _IdleAccounting()
+        if not self.gating_enabled:
+            accounting.energy_j = static_power_w * sum(g.total_idle_s for g in gaps)
+            return accounting
+
+        variant = self._timing_variant(component)
+        timing = self.parameters.timing(component, variant)
+        delay_s = chip.cycles_to_seconds(timing.delay_cycles)
+        bet_s = chip.cycles_to_seconds(timing.bet_cycles)
+        off_leak = self.parameters.off_leakage(component)
+        transition_j = static_power_w * bet_s * (1.0 - off_leak)
+
+        software = self._uses_software_gating(component)
+        window_s = 0.0 if software else self._detection_window_s(component, chip)
+        threshold_s = max(bet_s, 2.0 * delay_s) if software else window_s + bet_s
+
+        for gap in gaps:
+            if gap.gap_s <= 0 or gap.num_gaps <= 0:
+                continue
+            if gap.gap_s <= threshold_s:
+                accounting.energy_j += static_power_w * gap.total_idle_s
+                continue
+            gated_s = gap.gap_s - window_s
+            per_gap = (
+                static_power_w * window_s
+                + static_power_w * off_leak * gated_s
+                + transition_j
+            )
+            accounting.energy_j += per_gap * gap.num_gaps
+            accounting.gated_gaps += gap.num_gaps
+            if not software:
+                accounting.exposed_wake_cycles += timing.delay_cycles * gap.num_gaps
+        return accounting
+
+    def _ideal_idle_energy(self, gaps: list[GapProfile]) -> _IdleAccounting:
+        return _IdleAccounting(energy_j=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Active-period accounting
+    # ------------------------------------------------------------------ #
+    def _sa_active_energy(
+        self, profile: WorkloadProfile, static_power_w: float
+    ) -> float:
+        """SA leakage while the SA is actively computing."""
+        if not self.spatial_sa_gating:
+            return static_power_w * profile.active_s(Component.SA)
+        model = SpatialGatingModel(profile.chip.sa_width, self.parameters)
+        energy = 0.0
+        for op_profile in profile.profiles:
+            active = op_profile.active_s(Component.SA) * op_profile.count
+            if active <= 0:
+                continue
+            factor = model.static_power_factor(op_profile.operator.dims)
+            energy += static_power_w * active * factor
+        return energy
+
+    def _sram_energy(self, profile: WorkloadProfile, static_power_w: float) -> float:
+        """SRAM leakage: used capacity stays on, unused is slept/gated."""
+        if not self.gating_enabled:
+            return static_power_w * profile.total_time_s
+        model = SramGatingModel(profile.chip, self.parameters)
+        energy = 0.0
+        for op_profile in profile.profiles:
+            duration = op_profile.latency_s * op_profile.count
+            factor = model.leakage_factor_for_demand(
+                op_profile.sram_demand_bytes, software_managed=self.software_managed
+            )
+            energy += static_power_w * duration * factor
+        return energy
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, profile: WorkloadProfile, power_model: ChipPowerModel | None = None
+    ) -> EnergyReport:
+        """Compute the full energy report of this policy for one profile."""
+        power_model = power_model or ChipPowerModel(profile.chip)
+        chip = profile.chip
+        report = EnergyReport(
+            policy=self.name,
+            baseline_time_s=profile.total_time_s,
+            overhead_time_s=0.0,
+        )
+        exposed_cycles = 0.0
+
+        for component in Component.all():
+            report.dynamic_energy_j[component] = profile.dynamic_energy_j(component)
+
+        static = {c: power_model.static_power_w(c) for c in Component.all()}
+
+        # Never-gated logic leaks for the whole execution.
+        report.static_energy_j[Component.OTHER] = (
+            static[Component.OTHER] * profile.total_time_s
+        )
+
+        # Systolic arrays: active-time leakage (possibly spatially gated)
+        # plus idle-time leakage under the temporal gating scheme.
+        sa_idle = self._idle_energy(
+            Component.SA, profile.gap_profiles(Component.SA), static[Component.SA], chip
+        )
+        report.static_energy_j[Component.SA] = (
+            self._sa_active_energy(profile, static[Component.SA]) + sa_idle.energy_j
+        )
+        report.gating_events[Component.SA] = sa_idle.gated_gaps
+        exposed_cycles += sa_idle.exposed_wake_cycles
+
+        # Vector units.
+        vu_idle = self._idle_energy(
+            Component.VU, profile.gap_profiles(Component.VU), static[Component.VU], chip
+        )
+        report.static_energy_j[Component.VU] = (
+            static[Component.VU] * profile.active_s(Component.VU) + vu_idle.energy_j
+        )
+        report.gating_events[Component.VU] = vu_idle.gated_gaps
+        exposed_cycles += vu_idle.exposed_wake_cycles
+
+        # HBM and ICI controllers: hardware idle detection in every ReGate
+        # variant; their wake-up delay is amortized by the DMA latency, so
+        # it does not show up as a performance overhead.
+        for component in (Component.HBM, Component.ICI):
+            idle = self._idle_energy(
+                component, profile.gap_profiles(component), static[component], chip
+            )
+            report.static_energy_j[component] = (
+                static[component] * profile.active_s(component) + idle.energy_j
+            )
+            report.gating_events[component] = idle.gated_gaps
+
+        # SRAM capacity gating.
+        report.static_energy_j[Component.SRAM] = self._sram_energy(
+            profile, static[Component.SRAM]
+        )
+        report.gating_events[Component.SRAM] = float(len(profile.profiles))
+
+        report.overhead_time_s = chip.cycles_to_seconds(exposed_cycles)
+        # The exposed wake-up delays keep the whole chip powered a little
+        # longer; charge that time at the un-gated static power.
+        if report.overhead_time_s > 0:
+            total_static_power = sum(static.values())
+            extra = total_static_power * report.overhead_time_s
+            report.static_energy_j[Component.OTHER] += extra
+
+        report.peak_power_w = self._peak_power(profile, power_model)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _peak_power(
+        self, profile: WorkloadProfile, power_model: ChipPowerModel
+    ) -> float:
+        """Average power of the most power-hungry operator (Figure 18)."""
+        sram_model = SramGatingModel(profile.chip, self.parameters)
+        spatial_model = SpatialGatingModel(profile.chip.sa_width, self.parameters)
+        off_leak = self.parameters.leakage.logic_off
+        peak = 0.0
+        for op_profile in profile.profiles:
+            latency = op_profile.latency_s
+            if latency <= 0:
+                continue
+            dynamic_w = sum(op_profile.dynamic_energy_j.values()) / latency
+            static_w = 0.0
+            for component in Component.all():
+                base = power_model.static_power_w(component)
+                active_fraction = min(1.0, op_profile.active_s(component) / latency)
+                if not self.gating_enabled:
+                    static_w += base
+                    continue
+                if component is Component.OTHER:
+                    static_w += base
+                elif component is Component.SRAM:
+                    static_w += base * sram_model.leakage_factor_for_demand(
+                        op_profile.sram_demand_bytes, self.software_managed
+                    )
+                elif component is Component.SA and self.spatial_sa_gating:
+                    factor = spatial_model.static_power_factor(op_profile.operator.dims)
+                    static_w += base * (
+                        active_fraction * factor + (1 - active_fraction) * off_leak
+                    )
+                else:
+                    idle_leak = 0.0 if self.name is PolicyName.IDEAL else off_leak
+                    static_w += base * (
+                        active_fraction + (1 - active_fraction) * idle_leak
+                    )
+            peak = max(peak, dynamic_w + static_w)
+        return peak
+
+
+class NoPGPolicy(PowerGatingPolicy):
+    """No power gating: the baseline the paper normalizes against."""
+
+    name = PolicyName.NOPG
+    gating_enabled = False
+
+
+class ReGateBasePolicy(PowerGatingPolicy):
+    """Component-granularity hardware idle detection (ReGate-Base)."""
+
+    name = PolicyName.REGATE_BASE
+    gating_enabled = True
+    spatial_sa_gating = False
+    software_managed = False
+
+
+class ReGateHWPolicy(PowerGatingPolicy):
+    """ReGate-Base plus PE-granularity spatial SA gating (ReGate-HW)."""
+
+    name = PolicyName.REGATE_HW
+    gating_enabled = True
+    spatial_sa_gating = True
+    software_managed = False
+
+
+class ReGateFullPolicy(PowerGatingPolicy):
+    """Full ReGate: hardware gating plus software-managed VU/SRAM gating."""
+
+    name = PolicyName.REGATE_FULL
+    gating_enabled = True
+    spatial_sa_gating = True
+    software_managed = True
+
+
+class IdealPolicy(PowerGatingPolicy):
+    """Roofline: zero leakage when idle, zero transition cost and delay."""
+
+    name = PolicyName.IDEAL
+    gating_enabled = True
+    spatial_sa_gating = True
+    software_managed = True
+
+    def _idle_energy(self, component, gaps, static_power_w, chip) -> _IdleAccounting:
+        return _IdleAccounting(energy_j=0.0, gated_gaps=sum(g.num_gaps for g in gaps))
+
+    def _sa_active_energy(self, profile: WorkloadProfile, static_power_w: float) -> float:
+        model = SpatialGatingModel(profile.chip.sa_width, self.parameters)
+        energy = 0.0
+        for op_profile in profile.profiles:
+            active = op_profile.active_s(Component.SA) * op_profile.count
+            if active <= 0:
+                continue
+            shares = model.shares(op_profile.operator.dims)
+            energy += static_power_w * active * shares.active
+        return energy
+
+    def _sram_energy(self, profile: WorkloadProfile, static_power_w: float) -> float:
+        capacity = profile.chip.sram_bytes
+        energy = 0.0
+        for op_profile in profile.profiles:
+            duration = op_profile.latency_s * op_profile.count
+            used = min(1.0, op_profile.sram_demand_bytes / capacity)
+            energy += static_power_w * duration * used
+        return energy
+
+
+_POLICIES: dict[PolicyName, type[PowerGatingPolicy]] = {
+    PolicyName.NOPG: NoPGPolicy,
+    PolicyName.REGATE_BASE: ReGateBasePolicy,
+    PolicyName.REGATE_HW: ReGateHWPolicy,
+    PolicyName.REGATE_FULL: ReGateFullPolicy,
+    PolicyName.IDEAL: IdealPolicy,
+}
+
+
+def list_policies() -> list[PolicyName]:
+    """All policy names in the paper's presentation order."""
+    return list(_POLICIES)
+
+
+def get_policy(
+    name: PolicyName | str, parameters: GatingParameters | None = None
+) -> PowerGatingPolicy:
+    """Instantiate a policy by name."""
+    if isinstance(name, str):
+        lookup = {p.value.lower(): p for p in PolicyName}
+        lookup.update({p.name.lower(): p for p in PolicyName})
+        key = name.strip().lower()
+        if key not in lookup:
+            raise KeyError(f"unknown policy {name!r}")
+        name = lookup[key]
+    return _POLICIES[name](parameters)
+
+
+__all__ = [
+    "IdealPolicy",
+    "NoPGPolicy",
+    "PolicyName",
+    "PowerGatingPolicy",
+    "ReGateBasePolicy",
+    "ReGateFullPolicy",
+    "ReGateHWPolicy",
+    "get_policy",
+    "list_policies",
+]

@@ -1,0 +1,93 @@
+"""Energy/power/performance report structures produced by gating policies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.hardware.components import Component
+
+
+class PolicyName(str, Enum):
+    """The five designs compared in the paper's evaluation (§6.1)."""
+
+    NOPG = "NoPG"
+    REGATE_BASE = "ReGate-Base"
+    REGATE_HW = "ReGate-HW"
+    REGATE_FULL = "ReGate-Full"
+    IDEAL = "Ideal"
+
+
+@dataclass
+class EnergyReport:
+    """Per-iteration energy, power and performance under one policy."""
+
+    policy: PolicyName
+    baseline_time_s: float
+    overhead_time_s: float
+    static_energy_j: dict[Component, float] = field(default_factory=dict)
+    dynamic_energy_j: dict[Component, float] = field(default_factory=dict)
+    gating_events: dict[Component, float] = field(default_factory=dict)
+    peak_power_w: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_time_s(self) -> float:
+        """Execution time including exposed wake-up delays."""
+        return self.baseline_time_s + self.overhead_time_s
+
+    @property
+    def performance_overhead(self) -> float:
+        """Slowdown relative to the un-gated execution time."""
+        if self.baseline_time_s <= 0:
+            return 0.0
+        return self.overhead_time_s / self.baseline_time_s
+
+    @property
+    def total_static_j(self) -> float:
+        return sum(self.static_energy_j.values())
+
+    @property
+    def total_dynamic_j(self) -> float:
+        return sum(self.dynamic_energy_j.values())
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.total_static_j + self.total_dynamic_j
+
+    @property
+    def average_power_w(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.total_energy_j / self.total_time_s
+
+    def component_energy_j(self, component: Component) -> float:
+        """Static plus dynamic energy of one component."""
+        return self.static_energy_j.get(component, 0.0) + self.dynamic_energy_j.get(
+            component, 0.0
+        )
+
+    def static_fraction(self, component: Component | None = None) -> float:
+        """Share of total energy that is static (optionally one component)."""
+        total = self.total_energy_j
+        if total <= 0:
+            return 0.0
+        if component is None:
+            return self.total_static_j / total
+        return self.static_energy_j.get(component, 0.0) / total
+
+    def savings_vs(self, baseline: "EnergyReport") -> float:
+        """Fractional energy savings relative to another report."""
+        if baseline.total_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.total_energy_j / baseline.total_energy_j
+
+    def component_savings_vs(self, baseline: "EnergyReport", component: Component) -> float:
+        """Energy saved on one component, as a fraction of baseline total energy."""
+        if baseline.total_energy_j <= 0:
+            return 0.0
+        delta = baseline.component_energy_j(component) - self.component_energy_j(component)
+        return delta / baseline.total_energy_j
+
+
+__all__ = ["EnergyReport", "PolicyName"]

@@ -1,0 +1,17 @@
+"""NPU hardware models: chip specifications, area and power models."""
+
+from repro.hardware.chips import NPUChipSpec, get_chip, list_chips
+from repro.hardware.components import Component
+from repro.hardware.area import AreaModel, ChipAreaBreakdown
+from repro.hardware.power import ChipPowerModel, PowerBreakdown
+
+__all__ = [
+    "AreaModel",
+    "ChipAreaBreakdown",
+    "ChipPowerModel",
+    "Component",
+    "NPUChipSpec",
+    "PowerBreakdown",
+    "get_chip",
+    "list_chips",
+]

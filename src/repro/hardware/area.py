@@ -1,0 +1,150 @@
+"""Area model for NPU chips, in the spirit of McPAT / NeuroMeter.
+
+Each component's silicon area is derived from microarchitectural
+parameters (systolic array dimensions, SRAM capacity, number of vector
+ALUs, memory/ICI interface counts) and scaled by the technology node.
+The absolute values are calibrated so that the relative proportions match
+what is publicly known about TPU-class chips (e.g. the systolic arrays
+occupy roughly 10% of the die, as the paper notes for TPUv4i).
+
+The area model serves two purposes in the reproduction:
+
+1. It drives the static (leakage) power model in
+   :mod:`repro.hardware.power` — leakage is proportional to area.
+2. It lets us report the hardware overhead of the ReGate power-gating
+   logic (§4.4): per-PE gating transistors, SRAM segment gating, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chips import NPUChipSpec
+from repro.hardware.components import Component
+
+# Logic/SRAM density scaling relative to the 7 nm reference node.  Older
+# nodes have larger transistors; newer nodes shrink logic faster than SRAM
+# (SRAM scaling has famously stalled below 7 nm).
+_LOGIC_AREA_SCALE = {16: 3.2, 7: 1.0, 4: 0.60}
+_SRAM_AREA_SCALE = {16: 2.4, 7: 1.0, 4: 0.80}
+
+# Calibrated per-unit areas at the 7 nm reference node.
+_PE_AREA_MM2 = 0.00070  # one bf16 MAC PE incl. pipeline registers
+_VU_ALU_AREA_MM2 = 0.00200  # one vector ALU lane element
+_SRAM_AREA_MM2_PER_MB = 0.50  # high-density SRAM incl. periphery
+_HBM_PHY_AREA_MM2 = 14.0  # controller + PHY per HBM stack
+_ICI_LINK_AREA_MM2 = 5.0  # SerDes + controller per ICI link
+_OTHER_AREA_FRACTION = 0.43  # share of total die taken by "other" logic
+
+# ReGate hardware additions (§4.4 of the paper).
+_PE_GATING_OVERHEAD = 0.0636  # +6.36% area per PE for gating transistors
+_SA_CONTROL_OVERHEAD = 1e-5  # row/col control logic, <0.001% of an SA
+_VU_GATING_OVERHEAD = 0.02  # per-VU gating overhead
+_SRAM_GATING_AREA_PER_MB = 0.50 * 0.02 * 2.5 / 2.0  # calibrated: 2.5% of chip for 128MB
+_HBM_IDLE_DETECT_MM2 = 0.05
+_ICI_IDLE_DETECT_MM2 = 0.05
+
+
+def _hbm_stacks(spec: NPUChipSpec) -> int:
+    """Estimate the number of HBM stacks from capacity (16 GB per stack)."""
+    return max(1, round(spec.hbm.capacity_gb / 24.0))
+
+
+@dataclass(frozen=True)
+class ChipAreaBreakdown:
+    """Per-component silicon area of a chip, in mm^2."""
+
+    areas_mm2: dict[Component, float]
+    regate_overhead_mm2: dict[Component, float]
+
+    @property
+    def total_mm2(self) -> float:
+        """Total baseline die area without ReGate additions."""
+        return sum(self.areas_mm2.values())
+
+    @property
+    def regate_total_overhead_mm2(self) -> float:
+        """Total area added by ReGate power-gating logic."""
+        return sum(self.regate_overhead_mm2.values())
+
+    @property
+    def regate_overhead_fraction(self) -> float:
+        """ReGate area overhead as a fraction of the baseline die area."""
+        return self.regate_total_overhead_mm2 / self.total_mm2
+
+    def fraction(self, component: Component) -> float:
+        """Area share of one component relative to the whole die."""
+        return self.areas_mm2[component] / self.total_mm2
+
+
+class AreaModel:
+    """Computes :class:`ChipAreaBreakdown` for a given chip spec."""
+
+    def __init__(self, spec: NPUChipSpec):
+        self.spec = spec
+
+    # ------------------------------------------------------------------ #
+    def _logic_scale(self) -> float:
+        return _LOGIC_AREA_SCALE[self.spec.technology_nm]
+
+    def _sram_scale(self) -> float:
+        return _SRAM_AREA_SCALE[self.spec.technology_nm]
+
+    def sa_area_mm2(self) -> float:
+        """Area of all systolic arrays."""
+        return self.spec.total_pes * _PE_AREA_MM2 * self._logic_scale()
+
+    def vu_area_mm2(self) -> float:
+        """Area of all vector units."""
+        return self.spec.vu_alus * _VU_ALU_AREA_MM2 * self._logic_scale()
+
+    def sram_area_mm2(self) -> float:
+        """Area of the on-chip SRAM scratchpad."""
+        return self.spec.sram_mb * _SRAM_AREA_MM2_PER_MB * self._sram_scale()
+
+    def hbm_area_mm2(self) -> float:
+        """Area of the HBM controllers and PHYs."""
+        return _hbm_stacks(self.spec) * _HBM_PHY_AREA_MM2
+
+    def ici_area_mm2(self) -> float:
+        """Area of the ICI controllers and PHYs."""
+        return self.spec.ici.links_per_chip * _ICI_LINK_AREA_MM2
+
+    def other_area_mm2(self) -> float:
+        """Area of non-gateable logic (management, PCIe, control, ...)."""
+        core = (
+            self.sa_area_mm2()
+            + self.vu_area_mm2()
+            + self.sram_area_mm2()
+            + self.hbm_area_mm2()
+            + self.ici_area_mm2()
+        )
+        # other = fraction * total  =>  other = core * f / (1 - f)
+        return core * _OTHER_AREA_FRACTION / (1.0 - _OTHER_AREA_FRACTION)
+
+    # ------------------------------------------------------------------ #
+    def breakdown(self) -> ChipAreaBreakdown:
+        """Compute the full per-component area breakdown."""
+        areas = {
+            Component.SA: self.sa_area_mm2(),
+            Component.VU: self.vu_area_mm2(),
+            Component.SRAM: self.sram_area_mm2(),
+            Component.HBM: self.hbm_area_mm2(),
+            Component.ICI: self.ici_area_mm2(),
+            Component.OTHER: self.other_area_mm2(),
+        }
+        overheads = {
+            Component.SA: areas[Component.SA]
+            * (_PE_GATING_OVERHEAD + _SA_CONTROL_OVERHEAD),
+            Component.VU: areas[Component.VU] * _VU_GATING_OVERHEAD,
+            Component.SRAM: self.spec.sram_mb
+            * _SRAM_GATING_AREA_PER_MB
+            * self._sram_scale(),
+            Component.HBM: _HBM_IDLE_DETECT_MM2,
+            Component.ICI: _ICI_IDLE_DETECT_MM2,
+            Component.OTHER: 0.0,
+        }
+        return ChipAreaBreakdown(areas_mm2=areas, regate_overhead_mm2=overheads)
+
+
+__all__ = ["AreaModel", "ChipAreaBreakdown"]

@@ -1,0 +1,66 @@
+"""Enumeration of the core NPU chip components modelled by the simulator.
+
+The paper characterizes and power-gates six component classes (§3):
+systolic arrays (SA), vector units (VU), on-chip SRAM, the HBM controller
+& PHY, the inter-chip interconnect (ICI) controller & PHY, and a residual
+"other" class (chip management, control logic, PCIe, miscellaneous
+datapaths) that is never power-gated.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Component(str, Enum):
+    """A power-accountable hardware component class on an NPU chip."""
+
+    SA = "sa"
+    VU = "vu"
+    SRAM = "sram"
+    HBM = "hbm"
+    ICI = "ici"
+    OTHER = "other"
+
+    @classmethod
+    def gateable(cls) -> tuple["Component", ...]:
+        """Components that ReGate can power-gate (everything but OTHER)."""
+        return (cls.SA, cls.VU, cls.SRAM, cls.HBM, cls.ICI)
+
+    @classmethod
+    def all(cls) -> tuple["Component", ...]:
+        """All component classes in a canonical order."""
+        return (cls.SA, cls.VU, cls.SRAM, cls.HBM, cls.ICI, cls.OTHER)
+
+    @property
+    def pretty(self) -> str:
+        """Human readable name used in reports and benchmark tables."""
+        return _PRETTY[self]
+
+
+_PRETTY = {
+    Component.SA: "Systolic Array",
+    Component.VU: "Vector Unit",
+    Component.SRAM: "SRAM",
+    Component.HBM: "HBM Ctrl & PHY",
+    Component.ICI: "ICI Ctrl & PHY",
+    Component.OTHER: "Other",
+}
+
+
+class PowerState(str, Enum):
+    """Power state of a component or sub-block.
+
+    ``ON``      -- fully powered, full leakage.
+    ``SLEEP``   -- drowsy/data-retentive low-voltage mode (SRAM only).
+    ``OFF``     -- gated-Vdd, no data retention, minimal leakage.
+    ``AUTO``    -- hardware-managed (idle detection) policy decides.
+    """
+
+    ON = "on"
+    SLEEP = "sleep"
+    OFF = "off"
+    AUTO = "auto"
+
+
+__all__ = ["Component", "PowerState"]

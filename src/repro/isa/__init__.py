@@ -1,0 +1,22 @@
+"""NPU ISA model, including the ReGate ``setpm`` extension (§4.2)."""
+
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    Program,
+    SetpmInstruction,
+    SlotKind,
+    VLIWBundle,
+)
+from repro.isa.pipeline import CorePipeline, FunctionalUnitState
+
+__all__ = [
+    "CorePipeline",
+    "FunctionalUnitState",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "SetpmInstruction",
+    "SlotKind",
+    "VLIWBundle",
+]

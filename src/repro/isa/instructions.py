@@ -1,0 +1,248 @@
+"""VLIW instruction bundles and the ``setpm`` power-management instruction.
+
+The NPU core issues statically scheduled VLIW bundles; ReGate adds a
+``setpm`` (set power mode) instruction encoded in the miscellaneous slot
+(Figure 14 of the paper).  Three variants exist:
+
+* SRAM variant — two scalar registers give the start/end address of a
+  contiguous SRAM region whose power mode is changed.
+* Register-bitmap variant — a scalar register holds a functional-unit
+  bitmap.
+* Immediate-bitmap variant — an 8-bit immediate holds the bitmap.
+
+Each component can be put into ``on``, ``auto``, ``off`` (and ``sleep``
+for SRAM) mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.hardware.components import Component, PowerState
+
+
+class SlotKind(str, Enum):
+    """VLIW issue slots of the NPU core."""
+
+    SA = "sa"
+    VU = "vu"
+    DMA = "dma"
+    ICI = "ici"
+    MISC = "misc"
+
+
+class Opcode(str, Enum):
+    """Operations modelled at the tile level."""
+
+    PUSH = "push"  # push a weight/input tile into an SA
+    POP = "pop"  # pop an output tile from an SA
+    VADD = "vadd"
+    VMUL = "vmul"
+    VREDUCE = "vreduce"
+    DMA_IN = "dma_in"
+    DMA_OUT = "dma_out"
+    ICI_SEND = "ici_send"
+    ICI_RECV = "ici_recv"
+    SETPM = "setpm"
+    NOP = "nop"
+
+
+_FU_TYPE_CODES = {
+    "sram": 0b000,
+    Component.SRAM: 0b000,
+    Component.SA: 0b001,
+    Component.VU: 0b010,
+    Component.HBM: 0b011,
+    Component.ICI: 0b100,
+}
+
+_MODE_CODES = {
+    PowerState.AUTO: 0b00,
+    PowerState.ON: 0b01,
+    PowerState.OFF: 0b10,
+    PowerState.SLEEP: 0b11,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One operation occupying one VLIW slot for ``duration_cycles``."""
+
+    opcode: Opcode
+    slot: SlotKind
+    unit_index: int = 0
+    duration_cycles: int = 1
+    operands: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.duration_cycles < 1:
+            raise ValueError("instruction duration must be >= 1 cycle")
+
+
+@dataclass(frozen=True)
+class SetpmInstruction(Instruction):
+    """A ``setpm`` instruction configuring the power mode of components.
+
+    Exactly one of ``unit_bitmap`` (for SAs/VUs/HBM/ICI) or
+    ``address_range`` (for SRAM) must be provided.
+    """
+
+    target: Component = Component.VU
+    mode: PowerState = PowerState.AUTO
+    unit_bitmap: int | None = None
+    address_range: tuple[int, int] | None = None
+    use_register_bitmap: bool = False
+
+    def __init__(
+        self,
+        target: Component,
+        mode: PowerState,
+        unit_bitmap: int | None = None,
+        address_range: tuple[int, int] | None = None,
+        use_register_bitmap: bool = False,
+    ):
+        object.__setattr__(self, "opcode", Opcode.SETPM)
+        object.__setattr__(self, "slot", SlotKind.MISC)
+        object.__setattr__(self, "unit_index", 0)
+        object.__setattr__(self, "duration_cycles", 1)
+        object.__setattr__(self, "operands", ())
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "mode", mode)
+        object.__setattr__(self, "unit_bitmap", unit_bitmap)
+        object.__setattr__(self, "address_range", address_range)
+        object.__setattr__(self, "use_register_bitmap", use_register_bitmap)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.target is Component.SRAM:
+            if self.address_range is None:
+                raise ValueError("SRAM setpm requires an address range")
+            start, end = self.address_range
+            if end < start or start < 0:
+                raise ValueError("invalid SRAM address range")
+        else:
+            if self.unit_bitmap is None:
+                raise ValueError("non-SRAM setpm requires a unit bitmap")
+            if self.unit_bitmap <= 0 or self.unit_bitmap > 0xFF:
+                raise ValueError("unit bitmap must fit in 8 bits and be non-zero")
+            if self.mode is PowerState.SLEEP:
+                raise ValueError("only SRAM supports the sleep mode")
+
+    # ------------------------------------------------------------------ #
+    def encode(self) -> int:
+        """Encode the instruction into the misc-slot bit layout (Figure 14).
+
+        Layout (low to high bits):
+        ``[mode:2][fu_type:3][variant:1][bitmap:8 | reserved]``.
+        The SRAM variant carries its addresses in scalar registers, so
+        only the opcode fields are encoded here.
+        """
+        mode_bits = _MODE_CODES[self.mode]
+        type_bits = _FU_TYPE_CODES[self.target]
+        encoded = mode_bits | (type_bits << 2)
+        if self.target is Component.SRAM:
+            variant = 0
+            payload = 0
+        else:
+            variant = 0 if self.use_register_bitmap else 1
+            payload = self.unit_bitmap or 0
+        encoded |= variant << 5
+        encoded |= payload << 6
+        return encoded
+
+    @classmethod
+    def decode(cls, word: int) -> "SetpmInstruction":
+        """Decode an encoded ``setpm`` word (inverse of :meth:`encode`)."""
+        mode_bits = word & 0b11
+        type_bits = (word >> 2) & 0b111
+        variant = (word >> 5) & 0b1
+        payload = (word >> 6) & 0xFF
+        mode = {code: state for state, code in _MODE_CODES.items()}[mode_bits]
+        target = {
+            0b000: Component.SRAM,
+            0b001: Component.SA,
+            0b010: Component.VU,
+            0b011: Component.HBM,
+            0b100: Component.ICI,
+        }[type_bits]
+        if target is Component.SRAM:
+            return cls(target=target, mode=mode, address_range=(0, 0))
+        return cls(
+            target=target,
+            mode=mode,
+            unit_bitmap=payload if payload else 1,
+            use_register_bitmap=not variant,
+        )
+
+    def affected_units(self) -> list[int]:
+        """Indices of the functional units selected by the bitmap."""
+        if self.unit_bitmap is None:
+            return []
+        return [bit for bit in range(8) if self.unit_bitmap & (1 << bit)]
+
+
+@dataclass
+class VLIWBundle:
+    """One issue cycle: at most one instruction per slot category."""
+
+    cycle: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def add(self, instruction: Instruction) -> None:
+        if instruction.slot is SlotKind.MISC and any(
+            existing.slot is SlotKind.MISC for existing in self.instructions
+        ):
+            raise ValueError("only one misc-slot instruction per bundle")
+        self.instructions.append(instruction)
+
+    def slot_instructions(self, slot: SlotKind) -> list[Instruction]:
+        return [instr for instr in self.instructions if instr.slot is slot]
+
+    @property
+    def setpm_instructions(self) -> list[SetpmInstruction]:
+        return [
+            instr for instr in self.instructions if isinstance(instr, SetpmInstruction)
+        ]
+
+
+@dataclass
+class Program:
+    """A statically scheduled sequence of VLIW bundles."""
+
+    bundles: list[VLIWBundle] = field(default_factory=list)
+
+    def append(self, bundle: VLIWBundle) -> None:
+        if self.bundles and bundle.cycle <= self.bundles[-1].cycle:
+            raise ValueError("bundles must be appended in increasing cycle order")
+        self.bundles.append(bundle)
+
+    @property
+    def num_cycles(self) -> int:
+        """Total schedule length in cycles."""
+        if not self.bundles:
+            return 0
+        last = self.bundles[-1]
+        tail = max((instr.duration_cycles for instr in last.instructions), default=1)
+        return last.cycle + tail
+
+    def instructions_in_slot(self, slot: SlotKind, unit_index: int | None = None):
+        """Yield (cycle, instruction) pairs for one slot (optionally one unit)."""
+        for bundle in self.bundles:
+            for instruction in bundle.slot_instructions(slot):
+                if unit_index is None or instruction.unit_index == unit_index:
+                    yield bundle.cycle, instruction
+
+    def count_setpm(self) -> int:
+        """Number of ``setpm`` instructions in the program."""
+        return sum(len(bundle.setpm_instructions) for bundle in self.bundles)
+
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "Program",
+    "SetpmInstruction",
+    "SlotKind",
+    "VLIWBundle",
+]

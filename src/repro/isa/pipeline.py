@@ -1,0 +1,171 @@
+"""Power-state tracking in the NPU core pipeline (§4.1 of the paper).
+
+A power-gated component is handled as a structural hazard: an
+instruction cannot be dispatched until its target component is ready.
+Dispatching to a powered-off component triggers a wake-up; the ready bit
+is set once the wake-up delay elapses.  Each component has its own ready
+bit so different components can be powered on/off independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.components import Component, PowerState
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    Program,
+    SetpmInstruction,
+    SlotKind,
+)
+
+_SLOT_COMPONENT = {
+    SlotKind.SA: Component.SA,
+    SlotKind.VU: Component.VU,
+    SlotKind.DMA: Component.HBM,
+    SlotKind.ICI: Component.ICI,
+}
+
+
+@dataclass
+class FunctionalUnitState:
+    """Power and readiness state of one functional unit instance."""
+
+    component: Component
+    index: int
+    wake_delay_cycles: int
+    power_state: PowerState = PowerState.ON
+    ready_at_cycle: int = 0
+    busy_until_cycle: int = 0
+    software_mode: PowerState = PowerState.AUTO
+    wake_count: int = 0
+    gated_cycles: int = 0
+    _gated_since: int | None = None
+
+    @property
+    def is_powered(self) -> bool:
+        return self.power_state is PowerState.ON
+
+    def power_off(self, cycle: int, mode: PowerState = PowerState.OFF) -> None:
+        """Gate the unit at ``cycle`` (no effect if already gated)."""
+        if self.power_state is PowerState.ON:
+            self.power_state = mode
+            self._gated_since = cycle
+
+    def power_on(self, cycle: int) -> int:
+        """Wake the unit; returns the cycle at which it becomes ready."""
+        if self.power_state is PowerState.ON:
+            return max(self.ready_at_cycle, cycle)
+        if self._gated_since is not None:
+            self.gated_cycles += max(0, cycle - self._gated_since)
+            self._gated_since = None
+        self.power_state = PowerState.ON
+        self.wake_count += 1
+        self.ready_at_cycle = cycle + self.wake_delay_cycles
+        return self.ready_at_cycle
+
+    def finalize(self, cycle: int) -> None:
+        """Account for a gated period still open at the end of execution."""
+        if self._gated_since is not None:
+            self.gated_cycles += max(0, cycle - self._gated_since)
+            self._gated_since = None
+
+
+class CorePipeline:
+    """In-order dispatch model with per-component ready bits.
+
+    The pipeline executes a :class:`~repro.isa.instructions.Program`,
+    stalling instructions whose target unit is waking up, and applying
+    ``setpm`` instructions to override the hardware-managed (auto)
+    policy.  It reports the schedule length (with stalls) and per-unit
+    gating statistics; the hardware idle-detection policy itself lives in
+    :mod:`repro.gating.idle_detection`.
+    """
+
+    def __init__(
+        self,
+        num_sa: int = 2,
+        num_vu: int = 2,
+        sa_wake_delay: int = 10,
+        vu_wake_delay: int = 2,
+        dma_wake_delay: int = 60,
+        ici_wake_delay: int = 60,
+    ):
+        self.units: dict[tuple[Component, int], FunctionalUnitState] = {}
+        for index in range(num_sa):
+            self._add_unit(Component.SA, index, sa_wake_delay)
+        for index in range(num_vu):
+            self._add_unit(Component.VU, index, vu_wake_delay)
+        self._add_unit(Component.HBM, 0, dma_wake_delay)
+        self._add_unit(Component.ICI, 0, ici_wake_delay)
+        self.total_stall_cycles = 0
+        self.executed_instructions = 0
+
+    def _add_unit(self, component: Component, index: int, delay: int) -> None:
+        self.units[(component, index)] = FunctionalUnitState(
+            component=component, index=index, wake_delay_cycles=delay
+        )
+
+    def unit(self, component: Component, index: int = 0) -> FunctionalUnitState:
+        """Look up the state of one functional unit."""
+        return self.units[(component, index)]
+
+    # ------------------------------------------------------------------ #
+    def _apply_setpm(self, instruction: SetpmInstruction, cycle: int) -> None:
+        if instruction.target is Component.SRAM:
+            return  # SRAM segment states are modelled in gating.sram_gating.
+        for index in instruction.affected_units():
+            key = (instruction.target, index)
+            if key not in self.units:
+                continue
+            unit = self.units[key]
+            unit.software_mode = instruction.mode
+            if instruction.mode is PowerState.OFF:
+                unit.power_off(cycle)
+            elif instruction.mode is PowerState.ON:
+                unit.power_on(cycle)
+
+    def _dispatch(self, instruction: Instruction, cycle: int) -> int:
+        """Dispatch one instruction; returns the stall cycles it incurred."""
+        component = _SLOT_COMPONENT.get(instruction.slot)
+        if component is None:
+            return 0
+        key = (component, instruction.unit_index)
+        unit = self.units.get(key) or self.units.get((component, 0))
+        if unit is None:
+            return 0
+        ready_at = unit.power_on(cycle) if not unit.is_powered else unit.ready_at_cycle
+        stall = max(0, ready_at - cycle)
+        start = cycle + stall
+        unit.busy_until_cycle = max(unit.busy_until_cycle, start + instruction.duration_cycles)
+        return stall
+
+    def run(self, program: Program) -> int:
+        """Execute a program; returns total cycles including wake-up stalls."""
+        skew = 0  # accumulated stall cycles shifting the whole schedule
+        last_cycle = 0
+        for bundle in program.bundles:
+            cycle = bundle.cycle + skew
+            bundle_stall = 0
+            for instruction in bundle.instructions:
+                if isinstance(instruction, SetpmInstruction):
+                    self._apply_setpm(instruction, cycle)
+                    continue
+                if instruction.opcode is Opcode.NOP:
+                    continue
+                bundle_stall = max(bundle_stall, self._dispatch(instruction, cycle))
+                self.executed_instructions += 1
+            skew += bundle_stall
+            self.total_stall_cycles += bundle_stall
+            last_cycle = cycle + bundle_stall
+        end = max(
+            [last_cycle]
+            + [unit.busy_until_cycle for unit in self.units.values()]
+        )
+        for unit in self.units.values():
+            unit.finalize(end)
+        return end
+
+
+__all__ = ["CorePipeline", "FunctionalUnitState"]

@@ -1,0 +1,21 @@
+"""Tile-level NPU performance simulator and cycle-level systolic model."""
+
+from repro.simulator.engine import (
+    GapProfile,
+    NPUSimulator,
+    OperatorProfile,
+    WorkloadProfile,
+)
+from repro.simulator.systolic import SystolicArraySimulator, SystolicRunResult
+from repro.simulator.timing import ComponentTimes, OperatorTimingModel
+
+__all__ = [
+    "ComponentTimes",
+    "GapProfile",
+    "NPUSimulator",
+    "OperatorProfile",
+    "OperatorTimingModel",
+    "SystolicArraySimulator",
+    "SystolicRunResult",
+    "WorkloadProfile",
+]

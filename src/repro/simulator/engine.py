@@ -1,0 +1,266 @@
+"""Operator-level NPU performance and activity simulator.
+
+For every operator of a workload graph the simulator computes the
+per-component active times, the dynamic energy, the SRAM capacity
+demand, and the structure of the idle periods (how many gaps of which
+characteristic length each component sees).  The power-gating policies
+in :mod:`repro.gating.policies` consume this :class:`WorkloadProfile` to
+account static energy under the different gating schemes — the same
+split the paper uses between its performance simulator backend and its
+power/energy analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.compiler.fusion import FusionPass
+from repro.compiler.tiling import TileInfo, TilingPass
+from repro.hardware.chips import NPUChipSpec
+from repro.hardware.components import Component
+from repro.hardware.power import ChipPowerModel
+from repro.simulator.timing import ComponentTimes, OperatorTimingModel
+from repro.workloads.base import Operator, OperatorGraph, OpKind
+
+
+@dataclass(frozen=True)
+class GapProfile:
+    """A family of identical idle gaps of one component."""
+
+    component: Component
+    gap_s: float  # duration of each gap
+    num_gaps: float  # number of such gaps per workload iteration
+
+    @property
+    def total_idle_s(self) -> float:
+        return self.gap_s * self.num_gaps
+
+
+@dataclass
+class OperatorProfile:
+    """Simulation results for one operator (per single invocation)."""
+
+    operator: Operator
+    times: ComponentTimes
+    tile_info: TileInfo
+    dynamic_energy_j: dict[Component, float]
+
+    @property
+    def count(self) -> int:
+        return self.operator.count
+
+    @property
+    def latency_s(self) -> float:
+        return self.times.latency_s
+
+    @property
+    def sa_mapped(self) -> bool:
+        return self.times.sa_mapped
+
+    @property
+    def sram_demand_bytes(self) -> float:
+        return self.tile_info.sram_demand_bytes
+
+    def active_s(self, component: Component) -> float:
+        """Active seconds of one component during one invocation."""
+        return min(self.times.active(component), self.latency_s)
+
+    # ------------------------------------------------------------------ #
+    def gap_profiles(self) -> list[GapProfile]:
+        """Idle-gap structure of this operator (per invocation).
+
+        Gaps are never merged across operator boundaries, which slightly
+        underestimates gap lengths (a conservative choice: it can only
+        make the gating policies gate less, never more).
+        """
+        gaps: list[GapProfile] = []
+        latency = self.latency_s
+
+        # Systolic arrays -------------------------------------------------
+        sa_active = self.active_s(Component.SA)
+        sa_idle = max(0.0, latency - sa_active)
+        if sa_idle > 0:
+            if self.sa_mapped and sa_active > 0:
+                bursts = max(1, self.tile_info.num_weight_tiles)
+                gaps.append(
+                    GapProfile(Component.SA, gap_s=sa_idle / bursts, num_gaps=bursts)
+                )
+            else:
+                gaps.append(GapProfile(Component.SA, gap_s=sa_idle, num_gaps=1))
+
+        # Vector units -----------------------------------------------------
+        vu_active = self.active_s(Component.VU)
+        vu_idle = max(0.0, latency - vu_active)
+        if vu_idle > 0:
+            if vu_active > 0 and self.sa_mapped:
+                bursts = max(1, self.tile_info.num_output_tiles)
+                gaps.append(
+                    GapProfile(Component.VU, gap_s=vu_idle / bursts, num_gaps=bursts)
+                )
+            elif vu_active > 0:
+                bursts = max(1, self.tile_info.num_dma_bursts)
+                gaps.append(
+                    GapProfile(Component.VU, gap_s=vu_idle / bursts, num_gaps=bursts)
+                )
+            else:
+                gaps.append(GapProfile(Component.VU, gap_s=vu_idle, num_gaps=1))
+
+        # HBM ----------------------------------------------------------------
+        hbm_active = self.active_s(Component.HBM)
+        hbm_idle = max(0.0, latency - hbm_active)
+        if hbm_idle > 0:
+            if hbm_active > 0:
+                bursts = max(1, self.tile_info.num_dma_bursts)
+                gaps.append(
+                    GapProfile(Component.HBM, gap_s=hbm_idle / bursts, num_gaps=bursts)
+                )
+            else:
+                gaps.append(GapProfile(Component.HBM, gap_s=hbm_idle, num_gaps=1))
+
+        # ICI ----------------------------------------------------------------
+        ici_active = self.active_s(Component.ICI)
+        ici_idle = max(0.0, latency - ici_active)
+        if ici_idle > 0:
+            gaps.append(GapProfile(Component.ICI, gap_s=ici_idle, num_gaps=1))
+        return gaps
+
+
+@dataclass
+class WorkloadProfile:
+    """Aggregated simulation results for one workload iteration on one chip."""
+
+    graph: OperatorGraph
+    chip: NPUChipSpec
+    profiles: list[OperatorProfile] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_time_s(self) -> float:
+        """Busy execution time of one workload iteration."""
+        return sum(p.latency_s * p.count for p in self.profiles)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.chip.seconds_to_cycles(self.total_time_s)
+
+    def active_s(self, component: Component) -> float:
+        """Total active seconds of one component per iteration."""
+        return sum(p.active_s(component) * p.count for p in self.profiles)
+
+    def temporal_utilization(self, component: Component) -> float:
+        """Active time over busy time (the Figures 4, 6, 8, 9 metric)."""
+        total = self.total_time_s
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.active_s(component) / total)
+
+    def dynamic_energy_j(self, component: Component) -> float:
+        """Total dynamic energy of one component per iteration."""
+        return sum(p.dynamic_energy_j[component] * p.count for p in self.profiles)
+
+    def total_dynamic_energy_j(self) -> float:
+        return sum(self.dynamic_energy_j(c) for c in Component.all())
+
+    # ------------------------------------------------------------------ #
+    def sa_spatial_utilization(self) -> float:
+        """SA-active-time-weighted spatial utilization (Figure 5 metric)."""
+        weighted = 0.0
+        total = 0.0
+        for profile in self.profiles:
+            active = profile.active_s(Component.SA) * profile.count
+            if active <= 0:
+                continue
+            weighted += profile.times.sa_spatial_util * active
+            total += active
+        if total <= 0:
+            return 0.0
+        return weighted / total
+
+    def sram_demand_distribution(self) -> list[tuple[float, float]]:
+        """(demand_bytes, time_s) pairs, one per operator (Figure 7)."""
+        return [
+            (profile.sram_demand_bytes, profile.latency_s * profile.count)
+            for profile in self.profiles
+        ]
+
+    def gap_profiles(self, component: Component) -> list[GapProfile]:
+        """All idle-gap families of one component per iteration."""
+        gaps: list[GapProfile] = []
+        for profile in self.profiles:
+            for gap in profile.gap_profiles():
+                if gap.component is component:
+                    gaps.append(
+                        GapProfile(
+                            component=component,
+                            gap_s=gap.gap_s,
+                            num_gaps=gap.num_gaps * profile.count,
+                        )
+                    )
+        return gaps
+
+    def idle_s(self, component: Component) -> float:
+        """Total idle seconds of one component per iteration."""
+        return max(0.0, self.total_time_s - self.active_s(component))
+
+
+class NPUSimulator:
+    """Simulates a workload graph on one NPU chip."""
+
+    def __init__(self, chip: NPUChipSpec, apply_fusion: bool = True):
+        self.chip = chip
+        self.apply_fusion = apply_fusion
+        self.timing = OperatorTimingModel(chip)
+        self.tiling = TilingPass(chip)
+        self.power_model = ChipPowerModel(chip)
+
+    # ------------------------------------------------------------------ #
+    def _dynamic_energy(self, op: Operator, times: ComponentTimes) -> dict[Component, float]:
+        dyn = self.power_model.dynamic
+        sa_flops = op.sa_flops if times.sa_mapped else 0.0
+        vu_flops = op.vu_flops + (0.0 if times.sa_mapped else op.sa_flops)
+        # SRAM traffic: staging HBM transfers plus operand/result streaming
+        # for the compute units (with full reuse inside the SA).
+        sram_bytes = (
+            2.0 * op.hbm_bytes
+            + sa_flops * 2.0 * op.dtype_bytes / self.chip.sa_width
+            + vu_flops * op.dtype_bytes
+        )
+        energies = {
+            Component.SA: dyn.sa_energy(sa_flops),
+            Component.VU: dyn.vu_energy(vu_flops),
+            Component.SRAM: dyn.sram_energy(sram_bytes),
+            Component.HBM: dyn.hbm_energy(op.hbm_bytes),
+            Component.ICI: dyn.ici_energy(op.ici_bytes),
+        }
+        energies[Component.OTHER] = dyn.other_energy(sum(energies.values()))
+        return energies
+
+    def simulate_operator(self, op: Operator) -> OperatorProfile:
+        """Simulate a single operator."""
+        times = self.timing.times(op)
+        tile_info = self.tiling.tile(op)
+        return OperatorProfile(
+            operator=op,
+            times=times,
+            tile_info=tile_info,
+            dynamic_energy_j=self._dynamic_energy(op, times),
+        )
+
+    def simulate(self, graph: OperatorGraph) -> WorkloadProfile:
+        """Simulate one iteration of a workload graph."""
+        graph.validate()
+        if self.apply_fusion:
+            graph, _groups = FusionPass(self.chip).run(graph)
+        profile = WorkloadProfile(graph=graph, chip=self.chip)
+        for op in graph.operators:
+            profile.profiles.append(self.simulate_operator(op))
+        return profile
+
+
+__all__ = [
+    "GapProfile",
+    "NPUSimulator",
+    "OperatorProfile",
+    "WorkloadProfile",
+]

@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.regate import simulate_workload
+from repro.gating.bet import DEFAULT_PARAMETERS
+from repro.hardware.chips import get_chip
+from repro.hardware.power import ChipPowerModel
+from repro.simulator.engine import NPUSimulator
+from repro.workloads.base import ParallelismConfig
+from repro.workloads.llm import build_decode_graph, build_prefill_graph
+
+
+@pytest.fixture(scope="session")
+def npu_d():
+    """The NPU-D (TPUv5p-like) chip spec used as the default target."""
+    return get_chip("NPU-D")
+
+
+@pytest.fixture(scope="session")
+def npu_a():
+    return get_chip("NPU-A")
+
+
+@pytest.fixture(scope="session")
+def power_model_d(npu_d):
+    return ChipPowerModel(npu_d)
+
+
+@pytest.fixture(scope="session")
+def gating_parameters():
+    return DEFAULT_PARAMETERS
+
+
+@pytest.fixture(scope="session")
+def prefill_graph_small():
+    """A small single-chip prefill graph (8B model, short sequence)."""
+    return build_prefill_graph("llama3-8b", batch_size=1, seq_len=512)
+
+
+@pytest.fixture(scope="session")
+def decode_graph_small():
+    """A small single-chip decode graph (8B model)."""
+    return build_decode_graph("llama3-8b", batch_size=4, context_len=1024, output_len=128)
+
+
+@pytest.fixture(scope="session")
+def prefill_profile_small(npu_d, prefill_graph_small):
+    """Simulated profile of the small prefill graph on NPU-D."""
+    return NPUSimulator(npu_d).simulate(prefill_graph_small)
+
+
+@pytest.fixture(scope="session")
+def decode_profile_small(npu_d, decode_graph_small):
+    return NPUSimulator(npu_d).simulate(decode_graph_small)
+
+
+@pytest.fixture(scope="session")
+def prefill_result_70b():
+    """Full policy evaluation of the default 70B prefill workload."""
+    return simulate_workload("llama3-70b-prefill")
+
+
+@pytest.fixture(scope="session")
+def decode_result_70b():
+    return simulate_workload("llama3-70b-decode")
+
+
+@pytest.fixture(scope="session")
+def dlrm_result():
+    return simulate_workload("dlrm-m-inference")
+
+
+@pytest.fixture(scope="session")
+def dit_result():
+    return simulate_workload("dit-xl-inference")
+
+
+@pytest.fixture(scope="session")
+def tensor_parallel_2():
+    return ParallelismConfig(data=1, tensor=2, pipeline=1)

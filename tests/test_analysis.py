@@ -1,0 +1,175 @@
+"""Tests for the analysis helpers (characterization, evaluation, sensitivity, validation)."""
+
+import pytest
+
+from repro.analysis import characterization, evaluation, sensitivity, validation
+from repro.analysis.tables import format_table, percentage
+from repro.gating.report import PolicyName
+from repro.hardware.components import Component
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 0.001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_percentage(self):
+        assert percentage(0.155) == "15.5%"
+
+
+class TestCharacterization:
+    def test_workload_list_complete(self):
+        assert len(characterization.all_characterization_workloads()) == 17
+
+    def test_energy_breakdown_fractions_sum_to_one(self):
+        breakdown = characterization.energy_breakdown("llama3-8b-decode", "NPU-D")
+        total = (
+            breakdown.idle_fraction
+            + sum(breakdown.static_fractions.values())
+            + sum(breakdown.dynamic_fractions.values())
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_idle_fraction_in_paper_band(self):
+        """§3: 17-32% of energy is wasted due to chip idleness."""
+        breakdown = characterization.energy_breakdown("llama3-70b-prefill", "NPU-D")
+        assert 0.10 <= breakdown.idle_fraction <= 0.40
+
+    def test_busy_static_fraction_in_paper_band(self):
+        breakdown = characterization.energy_breakdown("llama3-70b-prefill", "NPU-D")
+        assert 0.30 <= breakdown.busy_static_fraction <= 0.72
+
+    def test_energy_efficiency_improves_across_generations(self):
+        points = characterization.energy_efficiency(
+            ["llama3-8b-prefill"], chips=("NPU-A", "NPU-D")
+        )
+        by_chip = {p.chip: p.energy_per_work_j for p in points}
+        assert by_chip["NPU-D"] < by_chip["NPU-A"]
+
+    def test_temporal_utilization_table(self):
+        table = characterization.temporal_utilization(
+            Component.SA, ["llama3-8b-prefill", "llama3-8b-decode"], chips=("NPU-D",)
+        )
+        assert table[("llama3-8b-prefill", "NPU-D")] > table[("llama3-8b-decode", "NPU-D")]
+
+    def test_sa_spatial_utilization_prefill_high(self):
+        table = characterization.sa_spatial_utilization(
+            ["llama3-70b-prefill"], chips=("NPU-D",)
+        )
+        assert table[("llama3-70b-prefill", "NPU-D")] > 0.85
+
+    def test_sram_demand_cdf_monotone(self):
+        cdf = characterization.sram_demand_cdf("llama3-8b-decode")
+        fractions = [fraction for _, fraction in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_dlrm_demand_far_below_capacity(self):
+        """Figure 7: DLRM's SRAM demand is a small fraction of 128 MB."""
+        p95 = characterization.sram_demand_percentile("dlrm-m-inference", 0.95)
+        assert p95 < 64 * 1024 * 1024
+
+
+class TestEvaluation:
+    def test_savings_breakdown_components_sum(self):
+        breakdowns = evaluation.energy_savings_breakdown("llama3-70b-decode")
+        full = next(b for b in breakdowns if b.policy is PolicyName.REGATE_FULL)
+        assert full.total_savings == pytest.approx(
+            sum(full.by_component.values()), abs=0.02
+        )
+
+    def test_savings_increase_from_base_to_full(self):
+        breakdowns = evaluation.energy_savings_breakdown("dlrm-m-inference")
+        by_policy = {b.policy: b.total_savings for b in breakdowns}
+        assert (
+            by_policy[PolicyName.REGATE_BASE]
+            <= by_policy[PolicyName.REGATE_HW] + 1e-9
+            <= by_policy[PolicyName.REGATE_FULL] + 2e-9
+            <= by_policy[PolicyName.IDEAL] + 3e-9
+        )
+
+    def test_power_consumption_ordering(self):
+        points = evaluation.power_consumption("llama3-70b-prefill")
+        by_policy = {p.policy: p for p in points}
+        assert (
+            by_policy[PolicyName.REGATE_FULL].average_power_w
+            < by_policy[PolicyName.NOPG].average_power_w
+        )
+
+    def test_performance_overhead_below_paper_bounds(self):
+        overheads = evaluation.performance_overhead("llama3-70b-prefill")
+        assert overheads[PolicyName.REGATE_FULL] < 0.005
+        assert overheads[PolicyName.REGATE_BASE] < 0.05
+
+    def test_setpm_rate_below_theoretical_bound(self):
+        """§6.4: at most 1000/32 ≈ 31 VU setpm per 1K cycles."""
+        rate = evaluation.setpm_rate("llama3-70b-prefill")
+        assert 0 <= rate.vu_setpm_per_kcycle < 32
+        assert rate.sram_setpm_per_kcycle < 1.0
+
+    def test_carbon_reduction_band(self):
+        reductions = evaluation.carbon_reduction("dlrm-m-inference")
+        assert 0.2 < reductions[PolicyName.REGATE_FULL] < 0.8
+
+
+class TestSensitivity:
+    def test_leakage_sweep_monotone(self):
+        points = sensitivity.leakage_sensitivity(
+            "llama3-8b-decode", points=((0.03, 0.25, 0.002), (0.6, 0.8, 0.4))
+        )
+        full = [p for p in points if p.policy is PolicyName.REGATE_FULL]
+        assert full[0].savings > full[1].savings
+
+    def test_delay_sweep_reduces_savings(self):
+        points = sensitivity.delay_sensitivity(
+            "llama3-8b-decode", multipliers=(1.0, 4.0)
+        )
+        base = [p for p in points if p.policy is PolicyName.REGATE_BASE]
+        assert base[0].savings >= base[1].savings
+
+    def test_full_robust_to_delay_increase(self):
+        """Figure 22: Full's overhead stays flat as delays grow."""
+        points = sensitivity.delay_sensitivity("llama3-8b-prefill", multipliers=(1.0, 4.0))
+        full = [p for p in points if p.policy is PolicyName.REGATE_FULL]
+        assert full[1].overhead < 0.005
+
+    def test_generation_sweep_covers_all_chips(self):
+        points = sensitivity.generation_sensitivity(
+            "llama3-8b-decode", chips=("NPU-C", "NPU-D", "NPU-E")
+        )
+        chips = {p.parameter for p in points}
+        assert chips == {"NPU-C", "NPU-D", "NPU-E"}
+
+
+class TestValidation:
+    def test_r_squared_perfect_correlation(self):
+        assert validation.pearson_r_squared([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_r_squared_requires_pairs(self):
+        with pytest.raises(ValueError):
+            validation.pearson_r_squared([1], [2])
+
+    def test_llm_validation_above_paper_threshold(self):
+        """The paper reports R^2 > 0.97 for end-to-end LLM validation."""
+        series = validation.validate_llm(
+            "llama3-8b", "prefill", batch_sizes=(1, 2, 4), tensor_degrees=(1, 2)
+        )
+        assert series.r_squared > 0.97
+
+    def test_decode_validation(self):
+        series = validation.validate_llm(
+            "llama3-8b", "decode", batch_sizes=(16, 32, 64), tensor_degrees=(1, 2)
+        )
+        assert series.r_squared > 0.95
+
+    def test_single_operator_validation(self):
+        scenarios = validation.validate_single_operators()
+        assert set(scenarios) == {"matmul", "layernorm", "reducescatter", "allgather"}
+        for name, series in scenarios.items():
+            assert series.r_squared > 0.97, name
+
+    def test_reference_time_positive(self, prefill_graph_small, npu_d):
+        assert validation.roofline_reference_time_s(prefill_graph_small, npu_d) > 0

@@ -1,0 +1,107 @@
+"""Tests for the carbon models (operational, embodied, lifespan)."""
+
+import pytest
+
+from repro.carbon.embodied import EMBODIED_CARBON_KG, embodied_carbon_kg
+from repro.carbon.lifespan import LifespanAnalysis
+from repro.carbon.operational import JOULES_PER_KWH, OperationalCarbonModel
+from repro.gating.report import PolicyName
+
+
+class TestOperationalCarbon:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return OperationalCarbonModel()
+
+    def test_energy_to_carbon_conversion(self, model):
+        kwh = JOULES_PER_KWH
+        assert model.energy_to_carbon_kg(kwh) == pytest.approx(0.0624 * 1.1)
+
+    def test_carbon_positive(self, model, prefill_result_70b):
+        assert model.carbon_per_iteration_kg(prefill_result_70b, PolicyName.NOPG) > 0
+
+    def test_idle_power_lower_with_gating(self, model, prefill_result_70b):
+        nopg = model.idle_power_w(prefill_result_70b, PolicyName.NOPG)
+        full = model.idle_power_w(prefill_result_70b, PolicyName.REGATE_FULL)
+        ideal = model.idle_power_w(prefill_result_70b, PolicyName.IDEAL)
+        assert full < nopg
+        assert ideal < full
+
+    def test_carbon_reduction_exceeds_busy_energy_savings(self, model, prefill_result_70b):
+        """Figure 24: carbon reduction > energy savings because idle-time
+        static power dominates and is almost entirely gated away."""
+        reduction = model.carbon_reduction(prefill_result_70b, PolicyName.REGATE_FULL)
+        savings = prefill_result_70b.energy_savings(PolicyName.REGATE_FULL)
+        assert reduction > savings
+
+    def test_carbon_reduction_in_paper_band(self, model, prefill_result_70b, dlrm_result):
+        """The paper reports 31-63% operational carbon reduction."""
+        for result in (prefill_result_70b, dlrm_result):
+            reduction = model.carbon_reduction(result, PolicyName.REGATE_FULL)
+            assert 0.15 < reduction < 0.75
+
+    def test_carbon_per_work(self, model, dlrm_result):
+        per_iter = model.carbon_per_iteration_kg(dlrm_result, PolicyName.NOPG)
+        per_work = model.carbon_per_work_kg(dlrm_result, PolicyName.NOPG)
+        assert per_work == pytest.approx(per_iter / dlrm_result.work_per_iteration)
+
+    def test_higher_duty_cycle_reduces_carbon_per_iteration(self, prefill_result_70b):
+        busy = OperationalCarbonModel(duty_cycle=0.9)
+        idle_heavy = OperationalCarbonModel(duty_cycle=0.3)
+        assert busy.carbon_per_iteration_kg(
+            prefill_result_70b, PolicyName.NOPG
+        ) < idle_heavy.carbon_per_iteration_kg(prefill_result_70b, PolicyName.NOPG)
+
+
+class TestEmbodiedCarbon:
+    def test_all_generations_tabulated(self):
+        assert set(EMBODIED_CARBON_KG) == {"NPU-A", "NPU-B", "NPU-C", "NPU-D", "NPU-E"}
+
+    def test_embodied_carbon_positive_and_plausible(self):
+        for name, value in EMBODIED_CARBON_KG.items():
+            assert 30 < value < 1000, name
+
+    def test_newer_generations_cost_more_to_make(self):
+        assert EMBODIED_CARBON_KG["NPU-E"] > EMBODIED_CARBON_KG["NPU-D"]
+        assert EMBODIED_CARBON_KG["NPU-D"] > EMBODIED_CARBON_KG["NPU-A"]
+
+    def test_lookup_by_spec(self):
+        assert embodied_carbon_kg("NPU-D") == EMBODIED_CARBON_KG["NPU-D"]
+
+
+class TestLifespanAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self, prefill_result_70b):
+        return LifespanAnalysis(prefill_result_70b)
+
+    def test_embodied_share_decreases_with_lifespan(self, analysis):
+        short = analysis.point(1, PolicyName.NOPG)
+        long = analysis.point(8, PolicyName.NOPG)
+        assert long.embodied_kg_per_work < short.embodied_kg_per_work
+
+    def test_operational_share_increases_with_lifespan(self, analysis):
+        short = analysis.point(1, PolicyName.NOPG)
+        long = analysis.point(8, PolicyName.NOPG)
+        assert long.operational_kg_per_work > short.operational_kg_per_work
+
+    def test_sweep_length(self, analysis):
+        assert len(analysis.sweep(PolicyName.NOPG)) == 10
+
+    def test_optimal_lifespan_within_horizon(self, analysis):
+        optimal = analysis.optimal_lifespan(PolicyName.NOPG)
+        assert 1 <= optimal <= 10
+
+    def test_power_gating_extends_optimal_lifespan(self, analysis):
+        """Figure 25's key qualitative claim."""
+        nopg = analysis.optimal_lifespan(PolicyName.NOPG)
+        full = analysis.optimal_lifespan(PolicyName.REGATE_FULL)
+        assert full >= nopg
+
+    def test_gating_reduces_total_carbon_at_fixed_lifespan(self, analysis):
+        nopg = analysis.point(5, PolicyName.NOPG)
+        full = analysis.point(5, PolicyName.REGATE_FULL)
+        assert full.total_kg_per_work < nopg.total_kg_per_work
+
+    def test_invalid_lifespan(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.point(0, PolicyName.NOPG)

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "llama3-8b-prefill"])
+        assert args.workload == "llama3-8b-prefill"
+        assert args.chip == "NPU-D"
+        assert args.num_chips is None
+
+    def test_simulate_overrides(self):
+        args = build_parser().parse_args(
+            ["simulate", "dlrm-m", "--chip", "NPU-E", "--num-chips", "16",
+             "--batch-size", "2048", "--policy", "ReGate-Full"]
+        )
+        assert args.chip == "NPU-E"
+        assert args.num_chips == 16
+        assert args.batch_size == 2048
+        assert args.policy == ["ReGate-Full"]
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "llama3-70b-prefill" in output
+        assert "dlrm-l-inference" in output
+
+    def test_chips_command(self, capsys):
+        assert main(["chips"]) == 0
+        output = capsys.readouterr().out
+        assert "NPU-A" in output and "NPU-E" in output
+
+    def test_simulate_command(self, capsys):
+        code = main(
+            ["simulate", "llama3-8b-decode", "--policy", "ReGate-Full", "--utilization"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ReGate-Full" in output
+        assert "NoPG" in output  # always included as the baseline
+        assert "Systolic Array" in output
+
+    def test_simulate_unknown_workload_fails_gracefully(self, capsys):
+        assert main(["simulate", "resnet50"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_simulate_unknown_policy_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "llama3-8b-decode", "--policy", "dvfs"])

@@ -1,0 +1,130 @@
+"""Tests for the DLRM and stable-diffusion workload generators."""
+
+import pytest
+
+from repro.workloads.base import OpKind, ParallelismConfig
+from repro.workloads.diffusion import (
+    DIT_XL,
+    GLIGEN,
+    build_dit_graph,
+    build_gligen_graph,
+)
+from repro.workloads.dlrm import (
+    DLRM_CONFIGS,
+    build_dlrm_graph,
+    get_dlrm_config,
+    memory_per_chip_bytes,
+)
+
+
+class TestDLRMConfigs:
+    def test_three_variants(self):
+        assert set(DLRM_CONFIGS) == {"dlrm-s", "dlrm-m", "dlrm-l"}
+
+    @pytest.mark.parametrize(
+        "name, size_gb", [("dlrm-s", 20), ("dlrm-m", 45), ("dlrm-l", 98)]
+    )
+    def test_table_sizes_match_table1(self, name, size_gb):
+        assert get_dlrm_config(name).table_size_gb == size_gb
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(KeyError):
+            get_dlrm_config("dlrm-xl")
+
+    def test_interaction_features(self):
+        cfg = get_dlrm_config("dlrm-s")
+        n = cfg.num_tables + 1
+        assert cfg.interaction_features == cfg.embedding_dim + n * (n - 1) // 2
+
+
+class TestDLRMGraph:
+    def test_embedding_gather_dominates_hbm_traffic(self):
+        graph = build_dlrm_graph("dlrm-m", 1024, ParallelismConfig(data=8))
+        gather = next(op for op in graph.operators if op.name == "embedding_gather")
+        assert gather.hbm_bytes > 0.1 * graph.total_hbm_bytes
+
+    def test_multi_chip_has_alltoall(self):
+        graph = build_dlrm_graph("dlrm-m", 1024, ParallelismConfig(data=8))
+        assert any(op.name == "embedding_alltoall" for op in graph.operators)
+
+    def test_single_chip_has_no_alltoall(self):
+        graph = build_dlrm_graph("dlrm-s", 1024)
+        assert not any(op.kind is OpKind.COLLECTIVE for op in graph.operators)
+
+    def test_work_per_iteration_is_request_batch(self):
+        graph = build_dlrm_graph("dlrm-s", 2048, ParallelismConfig(data=8))
+        assert graph.work_per_iteration == 2048
+        assert graph.iteration_unit == "request"
+
+    def test_mlp_layers_emitted(self):
+        graph = build_dlrm_graph("dlrm-s", 1024)
+        names = {op.name for op in graph.operators}
+        assert "bottom_mlp_fc0" in names and "top_mlp_fc4" in names
+
+    def test_low_arithmetic_intensity(self):
+        """DLRM is memory/network bound: a few FLOPs per HBM byte."""
+        graph = build_dlrm_graph("dlrm-l", 1024, ParallelismConfig(data=8))
+        total_flops = graph.total_sa_flops + graph.total_vu_flops
+        assert total_flops / graph.total_hbm_bytes < 50
+
+    def test_memory_footprint_shards_tables(self):
+        cfg = get_dlrm_config("dlrm-l")
+        one = memory_per_chip_bytes(cfg, ParallelismConfig())
+        eight = memory_per_chip_bytes(cfg, ParallelismConfig(data=8))
+        assert eight < one / 4
+
+    def test_dlrm_l_needs_multiple_chips(self):
+        cfg = get_dlrm_config("dlrm-l")
+        assert memory_per_chip_bytes(cfg, ParallelismConfig()) > 95e9
+        assert memory_per_chip_bytes(cfg, ParallelismConfig(data=8)) < 95e9
+
+
+class TestDiffusionGraphs:
+    def test_dit_attention_head_size_is_72(self):
+        assert DIT_XL.head_dim == 72
+
+    def test_dit_token_count(self):
+        # 512x512 image -> 64x64 latent -> 32x32 patches of size 2.
+        assert DIT_XL.num_tokens == 1024
+
+    def test_dit_graph_scales_with_denoising_steps(self):
+        graph = build_dit_graph(64, ParallelismConfig(data=64))
+        attention = next(op for op in graph.operators if op.name == "dit_attn_scores")
+        assert attention.count % DIT_XL.denoising_steps == 0
+
+    def test_dit_work_is_images(self):
+        graph = build_dit_graph(8192, ParallelismConfig(data=64))
+        assert graph.work_per_iteration == 8192
+        assert graph.iteration_unit == "image"
+
+    def test_dit_attention_spatially_underutilizes_sa(self):
+        """Attention matmuls have K or N = 72 < 128 (Figure 5's cause)."""
+        graph = build_dit_graph(64, ParallelismConfig(data=64))
+        scores = next(op for op in graph.operators if op.name == "dit_attn_scores")
+        av = next(op for op in graph.operators if op.name == "dit_attn_av")
+        assert scores.dims.k == 72
+        assert av.dims.n == 72
+
+    def test_gligen_stages_shrink_spatially(self):
+        spatials = [stage.spatial for stage in GLIGEN.stages]
+        assert spatials == sorted(spatials, reverse=True)
+
+    def test_gligen_has_conv_operators(self):
+        graph = build_gligen_graph(4, ParallelismConfig(data=4))
+        assert any(op.kind is OpKind.CONV for op in graph.operators)
+
+    def test_gligen_has_cross_and_gated_attention(self):
+        graph = build_gligen_graph(4, ParallelismConfig(data=4))
+        names = {op.name for op in graph.operators}
+        assert any("crossattn" in name for name in names)
+        assert any("gatedattn" in name for name in names)
+
+    def test_gligen_unet_visits_stages_twice(self):
+        graph = build_gligen_graph(4, ParallelismConfig(data=4))
+        names = [op.name for op in graph.operators]
+        assert any(name.startswith("down0") for name in names)
+        assert any(name.startswith("up0") for name in names)
+
+    def test_diffusion_graphs_are_compute_heavy(self):
+        graph = build_dit_graph(64, ParallelismConfig(data=64))
+        assert graph.total_sa_flops / graph.total_hbm_bytes > 50

@@ -1,0 +1,192 @@
+"""Tests for the ISA model: VLIW bundles, setpm encoding, core pipeline."""
+
+import pytest
+
+from repro.hardware.components import Component, PowerState
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    Program,
+    SetpmInstruction,
+    SlotKind,
+    VLIWBundle,
+)
+from repro.isa.pipeline import CorePipeline
+
+
+class TestSetpmEncoding:
+    def test_encode_decode_roundtrip_vu(self):
+        original = SetpmInstruction(
+            target=Component.VU, mode=PowerState.OFF, unit_bitmap=0b1011
+        )
+        decoded = SetpmInstruction.decode(original.encode())
+        assert decoded.target is Component.VU
+        assert decoded.mode is PowerState.OFF
+        assert decoded.unit_bitmap == 0b1011
+
+    @pytest.mark.parametrize("mode", [PowerState.ON, PowerState.OFF, PowerState.AUTO])
+    def test_encode_decode_modes(self, mode):
+        instr = SetpmInstruction(target=Component.SA, mode=mode, unit_bitmap=0b1)
+        assert SetpmInstruction.decode(instr.encode()).mode is mode
+
+    def test_sram_variant_requires_address_range(self):
+        with pytest.raises(ValueError):
+            SetpmInstruction(target=Component.SRAM, mode=PowerState.OFF)
+
+    def test_sram_variant_accepts_sleep(self):
+        instr = SetpmInstruction(
+            target=Component.SRAM, mode=PowerState.SLEEP, address_range=(0, 4096)
+        )
+        assert instr.mode is PowerState.SLEEP
+
+    def test_non_sram_rejects_sleep(self):
+        with pytest.raises(ValueError):
+            SetpmInstruction(target=Component.VU, mode=PowerState.SLEEP, unit_bitmap=1)
+
+    def test_bitmap_must_fit_8_bits(self):
+        with pytest.raises(ValueError):
+            SetpmInstruction(target=Component.VU, mode=PowerState.OFF, unit_bitmap=0x1FF)
+
+    def test_invalid_address_range(self):
+        with pytest.raises(ValueError):
+            SetpmInstruction(
+                target=Component.SRAM, mode=PowerState.OFF, address_range=(100, 50)
+            )
+
+    def test_affected_units_from_bitmap(self):
+        instr = SetpmInstruction(target=Component.VU, mode=PowerState.OFF, unit_bitmap=0b1011)
+        assert instr.affected_units() == [0, 1, 3]
+
+    def test_setpm_occupies_misc_slot(self):
+        instr = SetpmInstruction(target=Component.VU, mode=PowerState.OFF, unit_bitmap=1)
+        assert instr.slot is SlotKind.MISC
+        assert instr.opcode is Opcode.SETPM
+
+
+class TestBundlesAndPrograms:
+    def test_single_misc_slot_per_bundle(self):
+        bundle = VLIWBundle(cycle=0)
+        bundle.add(SetpmInstruction(target=Component.VU, mode=PowerState.OFF, unit_bitmap=1))
+        with pytest.raises(ValueError):
+            bundle.add(
+                SetpmInstruction(target=Component.SA, mode=PowerState.ON, unit_bitmap=1)
+            )
+
+    def test_bundle_accepts_parallel_slots(self):
+        bundle = VLIWBundle(cycle=0)
+        bundle.add(Instruction(opcode=Opcode.POP, slot=SlotKind.SA, unit_index=0))
+        bundle.add(Instruction(opcode=Opcode.VADD, slot=SlotKind.VU, unit_index=0))
+        bundle.add(Instruction(opcode=Opcode.DMA_IN, slot=SlotKind.DMA))
+        assert len(bundle.instructions) == 3
+
+    def test_program_cycle_ordering_enforced(self):
+        program = Program()
+        program.append(VLIWBundle(cycle=5))
+        with pytest.raises(ValueError):
+            program.append(VLIWBundle(cycle=5))
+
+    def test_program_num_cycles_includes_duration(self):
+        program = Program()
+        bundle = VLIWBundle(cycle=10)
+        bundle.add(Instruction(opcode=Opcode.POP, slot=SlotKind.SA, duration_cycles=8))
+        program.append(bundle)
+        assert program.num_cycles == 18
+
+    def test_count_setpm(self):
+        program = Program()
+        bundle = VLIWBundle(cycle=0)
+        bundle.add(SetpmInstruction(target=Component.VU, mode=PowerState.OFF, unit_bitmap=1))
+        program.append(bundle)
+        assert program.count_setpm() == 1
+
+    def test_instruction_duration_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(opcode=Opcode.NOP, slot=SlotKind.MISC, duration_cycles=0)
+
+    def test_instructions_in_slot_filter(self):
+        program = Program()
+        bundle = VLIWBundle(cycle=0)
+        bundle.add(Instruction(opcode=Opcode.POP, slot=SlotKind.SA, unit_index=1))
+        bundle.add(Instruction(opcode=Opcode.VADD, slot=SlotKind.VU, unit_index=0))
+        program.append(bundle)
+        sa_instrs = list(program.instructions_in_slot(SlotKind.SA, unit_index=1))
+        assert len(sa_instrs) == 1
+
+
+class TestCorePipeline:
+    def _simple_program(self, gate_first: bool) -> Program:
+        program = Program()
+        cycle = 0
+        if gate_first:
+            bundle = VLIWBundle(cycle=cycle)
+            bundle.add(
+                SetpmInstruction(target=Component.SA, mode=PowerState.OFF, unit_bitmap=0b1)
+            )
+            program.append(bundle)
+            cycle += 1
+        work = VLIWBundle(cycle=cycle + 5)
+        work.add(Instruction(opcode=Opcode.POP, slot=SlotKind.SA, unit_index=0, duration_cycles=8))
+        program.append(work)
+        return program
+
+    def test_powered_unit_dispatches_without_stall(self):
+        pipeline = CorePipeline()
+        total = pipeline.run(self._simple_program(gate_first=False))
+        assert pipeline.total_stall_cycles == 0
+        assert total >= 13
+
+    def test_gated_unit_exposes_wakeup_delay(self):
+        pipeline = CorePipeline(sa_wake_delay=10)
+        baseline = CorePipeline(sa_wake_delay=10)
+        gated_total = pipeline.run(self._simple_program(gate_first=True))
+        plain_total = baseline.run(self._simple_program(gate_first=False))
+        assert pipeline.total_stall_cycles == 10
+        assert gated_total >= plain_total + 10 - 1
+
+    def test_setpm_on_prewakes_unit(self):
+        program = Program()
+        off = VLIWBundle(cycle=0)
+        off.add(SetpmInstruction(target=Component.VU, mode=PowerState.OFF, unit_bitmap=0b1))
+        program.append(off)
+        on = VLIWBundle(cycle=10)
+        on.add(SetpmInstruction(target=Component.VU, mode=PowerState.ON, unit_bitmap=0b1))
+        program.append(on)
+        work = VLIWBundle(cycle=20)
+        work.add(Instruction(opcode=Opcode.VADD, slot=SlotKind.VU, unit_index=0))
+        program.append(work)
+        pipeline = CorePipeline(vu_wake_delay=2)
+        pipeline.run(program)
+        assert pipeline.total_stall_cycles == 0
+
+    def test_gated_cycles_accumulate(self):
+        program = Program()
+        off = VLIWBundle(cycle=0)
+        off.add(SetpmInstruction(target=Component.VU, mode=PowerState.OFF, unit_bitmap=0b1))
+        program.append(off)
+        tail = VLIWBundle(cycle=100)
+        tail.add(Instruction(opcode=Opcode.NOP, slot=SlotKind.MISC))
+        program.append(tail)
+        pipeline = CorePipeline()
+        pipeline.run(program)
+        assert pipeline.unit(Component.VU, 0).gated_cycles >= 99
+
+    def test_independent_ready_bits(self):
+        """Gating one VU must not affect the other VU or the SAs."""
+        program = Program()
+        off = VLIWBundle(cycle=0)
+        off.add(SetpmInstruction(target=Component.VU, mode=PowerState.OFF, unit_bitmap=0b10))
+        program.append(off)
+        work = VLIWBundle(cycle=5)
+        work.add(Instruction(opcode=Opcode.VADD, slot=SlotKind.VU, unit_index=0))
+        work.add(Instruction(opcode=Opcode.POP, slot=SlotKind.SA, unit_index=0))
+        program.append(work)
+        pipeline = CorePipeline()
+        pipeline.run(program)
+        assert pipeline.total_stall_cycles == 0
+        assert pipeline.unit(Component.VU, 1).power_state is PowerState.OFF
+
+    def test_wake_count_tracked(self):
+        program = self._simple_program(gate_first=True)
+        pipeline = CorePipeline()
+        pipeline.run(program)
+        assert pipeline.unit(Component.SA, 0).wake_count == 1

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gating.bet import DEFAULT_PARAMETERS
+from repro.gating.policies import get_policy
+from repro.gating.report import PolicyName
+from repro.gating.sa_gating import (
+    SpatialGatingModel,
+    active_pe_mask,
+    column_on_bitmap,
+    padding_efficiency,
+    pipeline_fill_efficiency,
+    row_on_bitmap,
+    spatial_utilization,
+)
+from repro.gating.sram_gating import SramGatingModel
+from repro.hardware.chips import get_chip
+from repro.hardware.power import ChipPowerModel
+from repro.isa.instructions import SetpmInstruction
+from repro.hardware.components import Component, PowerState
+from repro.simulator.engine import NPUSimulator
+from repro.simulator.systolic import SystolicArraySimulator
+from repro.simulator.timing import OperatorTimingModel
+from repro.workloads.base import (
+    CollectiveKind,
+    MatmulDims,
+    OperatorGraph,
+    WorkloadPhase,
+    collective_op,
+    matmul_op,
+)
+
+dims_strategy = st.builds(
+    MatmulDims,
+    m=st.integers(min_value=1, max_value=8192),
+    k=st.integers(min_value=1, max_value=8192),
+    n=st.integers(min_value=1, max_value=8192),
+)
+
+
+class TestSpatialUtilizationProperties:
+    @given(dims=dims_strategy, width=st.sampled_from([64, 128, 256]))
+    def test_utilization_bounded(self, dims, width):
+        util = spatial_utilization(dims, width)
+        assert 0.0 <= util <= 1.0
+
+    @given(dims=dims_strategy, width=st.sampled_from([128, 256]))
+    def test_power_shares_partition_unity(self, dims, width):
+        shares = SpatialGatingModel(width, DEFAULT_PARAMETERS).shares(dims)
+        assert math.isclose(shares.active + shares.weight_only + shares.off, 1.0, rel_tol=1e-6)
+        assert min(shares.active, shares.weight_only, shares.off) >= -1e-12
+
+    @given(dims=dims_strategy, width=st.sampled_from([128, 256]))
+    def test_static_factor_between_off_leak_and_one(self, dims, width):
+        factor = SpatialGatingModel(width, DEFAULT_PARAMETERS).static_power_factor(dims)
+        assert DEFAULT_PARAMETERS.leakage.logic_off - 1e-9 <= factor <= 1.0 + 1e-9
+
+    @given(dim=st.integers(min_value=1, max_value=10000), width=st.sampled_from([128, 256]))
+    def test_padding_efficiency_bounds(self, dim, width):
+        assert 0.0 < padding_efficiency(dim, width) <= 1.0
+
+    @given(m=st.integers(min_value=1, max_value=100000))
+    def test_fill_efficiency_monotone(self, m):
+        assert pipeline_fill_efficiency(m + 1, 128) >= pipeline_fill_efficiency(m, 128)
+
+
+class TestRowColumnBitmapProperties:
+    @given(bits=st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_column_on_superset_of_nonzero(self, bits):
+        nz = np.array(bits)
+        on = column_on_bitmap(nz)
+        assert (on | ~nz).all()  # every non-zero column stays on
+
+    @given(bits=st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_column_on_monotone_decreasing(self, bits):
+        """Once a column is off, every column to its right is off too."""
+        on = column_on_bitmap(np.array(bits))
+        seen_off = False
+        for value in on:
+            if not value:
+                seen_off = True
+            assert not (seen_off and value)
+
+    @given(bits=st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_row_on_monotone_increasing(self, bits):
+        on = row_on_bitmap(np.array(bits))
+        seen_on = False
+        for value in on:
+            if value:
+                seen_on = True
+            assert value or not seen_on or not value
+
+    @given(
+        rows=st.integers(min_value=1, max_value=12),
+        cols=st.integers(min_value=1, max_value=12),
+        data=st.data(),
+    )
+    def test_active_mask_covers_nonzero_weights(self, rows, cols, data):
+        weights = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.sampled_from([0.0, 1.0]), min_size=cols, max_size=cols),
+                    min_size=rows,
+                    max_size=rows,
+                )
+            )
+        )
+        mask = active_pe_mask(weights)
+        assert mask.shape == weights.shape
+        assert (mask | (weights == 0)).all()
+
+
+class TestSystolicProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=12),
+        k=st.integers(min_value=1, max_value=8),
+        n=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_systolic_matmul_always_matches_numpy(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        inputs = rng.integers(-3, 4, size=(m, k)).astype(float)
+        weights = rng.integers(-3, 4, size=(k, n)).astype(float)
+        result = SystolicArraySimulator(width=8).run(inputs, weights)
+        np.testing.assert_allclose(result.output, inputs @ weights)
+
+    @settings(max_examples=25, deadline=None)
+    @given(m=st.integers(min_value=1, max_value=32))
+    def test_pe_cycle_conservation(self, m):
+        sim = SystolicArraySimulator(width=8)
+        result = sim.run(np.ones((m, 8)), np.ones((8, 8)))
+        assert result.total_pe_cycles == 64 * result.total_cycles
+        assert result.compute_pe_cycles <= result.pe_on_cycles
+
+
+class TestSetpmEncodingProperties:
+    @given(
+        target=st.sampled_from([Component.SA, Component.VU, Component.HBM, Component.ICI]),
+        mode=st.sampled_from([PowerState.ON, PowerState.OFF, PowerState.AUTO]),
+        bitmap=st.integers(min_value=1, max_value=255),
+    )
+    def test_encode_decode_roundtrip(self, target, mode, bitmap):
+        instr = SetpmInstruction(target=target, mode=mode, unit_bitmap=bitmap)
+        decoded = SetpmInstruction.decode(instr.encode())
+        assert decoded.target is target
+        assert decoded.mode is mode
+        assert decoded.unit_bitmap == bitmap
+
+    @given(bitmap=st.integers(min_value=1, max_value=255))
+    def test_affected_units_match_popcount(self, bitmap):
+        instr = SetpmInstruction(target=Component.VU, mode=PowerState.OFF, unit_bitmap=bitmap)
+        assert len(instr.affected_units()) == bin(bitmap).count("1")
+
+
+class TestTimingAndEnergyProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=4096),
+        k=st.integers(min_value=64, max_value=4096),
+        n=st.integers(min_value=64, max_value=4096),
+    )
+    def test_latency_at_least_each_component_time(self, m, k, n):
+        timing = OperatorTimingModel(get_chip("NPU-D"))
+        times = timing.times(matmul_op("mm", m=m, k=k, n=n))
+        assert times.latency_s >= times.sa_s
+        assert times.latency_s >= times.hbm_s
+        assert times.latency_s >= times.vu_s
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        payload=st.floats(min_value=1e3, max_value=1e10),
+        chips=st.integers(min_value=2, max_value=64),
+    )
+    def test_collective_wire_traffic_below_2x_payload(self, payload, chips):
+        op = collective_op("ar", CollectiveKind.ALL_REDUCE, payload, chips)
+        assert 0 < op.ici_bytes < 2 * payload
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        m=st.integers(min_value=32, max_value=2048),
+        leak=st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_policy_energy_between_ideal_and_nopg(self, m, leak):
+        chip = get_chip("NPU-D")
+        graph = OperatorGraph(name="g", phase=WorkloadPhase.INFERENCE)
+        graph.add(matmul_op("mm", m=m, k=1024, n=1024))
+        profile = NPUSimulator(chip).simulate(graph)
+        power_model = ChipPowerModel(chip)
+        parameters = DEFAULT_PARAMETERS.with_leakage(leak, min(1.0, leak + 0.05), leak / 2)
+        nopg = get_policy(PolicyName.NOPG, parameters).evaluate(profile, power_model)
+        full = get_policy(PolicyName.REGATE_FULL, parameters).evaluate(profile, power_model)
+        ideal = get_policy(PolicyName.IDEAL, parameters).evaluate(profile, power_model)
+        assert ideal.total_energy_j <= full.total_energy_j * 1.0000001
+        assert full.total_energy_j <= nopg.total_energy_j * 1.01
+
+    @settings(max_examples=10, deadline=None)
+    @given(demand_fraction=st.floats(min_value=0.0, max_value=1.5))
+    def test_sram_leakage_factor_bounds(self, demand_fraction):
+        chip = get_chip("NPU-D")
+        model = SramGatingModel(chip, DEFAULT_PARAMETERS)
+        demand = demand_fraction * chip.sram_bytes
+        for software in (True, False):
+            factor = model.leakage_factor_for_demand(demand, software)
+            assert DEFAULT_PARAMETERS.leakage.sram_off - 1e-9 <= factor <= 1.0 + 1e-9

@@ -1,0 +1,98 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.hardware.chips import get_chip
+from repro.workloads.base import WorkloadPhase
+from repro.workloads.registry import (
+    flat_data_parallelism,
+    get_workload,
+    list_workloads,
+    llm_parallelism,
+    workloads_by_family,
+)
+
+
+class TestRegistry:
+    def test_all_table1_workloads_registered(self):
+        names = set(list_workloads())
+        for model in ("llama3-8b", "llama2-13b", "llama3-70b", "llama3.1-405b"):
+            for phase in ("training", "prefill", "decode"):
+                assert f"{model}-{phase}" in names
+        for name in ("dlrm-s-inference", "dlrm-m-inference", "dlrm-l-inference"):
+            assert name in names
+        assert "dit-xl-inference" in names and "gligen-inference" in names
+
+    def test_workload_count(self):
+        assert len(list_workloads()) == 4 * 3 + 3 + 2
+
+    def test_aliases(self):
+        assert get_workload("dlrm-m").name == "dlrm-m-inference"
+        assert get_workload("DIT-XL").name == "dit-xl-inference"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("bert-large")
+
+    def test_families(self):
+        assert len(workloads_by_family("llm")) == 12
+        assert len(workloads_by_family("dlrm")) == 3
+        assert len(workloads_by_family("diffusion")) == 2
+
+    def test_build_graph_with_defaults(self):
+        spec = get_workload("llama3-8b-prefill")
+        graph = spec.build_graph()
+        assert graph.phase is WorkloadPhase.PREFILL
+        assert graph.batch_size == spec.default_batch_size
+
+    def test_memory_estimate_positive(self):
+        spec = get_workload("dlrm-l")
+        parallelism = spec.parallelism_for(8, get_chip("NPU-D").hbm.capacity_bytes)
+        assert spec.memory_per_chip(parallelism, 4096) > 0
+
+
+class TestParallelismHeuristics:
+    def test_flat_data_parallelism(self):
+        config = flat_data_parallelism(64)
+        assert config.data == 64 and config.tensor == 1 and config.pipeline == 1
+
+    def test_llm_parallelism_fits_memory(self):
+        chip = get_chip("NPU-D")
+        config = llm_parallelism(
+            "llama3-70b", WorkloadPhase.PREFILL, 8, chip.hbm.capacity_bytes
+        )
+        assert config.num_chips == 8
+        assert config.tensor > 1  # 140 GB of weights cannot fit on one chip
+
+    def test_llm_parallelism_small_model_prefers_data_parallel(self):
+        chip = get_chip("NPU-D")
+        config = llm_parallelism(
+            "llama3-8b", WorkloadPhase.PREFILL, 8, chip.hbm.capacity_bytes
+        )
+        assert config.tensor == 1 and config.data == 8
+
+    def test_llm_parallelism_prefers_tensor_over_pipeline(self):
+        chip = get_chip("NPU-D")
+        config = llm_parallelism(
+            "llama3-70b", WorkloadPhase.DECODE, 8, chip.hbm.capacity_bytes
+        )
+        assert config.tensor >= config.pipeline
+
+    def test_405b_on_16_chips_uses_model_parallelism(self):
+        chip = get_chip("NPU-D")
+        config = llm_parallelism(
+            "llama3.1-405b", WorkloadPhase.PREFILL, 16, chip.hbm.capacity_bytes
+        )
+        assert config.num_chips == 16
+        assert config.tensor * config.pipeline >= 8
+
+    def test_default_chip_counts_feasible(self):
+        """Every registered workload's default pod must fit in NPU-D HBM."""
+        chip = get_chip("NPU-D")
+        for name in list_workloads():
+            spec = get_workload(name)
+            parallelism = spec.parallelism_for(
+                spec.default_num_chips, chip.hbm.capacity_bytes
+            )
+            footprint = spec.memory_per_chip(parallelism, spec.default_batch_size)
+            assert footprint <= chip.hbm.capacity_bytes * 1.05, name

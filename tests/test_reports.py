@@ -1,0 +1,63 @@
+"""Unit tests for the EnergyReport container."""
+
+import pytest
+
+from repro.gating.report import EnergyReport, PolicyName
+from repro.hardware.components import Component
+
+
+def _report(policy=PolicyName.NOPG, static=100.0, dynamic=50.0, overhead=0.0):
+    report = EnergyReport(policy=policy, baseline_time_s=2.0, overhead_time_s=overhead)
+    report.static_energy_j[Component.SA] = static * 0.3
+    report.static_energy_j[Component.SRAM] = static * 0.7
+    report.dynamic_energy_j[Component.SA] = dynamic * 0.8
+    report.dynamic_energy_j[Component.HBM] = dynamic * 0.2
+    return report
+
+
+class TestEnergyReport:
+    def test_totals(self):
+        report = _report()
+        assert report.total_static_j == pytest.approx(100.0)
+        assert report.total_dynamic_j == pytest.approx(50.0)
+        assert report.total_energy_j == pytest.approx(150.0)
+
+    def test_total_time_includes_overhead(self):
+        report = _report(overhead=0.5)
+        assert report.total_time_s == pytest.approx(2.5)
+        assert report.performance_overhead == pytest.approx(0.25)
+
+    def test_average_power(self):
+        report = _report()
+        assert report.average_power_w == pytest.approx(75.0)
+
+    def test_component_energy(self):
+        report = _report()
+        assert report.component_energy_j(Component.SA) == pytest.approx(30 + 40)
+        assert report.component_energy_j(Component.ICI) == 0.0
+
+    def test_static_fraction(self):
+        report = _report()
+        assert report.static_fraction() == pytest.approx(100 / 150)
+        assert report.static_fraction(Component.SRAM) == pytest.approx(70 / 150)
+
+    def test_savings_vs(self):
+        baseline = _report()
+        better = _report(policy=PolicyName.REGATE_FULL, static=40.0)
+        assert better.savings_vs(baseline) == pytest.approx(1 - 90 / 150)
+
+    def test_component_savings_vs(self):
+        baseline = _report()
+        better = _report(policy=PolicyName.REGATE_FULL, static=40.0)
+        expected = (70 - 28) / 150
+        assert better.component_savings_vs(baseline, Component.SRAM) == pytest.approx(expected)
+
+    def test_zero_time_average_power(self):
+        report = EnergyReport(policy=PolicyName.NOPG, baseline_time_s=0.0, overhead_time_s=0.0)
+        assert report.average_power_w == 0.0
+        assert report.performance_overhead == 0.0
+
+    def test_empty_report_fractions(self):
+        report = EnergyReport(policy=PolicyName.NOPG, baseline_time_s=1.0, overhead_time_s=0.0)
+        assert report.static_fraction() == 0.0
+        assert report.savings_vs(report) == 0.0

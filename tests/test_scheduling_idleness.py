@@ -1,0 +1,144 @@
+"""Tests for the tile scheduler, idleness analysis and setpm instrumentation."""
+
+import math
+
+import pytest
+
+from repro.compiler.idleness import IdlenessPass
+from repro.compiler.instrumentation import InstrumentationPass, instrument_sram_regions
+from repro.compiler.allocation import BufferRequest, SramAllocator
+from repro.compiler.scheduling import ScheduleConfig, TileScheduler, schedule_matmul_pipeline
+from repro.compiler.tiling import TilingPass
+from repro.gating.bet import DEFAULT_PARAMETERS
+from repro.hardware.chips import get_chip
+from repro.hardware.components import Component, PowerState
+from repro.workloads.base import elementwise_op, matmul_op
+
+
+class TestScheduler:
+    def test_matmul_pipeline_structure(self):
+        program = schedule_matmul_pipeline(num_sa=2, num_vu=2, num_tiles=4)
+        assert program.num_cycles > 0
+        # Two SA pops and two VU adds per tile.
+        from repro.isa.instructions import SlotKind
+
+        sa_instrs = [instr for _, instr in program.instructions_in_slot(SlotKind.SA)]
+        vu_count = len(list(program.instructions_in_slot(SlotKind.VU)))
+        pops = [i for i in sa_instrs if i.opcode.value == "pop"]
+        pushes = [i for i in sa_instrs if i.opcode.value == "push"]
+        assert len(pops) == 2 * 4
+        assert len(pushes) == 2 * 4
+        assert vu_count == 2 * 4
+
+    def test_trace_length_bounded(self):
+        config = ScheduleConfig(max_steady_state_tiles=16)
+        program = schedule_matmul_pipeline(2, 2, 1000, config)
+        from repro.isa.instructions import SlotKind
+
+        assert len(list(program.instructions_in_slot(SlotKind.SA))) <= 2 * 2 * 16
+
+    def test_operator_scheduling_matmul(self):
+        chip = get_chip("NPU-D")
+        op = matmul_op("mm", m=512, k=512, n=512)
+        info = TilingPass(chip).tile(op)
+        program = TileScheduler(chip).schedule(op, info)
+        assert program.num_cycles > 0
+
+    def test_operator_scheduling_streaming(self):
+        chip = get_chip("NPU-D")
+        op = elementwise_op("norm", elements=int(1e7))
+        info = TilingPass(chip).tile(op)
+        program = TileScheduler(chip).schedule(op, info)
+        from repro.isa.instructions import SlotKind
+
+        assert len(list(program.instructions_in_slot(SlotKind.DMA))) >= 1
+        assert len(list(program.instructions_in_slot(SlotKind.VU))) >= 1
+
+
+class TestIdlenessAnalysis:
+    def test_vu_idle_between_bursts(self):
+        """Figure 15's pattern: the VU idles between SA output bursts."""
+        program = schedule_matmul_pipeline(num_sa=2, num_vu=2, num_tiles=8)
+        analysis = IdlenessPass().run(program)
+        vu_intervals = analysis.for_component(Component.VU)
+        assert vu_intervals, "expected VU idle intervals"
+        assert analysis.idle_fraction(Component.VU) > 0.5
+
+    def test_sa_mostly_busy(self):
+        program = schedule_matmul_pipeline(num_sa=2, num_vu=2, num_tiles=8)
+        analysis = IdlenessPass().run(program)
+        assert analysis.idle_fraction(Component.SA) < 0.3
+
+    def test_dma_between_vu_instructions_makes_interval_infinite(self):
+        program = schedule_matmul_pipeline(num_sa=1, num_vu=1, num_tiles=8, dma_every_tiles=2)
+        analysis = IdlenessPass().run(program)
+        assert any(
+            math.isinf(interval.effective_cycles)
+            for interval in analysis.for_component(Component.VU)
+        )
+
+    def test_total_cycles_positive(self):
+        program = schedule_matmul_pipeline(1, 1, 2)
+        analysis = IdlenessPass().run(program)
+        assert analysis.total_cycles == program.num_cycles
+
+
+class TestInstrumentation:
+    def _analyzed_program(self, num_tiles=8):
+        program = schedule_matmul_pipeline(num_sa=2, num_vu=2, num_tiles=num_tiles)
+        analysis = IdlenessPass().run(program)
+        return program, analysis
+
+    def test_setpm_inserted_for_long_vu_gaps(self):
+        program, analysis = self._analyzed_program()
+        # Use a tiny BET so the short toy-trace gaps qualify for gating.
+        parameters = DEFAULT_PARAMETERS.with_delay_multiplier(0.05)
+        instrumented, plan = InstrumentationPass(parameters).run(program, analysis)
+        assert plan.num_setpm > 0
+        assert instrumented.count_setpm() == 0 or instrumented.count_setpm() <= plan.num_setpm
+
+    def test_no_setpm_for_short_gaps(self):
+        program, analysis = self._analyzed_program()
+        # With the default 32-cycle VU BET, the toy trace's ~8-cycle gaps
+        # are too short to gate (the paper's policy skips them).
+        _, plan = InstrumentationPass(DEFAULT_PARAMETERS).run(program, analysis)
+        finite_gaps = [
+            iv for iv in analysis.for_component(Component.VU)
+            if not math.isinf(iv.effective_cycles) and iv.cycles < 32
+        ]
+        assert plan.skipped_intervals
+        assert len(plan.skipped_intervals) >= len(finite_gaps)
+
+    def test_setpm_rate_bounded_by_bet(self):
+        """The paper: at most 1000/BET ~ 31 VU setpm per 1K cycles."""
+        program, analysis = self._analyzed_program(num_tiles=32)
+        parameters = DEFAULT_PARAMETERS.with_delay_multiplier(0.1)
+        _, plan = InstrumentationPass(parameters).run(program, analysis)
+        rate = plan.setpm_per_kcycle(program.num_cycles)
+        assert rate <= 1000.0 / 3.2 + 1
+
+    def test_instrumented_program_preserves_cycle_order(self):
+        program, analysis = self._analyzed_program()
+        parameters = DEFAULT_PARAMETERS.with_delay_multiplier(0.05)
+        instrumented, _ = InstrumentationPass(parameters).run(program, analysis)
+        cycles = [bundle.cycle for bundle in instrumented.bundles]
+        assert cycles == sorted(cycles)
+
+    def test_sram_instrumentation_gates_unused_region(self):
+        chip = get_chip("NPU-D")
+        allocator = SramAllocator(chip)
+        allocations = allocator.allocate([BufferRequest("a", 8 << 20, 0, 100)])
+        plan = instrument_sram_regions(allocator, allocations, total_instructions=200)
+        assert plan.power_off_points
+        cycle, instruction = plan.power_off_points[0]
+        assert instruction.target is Component.SRAM
+        assert instruction.mode is PowerState.OFF
+        start, end = instruction.address_range
+        assert start >= 8 << 20
+        assert end == allocator.capacity
+
+    def test_sram_instrumentation_empty_program_gates_everything(self):
+        chip = get_chip("NPU-D")
+        allocator = SramAllocator(chip)
+        plan = instrument_sram_regions(allocator, [], total_instructions=10)
+        assert plan.power_off_points[0][1].address_range == (0, allocator.capacity)
