@@ -1,8 +1,9 @@
 """Figure 2: energy efficiency of ML workloads across NPU generations."""
 
 from benchmarks.conftest import emit, run_once
-from repro.analysis import characterization
 from repro.analysis.tables import format_table
+from repro.experiments import SweepRunner, SweepSpec
+from repro.gating.report import PolicyName
 
 WORKLOADS = (
     "llama3-8b-training",
@@ -17,14 +18,21 @@ WORKLOADS = (
 )
 
 
-def test_fig02_energy_efficiency(benchmark, quick_chips):
-    points = run_once(
-        benchmark,
-        lambda: characterization.energy_efficiency(list(WORKLOADS), chips=quick_chips),
+def test_fig02_energy_efficiency(benchmark, quick_chips, sweep_cache):
+    spec = SweepSpec(
+        workloads=WORKLOADS, chips=quick_chips, policies=(PolicyName.NOPG,)
+    )
+    table = run_once(
+        benchmark, lambda: SweepRunner(spec, cache=sweep_cache).run()
     )
     rows = [
-        [p.workload, p.chip, f"{p.energy_per_work_j:.4e}", p.iteration_unit]
-        for p in points
+        [
+            row["workload"],
+            row["chip"],
+            f"{row['energy_per_work_j']:.4e}",
+            row["iteration_unit"],
+        ]
+        for row in table
     ]
     emit(
         format_table(
@@ -34,8 +42,6 @@ def test_fig02_energy_efficiency(benchmark, quick_chips):
         )
     )
     # Newer generations are more energy-efficient for every workload.
-    by_workload = {}
-    for point in points:
-        by_workload.setdefault(point.workload, {})[point.chip] = point.energy_per_work_j
-    for workload, per_chip in by_workload.items():
-        assert per_chip["NPU-D"] < per_chip["NPU-A"], workload
+    efficiency = table.pivot(("workload", "chip"), "energy_per_work_j")
+    for workload in WORKLOADS:
+        assert efficiency[(workload, "NPU-D")] < efficiency[(workload, "NPU-A")], workload

@@ -1,9 +1,9 @@
 """Figure 4: systolic-array temporal utilization."""
 
 from benchmarks.conftest import emit, run_once
-from repro.analysis import characterization
 from repro.analysis.tables import format_table, percentage
-from repro.hardware.components import Component
+from repro.experiments import SweepRunner, SweepSpec
+from repro.gating.report import PolicyName
 
 WORKLOADS = (
     "llama3-70b-prefill",
@@ -17,13 +17,12 @@ WORKLOADS = (
 )
 
 
-def test_fig04_sa_temporal_utilization(benchmark, quick_chips):
-    table = run_once(
-        benchmark,
-        lambda: characterization.temporal_utilization(
-            Component.SA, list(WORKLOADS), chips=quick_chips
-        ),
+def test_fig04_sa_temporal_utilization(benchmark, quick_chips, sweep_cache):
+    spec = SweepSpec(
+        workloads=WORKLOADS, chips=quick_chips, policies=(PolicyName.NOPG,)
     )
+    result = run_once(benchmark, lambda: SweepRunner(spec, cache=sweep_cache).run())
+    table = result.pivot(("workload", "chip"), "sa_temporal_util")
     rows = [
         [workload, chip, percentage(value)] for (workload, chip), value in table.items()
     ]

@@ -1,8 +1,9 @@
 """Figure 5: systolic-array spatial utilization."""
 
 from benchmarks.conftest import emit, run_once
-from repro.analysis import characterization
 from repro.analysis.tables import format_table, percentage
+from repro.experiments import SweepRunner, SweepSpec
+from repro.gating.report import PolicyName
 
 WORKLOADS = (
     "llama3-70b-prefill",
@@ -15,11 +16,12 @@ WORKLOADS = (
 )
 
 
-def test_fig05_sa_spatial_utilization(benchmark, quick_chips):
-    table = run_once(
-        benchmark,
-        lambda: characterization.sa_spatial_utilization(list(WORKLOADS), chips=quick_chips),
+def test_fig05_sa_spatial_utilization(benchmark, quick_chips, sweep_cache):
+    spec = SweepSpec(
+        workloads=WORKLOADS, chips=quick_chips, policies=(PolicyName.NOPG,)
     )
+    result = run_once(benchmark, lambda: SweepRunner(spec, cache=sweep_cache).run())
+    table = result.pivot(("workload", "chip"), "sa_spatial_util")
     rows = [
         [workload, chip, percentage(value)] for (workload, chip), value in table.items()
     ]

@@ -1,9 +1,9 @@
 """Figure 9: HBM temporal utilization."""
 
 from benchmarks.conftest import emit, run_once
-from repro.analysis import characterization
 from repro.analysis.tables import format_table, percentage
-from repro.hardware.components import Component
+from repro.experiments import SweepRunner, SweepSpec
+from repro.gating.report import PolicyName
 
 WORKLOADS = (
     "llama3-70b-prefill",
@@ -16,13 +16,12 @@ WORKLOADS = (
 )
 
 
-def test_fig09_hbm_temporal_utilization(benchmark, quick_chips):
-    table = run_once(
-        benchmark,
-        lambda: characterization.temporal_utilization(
-            Component.HBM, list(WORKLOADS), chips=quick_chips
-        ),
+def test_fig09_hbm_temporal_utilization(benchmark, quick_chips, sweep_cache):
+    spec = SweepSpec(
+        workloads=WORKLOADS, chips=quick_chips, policies=(PolicyName.NOPG,)
     )
+    result = run_once(benchmark, lambda: SweepRunner(spec, cache=sweep_cache).run())
+    table = result.pivot(("workload", "chip"), "hbm_temporal_util")
     rows = [
         [workload, chip, percentage(value)] for (workload, chip), value in table.items()
     ]

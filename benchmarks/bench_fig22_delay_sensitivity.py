@@ -13,12 +13,12 @@ WORKLOADS = (
 )
 
 
-def _sweep():
-    return {w: sensitivity.delay_sensitivity(w) for w in WORKLOADS}
+def _sweep(cache):
+    return {w: sensitivity.delay_sensitivity(w, cache=cache) for w in WORKLOADS}
 
 
-def test_fig22_delay_sensitivity(benchmark):
-    table = run_once(benchmark, _sweep)
+def test_fig22_delay_sensitivity(benchmark, sweep_cache):
+    table = run_once(benchmark, lambda: _sweep(sweep_cache))
     rows = [
         [
             workload,

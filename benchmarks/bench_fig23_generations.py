@@ -14,12 +14,12 @@ WORKLOADS = (
 )
 
 
-def _sweep():
-    return {w: sensitivity.generation_sensitivity(w) for w in WORKLOADS}
+def _sweep(cache):
+    return {w: sensitivity.generation_sensitivity(w, cache=cache) for w in WORKLOADS}
 
 
-def test_fig23_generation_sweep(benchmark):
-    table = run_once(benchmark, _sweep)
+def test_fig23_generation_sweep(benchmark, sweep_cache):
+    table = run_once(benchmark, lambda: _sweep(sweep_cache))
     rows = [
         [workload, point.parameter, point.policy.value, percentage(point.savings)]
         for workload, points in table.items()

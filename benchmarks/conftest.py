@@ -30,3 +30,16 @@ def emit(text: str) -> None:
 def quick_chips():
     """NPU generations used by the characterization benchmarks."""
     return ("NPU-A", "NPU-B", "NPU-C", "NPU-D")
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """Session-wide simulation cache shared by the sweep-based benchmarks.
+
+    The characterization figures all walk the same (workload, chip)
+    grid; sharing one cache across the benchmark session means each
+    profile is simulated exactly once no matter how many figures read it.
+    """
+    from repro.experiments import SimulationCache
+
+    return SimulationCache()

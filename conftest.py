@@ -1,0 +1,25 @@
+"""Repository-level pytest configuration.
+
+Defines the ``--update-golden`` flag used by the golden regression tests
+(``tests/test_golden_regression.py``) to regenerate the snapshots under
+``tests/golden/`` instead of asserting against them::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_regression.py --update-golden
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden snapshots in tests/golden/ and skip the asserts",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    """Whether the golden snapshots should be rewritten rather than checked."""
+    return request.config.getoption("--update-golden")

@@ -4,14 +4,21 @@ The effectiveness of power gating depends on circuit-level parameters:
 the leakage of gated logic and drowsy/off SRAM (threshold and retention
 voltages), the power-gate/wake-up delay, and the chip generation.  These
 sweeps mirror the paper's.
+
+All three analyses are expressed as :class:`~repro.experiments.SweepSpec`
+grids executed by the :class:`~repro.experiments.SweepRunner`.  Gating
+parameters only affect the policy evaluation, not the performance
+simulation, so a shared :class:`~repro.experiments.SimulationCache`
+simulates each (workload, chip) profile once and re-evaluates it at
+every sweep point; callers may pass their own cache to share profiles
+across analyses as well.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import SimulationConfig
-from repro.core.regate import simulate_workload
+from repro.experiments import SimulationCache, SweepRunner, SweepSpec
 from repro.gating.bet import (
     DEFAULT_PARAMETERS,
     FIGURE21_LEAKAGE_POINTS,
@@ -46,6 +53,32 @@ class SensitivityPoint:
     overhead: float
 
 
+def _run(
+    spec: SweepSpec,
+    policies: tuple[PolicyName, ...],
+    parameter_column: str,
+    cache: SimulationCache | None,
+) -> list[SensitivityPoint]:
+    """Execute a sweep and project its rows onto sensitivity points.
+
+    With ``cache=None`` the runner's own run-scoped cache still shares
+    the workload profile across the sweep's gating-parameter points.
+    """
+    table = SweepRunner(spec, cache=cache).run()
+    wanted = {policy.value: policy for policy in policies}
+    return [
+        SensitivityPoint(
+            workload=row["workload"],
+            policy=wanted[row["policy"]],
+            parameter=str(row[parameter_column]),
+            savings=row["savings_vs_nopg"],
+            overhead=row["overhead_vs_nopg"],
+        )
+        for row in table
+        if row["policy"] in wanted
+    ]
+
+
 # ---------------------------------------------------------------------- #
 # Figure 21: leakage-ratio sweep
 # ---------------------------------------------------------------------- #
@@ -53,25 +86,22 @@ def leakage_sensitivity(
     workload: str,
     chip: str = "NPU-D",
     points: tuple[tuple[float, float, float], ...] = FIGURE21_LEAKAGE_POINTS,
+    cache: SimulationCache | None = None,
 ) -> list[SensitivityPoint]:
     """Energy savings for each (logic-off, SRAM-sleep, SRAM-off) leakage point."""
-    results = []
-    for logic_off, sram_sleep, sram_off in points:
-        parameters = DEFAULT_PARAMETERS.with_leakage(logic_off, sram_sleep, sram_off)
-        config = SimulationConfig(chip=chip, gating_parameters=parameters)
-        result = simulate_workload(workload, config)
-        label = f"{logic_off}/{sram_sleep}/{sram_off}"
-        for policy in GATING_POLICIES:
-            results.append(
-                SensitivityPoint(
-                    workload=workload,
-                    policy=policy,
-                    parameter=label,
-                    savings=result.energy_savings(policy),
-                    overhead=result.performance_overhead(policy),
-                )
+    spec = SweepSpec(
+        workloads=(workload,),
+        chips=(chip,),
+        policies=GATING_POLICIES,
+        gating_parameters=tuple(
+            (
+                f"{logic_off}/{sram_sleep}/{sram_off}",
+                DEFAULT_PARAMETERS.with_leakage(logic_off, sram_sleep, sram_off),
             )
-    return results
+            for logic_off, sram_sleep, sram_off in points
+        ),
+    )
+    return _run(spec, GATING_POLICIES, "gating_label", cache)
 
 
 # ---------------------------------------------------------------------- #
@@ -81,24 +111,19 @@ def delay_sensitivity(
     workload: str,
     chip: str = "NPU-D",
     multipliers: tuple[float, ...] = FIGURE22_DELAY_MULTIPLIERS,
+    cache: SimulationCache | None = None,
 ) -> list[SensitivityPoint]:
     """Energy savings and overhead for scaled power-gate/wake-up delays."""
-    results = []
-    for multiplier in multipliers:
-        parameters = DEFAULT_PARAMETERS.with_delay_multiplier(multiplier)
-        config = SimulationConfig(chip=chip, gating_parameters=parameters)
-        result = simulate_workload(workload, config)
-        for policy in GATING_POLICIES:
-            results.append(
-                SensitivityPoint(
-                    workload=workload,
-                    policy=policy,
-                    parameter=f"{multiplier}x",
-                    savings=result.energy_savings(policy),
-                    overhead=result.performance_overhead(policy),
-                )
-            )
-    return results
+    spec = SweepSpec(
+        workloads=(workload,),
+        chips=(chip,),
+        policies=GATING_POLICIES,
+        gating_parameters=tuple(
+            (f"{multiplier}x", DEFAULT_PARAMETERS.with_delay_multiplier(multiplier))
+            for multiplier in multipliers
+        ),
+    )
+    return _run(spec, GATING_POLICIES, "gating_label", cache)
 
 
 # ---------------------------------------------------------------------- #
@@ -107,23 +132,12 @@ def delay_sensitivity(
 def generation_sensitivity(
     workload: str,
     chips: tuple[str, ...] = ("NPU-A", "NPU-B", "NPU-C", "NPU-D", "NPU-E"),
+    cache: SimulationCache | None = None,
 ) -> list[SensitivityPoint]:
     """Energy savings of each design on every NPU generation (Figure 23)."""
-    results = []
-    for chip in chips:
-        config = SimulationConfig(chip=chip)
-        result = simulate_workload(workload, config)
-        for policy in (*GATING_POLICIES, PolicyName.IDEAL):
-            results.append(
-                SensitivityPoint(
-                    workload=workload,
-                    policy=policy,
-                    parameter=chip,
-                    savings=result.energy_savings(policy),
-                    overhead=result.performance_overhead(policy),
-                )
-            )
-    return results
+    policies = (*GATING_POLICIES, PolicyName.IDEAL)
+    spec = SweepSpec(workloads=(workload,), chips=chips, policies=policies)
+    return _run(spec, policies, "chip", cache)
 
 
 __all__ = [

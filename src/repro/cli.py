@@ -6,9 +6,13 @@ Usage::
     python -m repro chips
     python -m repro simulate llama3-70b-prefill --chip NPU-D
     python -m repro simulate dlrm-m --chip NPU-E --num-chips 16 --policy ReGate-Full
+    python -m repro sweep -w llama3-8b-prefill -w dlrm-s --chip NPU-C --chip NPU-D \
+        --parallel 4 --cache sweep-cache.json --csv sweep.csv
 
-The CLI is a thin wrapper over :func:`repro.core.regate.simulate_workload`
-and prints the same per-policy summary the quickstart example shows.
+``simulate`` is a thin wrapper over
+:func:`repro.core.regate.simulate_workload`; ``sweep`` drives the
+:mod:`repro.experiments` runner over a workload x chip x policy grid
+with optional multiprocessing and an on-disk result cache.
 """
 
 from __future__ import annotations
@@ -63,15 +67,10 @@ def _cmd_chips(_: argparse.Namespace) -> str:
 def _parse_policies(names: list[str] | None) -> tuple[PolicyName, ...]:
     if not names:
         return SimulationConfig().policies
-    lookup = {p.value.lower(): p for p in PolicyName}
-    lookup.update({p.name.lower(): p for p in PolicyName})
-    selected = []
-    for name in names:
-        key = name.strip().lower()
-        if key not in lookup:
-            raise SystemExit(f"unknown policy {name!r}; choose from "
-                             f"{', '.join(p.value for p in PolicyName)}")
-        selected.append(lookup[key])
+    try:
+        selected = [PolicyName.parse(name) for name in names]
+    except KeyError as error:
+        raise SystemExit(error.args[0])
     if PolicyName.NOPG not in selected:
         selected.insert(0, PolicyName.NOPG)
     return tuple(selected)
@@ -124,6 +123,63 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.experiments import SimulationCache, SweepRunner, SweepSpec
+
+    spec_kwargs = dict(
+        workloads=tuple(args.workload),
+        chips=tuple(args.chip or ["NPU-D"]),
+        batch_sizes=tuple(args.batch_size) if args.batch_size else (None,),
+        num_chips=tuple(args.num_chips) if args.num_chips else (None,),
+    )
+    if args.policy:
+        # SweepSpec resolves policy names itself and always prepends NoPG.
+        spec_kwargs["policies"] = tuple(args.policy)
+    try:
+        spec = SweepSpec(**spec_kwargs)
+    except KeyError as error:
+        # Same message/exit behavior as `simulate` with an unknown policy.
+        raise SystemExit(error.args[0])
+    cache = SimulationCache(args.cache) if args.cache else None
+    runner = SweepRunner(spec, cache=cache, max_workers=args.parallel)
+    result = runner.run()
+
+    lines = [f"sweep grid    : {spec.describe()}", f"result rows   : {len(result)}"]
+    if cache is not None:
+        stats = cache.stats()
+        lines.append(
+            f"cache         : {stats['row_hits']} hits / {stats['row_misses']} misses "
+            f"(sweep points; {args.cache})"
+        )
+    if args.csv:
+        result.to_csv(args.csv)
+        lines.append(f"csv written   : {args.csv}")
+    if args.json:
+        result.to_json(args.json)
+        lines.append(f"json written  : {args.json}")
+    lines.append("")
+    rows = [
+        [
+            row["workload"],
+            row["chip"],
+            row["policy"],
+            f"{row['total_energy_j']:.3f}",
+            percentage(row["savings_vs_nopg"]),
+            f"{row['average_power_w']:.1f}",
+            percentage(row["overhead_vs_nopg"], 3),
+        ]
+        for row in result
+    ]
+    lines.append(
+        format_table(
+            ["workload", "NPU", "design", "energy (J/chip/iter)", "savings",
+             "avg power (W)", "overhead"],
+            rows,
+        )
+    )
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -152,6 +208,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--utilization", action="store_true", help="also print component utilization"
     )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a cached workload x chip x policy parameter sweep"
+    )
+    sweep.add_argument(
+        "-w", "--workload", action="append", required=True,
+        help="workload to sweep (repeatable)",
+    )
+    sweep.add_argument(
+        "--chip", action="append",
+        help="NPU generation to sweep (repeatable; default NPU-D)",
+    )
+    sweep.add_argument(
+        "--batch-size", action="append", type=int,
+        help="batch size grid point (repeatable; default: workload default)",
+    )
+    sweep.add_argument(
+        "--num-chips", action="append", type=int,
+        help="pod size grid point (repeatable; default: workload default)",
+    )
+    sweep.add_argument(
+        "--policy", action="append",
+        help="evaluate only these policies (repeatable); NoPG is always included",
+    )
+    sweep.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="run points on N worker processes (default: serial)",
+    )
+    sweep.add_argument(
+        "--cache", metavar="PATH",
+        help="JSON cache file; a warm cache skips all simulation",
+    )
+    sweep.add_argument("--csv", metavar="PATH", help="write the full table as CSV")
+    sweep.add_argument("--json", metavar="PATH", help="write the full table as JSON")
+    sweep.set_defaults(handler=_cmd_sweep)
     return parser
 
 

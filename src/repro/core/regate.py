@@ -56,16 +56,48 @@ def simulate_workload(
         config = SimulationConfig(**{**base.__dict__, **config_overrides})
     config = config or SimulationConfig()
     spec = workload if isinstance(workload, WorkloadSpec) else get_workload(workload)
+    chip, batch_size, parallelism = resolve_execution(spec, config)
+    graph = spec.build_graph(batch_size=batch_size, parallelism=parallelism)
+    simulator = NPUSimulator(chip, apply_fusion=config.apply_fusion)
+    profile = simulator.simulate(graph)
+    return _evaluate(spec.name, profile, parallelism, graph, config)
+
+
+def resolve_execution(spec: WorkloadSpec, config: SimulationConfig):
+    """Resolve the (chip, batch size, parallelism) a config implies.
+
+    The single source of the defaulting rules, shared by the direct
+    simulation path above and the memoized path in
+    :mod:`repro.experiments.cache` (their cache keys must agree with
+    what actually runs).
+    """
     chip = config.resolve_chip()
     num_chips = config.num_chips or spec.default_num_chips
     batch_size = config.batch_size or spec.default_batch_size
     parallelism = config.parallelism or spec.parallelism_for(
         num_chips, chip.hbm.capacity_bytes
     )
-    graph = spec.build_graph(batch_size=batch_size, parallelism=parallelism)
-    simulator = NPUSimulator(chip, apply_fusion=config.apply_fusion)
-    profile = simulator.simulate(graph)
-    return _evaluate(spec.name, profile, parallelism, graph, config)
+    return chip, batch_size, parallelism
+
+
+def build_result(
+    name: str,
+    profile: WorkloadProfile,
+    parallelism: ParallelismConfig,
+    graph: OperatorGraph,
+    config: SimulationConfig,
+) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` shell (no policy reports yet)."""
+    return SimulationResult(
+        workload=name,
+        chip=config.resolve_chip(),
+        num_chips=parallelism.num_chips,
+        batch_size=graph.batch_size,
+        parallelism=parallelism,
+        profile=profile,
+        work_per_iteration=graph.work_per_iteration,
+        iteration_unit=graph.iteration_unit,
+    )
 
 
 def _evaluate(
@@ -75,18 +107,8 @@ def _evaluate(
     graph: OperatorGraph,
     config: SimulationConfig,
 ) -> SimulationResult:
-    chip = config.resolve_chip()
-    power_model = ChipPowerModel(chip)
-    result = SimulationResult(
-        workload=name,
-        chip=chip,
-        num_chips=parallelism.num_chips,
-        batch_size=graph.batch_size,
-        parallelism=parallelism,
-        profile=profile,
-        work_per_iteration=graph.work_per_iteration,
-        iteration_unit=graph.iteration_unit,
-    )
+    result = build_result(name, profile, parallelism, graph, config)
+    power_model = ChipPowerModel(result.chip)
     for policy_name in config.policies:
         policy = get_policy(policy_name, config.gating_parameters)
         result.reports[policy_name] = policy.evaluate(profile, power_model)

@@ -1,0 +1,47 @@
+"""Parallel experiment sweeps with simulation memoization.
+
+The experiments subsystem turns the one-off simulation loops scattered
+through the benchmarks and analyses into declarative, cached, optionally
+parallel parameter studies:
+
+* :class:`SweepSpec` — declares a grid over workloads, chips, batch
+  sizes, pod sizes, policies and gating parameters.
+* :class:`SweepRunner` / :func:`run_sweep` — executes the grid serially
+  or on a process pool, with bit-identical results either way.
+* :class:`SimulationCache` / :func:`simulate_cached` — content-addressed
+  memoization of workload profiles, per-policy energy reports and
+  finished sweep rows, with an optional on-disk JSON store.
+* :class:`SweepResult` — a flat table with CSV/JSON export and
+  filter/group-by/pivot helpers.
+
+See ``docs/experiments.md`` for a guide and the cache-invalidation rules.
+"""
+
+from repro.experiments.cache import (
+    JsonFileStore,
+    SimulationCache,
+    simulate_cached,
+)
+from repro.experiments.keys import canonical, point_key, profile_key, report_key, stable_hash
+from repro.experiments.result import SweepResult
+from repro.experiments.runner import SweepRunner, run_point, run_sweep, rows_from_result
+from repro.experiments.spec import DEFAULT_GATING_LABEL, SweepPoint, SweepSpec
+
+__all__ = [
+    "DEFAULT_GATING_LABEL",
+    "JsonFileStore",
+    "SimulationCache",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "canonical",
+    "point_key",
+    "profile_key",
+    "report_key",
+    "rows_from_result",
+    "run_point",
+    "run_sweep",
+    "simulate_cached",
+    "stable_hash",
+]

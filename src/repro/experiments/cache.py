@@ -1,0 +1,319 @@
+"""Content-addressed memoization for workload simulations.
+
+Three artifact classes are cached, each under a stable key from
+:mod:`repro.experiments.keys`:
+
+* **Workload profiles** — the output of ``NPUSimulator.simulate``; the
+  most expensive artifact.  Profiles hold live operator graphs, so they
+  are memoized in memory only.
+* **Energy reports** — one per (profile, policy, gating parameters);
+  JSON-serializable, kept in memory and optionally on disk.
+* **Sweep rows** — the flat tables produced by
+  :class:`~repro.experiments.runner.SweepRunner`; JSON-serializable,
+  kept in memory and optionally on disk.  A warm row cache lets a
+  repeated sweep complete without a single simulator call.
+
+:func:`simulate_cached` is a drop-in replacement for
+:func:`repro.core.regate.simulate_workload` that consults a
+:class:`SimulationCache`, sharing profiles across policy/gating-parameter
+variations (e.g. the sensitivity sweeps re-evaluate five leakage points
+on a single simulated profile).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import SimulationConfig
+from repro.core.regate import build_result, resolve_execution, simulate_workload
+from repro.core.results import SimulationResult
+from repro.gating.policies import get_policy
+from repro.gating.report import EnergyReport, PolicyName
+from repro.hardware.components import Component
+from repro.hardware.power import ChipPowerModel
+from repro.simulator.engine import NPUSimulator, WorkloadProfile
+from repro.workloads.registry import WorkloadSpec, get_workload
+
+from repro.experiments.keys import profile_key, report_key
+
+
+# ---------------------------------------------------------------------- #
+# Energy-report (de)serialization
+# ---------------------------------------------------------------------- #
+def report_to_dict(report: EnergyReport) -> dict[str, Any]:
+    """JSON-serializable rendering of an :class:`EnergyReport`."""
+    return {
+        "policy": report.policy.value,
+        "baseline_time_s": report.baseline_time_s,
+        "overhead_time_s": report.overhead_time_s,
+        "static_energy_j": {c.value: e for c, e in report.static_energy_j.items()},
+        "dynamic_energy_j": {c.value: e for c, e in report.dynamic_energy_j.items()},
+        "gating_events": {c.value: e for c, e in report.gating_events.items()},
+        "peak_power_w": report.peak_power_w,
+    }
+
+
+def report_from_dict(payload: dict[str, Any]) -> EnergyReport:
+    """Inverse of :func:`report_to_dict`."""
+    return EnergyReport(
+        policy=PolicyName(payload["policy"]),
+        baseline_time_s=payload["baseline_time_s"],
+        overhead_time_s=payload["overhead_time_s"],
+        static_energy_j={Component(c): e for c, e in payload["static_energy_j"].items()},
+        dynamic_energy_j={Component(c): e for c, e in payload["dynamic_energy_j"].items()},
+        gating_events={Component(c): e for c, e in payload["gating_events"].items()},
+        peak_power_w=payload["peak_power_w"],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Disk store
+# ---------------------------------------------------------------------- #
+class JsonFileStore:
+    """A ``{key: JSON value}`` mapping persisted to one JSON file.
+
+    Writes are atomic (temp file + rename) so a crashed sweep never
+    leaves a truncated cache behind; a corrupt or missing file simply
+    starts the store empty.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._data: dict[str, Any] = {}
+        self._dirty = False
+        if self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text())
+                if isinstance(loaded, dict):
+                    self._data = loaded
+            except (OSError, json.JSONDecodeError):
+                self._data = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str) -> Any:
+        return self._data.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Write the store back to disk if anything changed.
+
+        The on-disk file is re-read and merged first (our entries win),
+        so processes flushing to the same cache file one after another
+        accumulate entries instead of last-writer-wins dropping them.
+        The read-merge-replace is not locked: two *simultaneous* flushes
+        can still lose one side's unique entries (a silent re-simulation
+        later, never a wrong result — entries are content-addressed).
+        """
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            try:
+                on_disk = json.loads(self.path.read_text())
+                if isinstance(on_disk, dict):
+                    self._data = {**on_disk, **self._data}
+            except (OSError, json.JSONDecodeError):
+                pass
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._data, handle)
+            os.replace(tmp, self.path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        self._dirty = False
+
+
+# ---------------------------------------------------------------------- #
+# The cache
+# ---------------------------------------------------------------------- #
+class SimulationCache:
+    """In-memory (and optionally on-disk) memoization of simulations.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON file backing the report and sweep-row layers.
+        Profiles are memory-only (they hold live graph objects).
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self._profiles: dict[str, WorkloadProfile] = {}
+        self._reports: dict[str, EnergyReport] = {}
+        self._rows: dict[str, list[dict[str, Any]]] = {}
+        self._store = JsonFileStore(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        # Row-layer counters kept separately: one sweep point is one row
+        # lookup, so these (unlike the totals, which also count profile
+        # and report probes) line up with a sweep's grid size.
+        self.row_hits = 0
+        self.row_misses = 0
+
+    # -- profiles ------------------------------------------------------ #
+    def get_profile(self, key: str) -> WorkloadProfile | None:
+        profile = self._profiles.get(key)
+        self._count(profile is not None)
+        return profile
+
+    def put_profile(self, key: str, profile: WorkloadProfile) -> None:
+        self._profiles[key] = profile
+
+    # -- energy reports ------------------------------------------------ #
+    # Reports are copied on the way in and out, like rows: a caller
+    # doing a what-if edit on a returned report's energy dicts must not
+    # poison later cache hits.
+    @staticmethod
+    def _copy_report(report: EnergyReport) -> EnergyReport:
+        return dataclasses.replace(
+            report,
+            static_energy_j=dict(report.static_energy_j),
+            dynamic_energy_j=dict(report.dynamic_energy_j),
+            gating_events=dict(report.gating_events),
+        )
+
+    def get_report(self, key: str) -> EnergyReport | None:
+        report = self._reports.get(key)
+        if report is None and self._store is not None:
+            payload = self._store.get("report:" + key)
+            if payload is not None:
+                report = report_from_dict(payload)
+                self._reports[key] = report
+        self._count(report is not None)
+        if report is None:
+            return None
+        return self._copy_report(report)
+
+    def put_report(self, key: str, report: EnergyReport) -> None:
+        self._reports[key] = self._copy_report(report)
+        if self._store is not None:
+            self._store.put("report:" + key, report_to_dict(report))
+
+    # -- sweep rows ---------------------------------------------------- #
+    # Rows are copied on the way in and out (cells are scalars, so a
+    # per-row dict copy is a full copy): a caller mutating a returned
+    # SweepResult must not poison the cache or the on-disk store.
+    def get_rows(self, key: str) -> list[dict[str, Any]] | None:
+        rows = self._rows.get(key)
+        if rows is None and self._store is not None:
+            rows = self._store.get("rows:" + key)
+            if rows is not None:
+                self._rows[key] = rows
+        self._count(rows is not None)
+        if rows is None:
+            self.row_misses += 1
+            return None
+        self.row_hits += 1
+        return [dict(row) for row in rows]
+
+    def put_rows(self, key: str, rows: list[dict[str, Any]]) -> None:
+        rows = [dict(row) for row in rows]
+        self._rows[key] = rows
+        if self._store is not None:
+            self._store.put("rows:" + key, rows)
+
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Persist the disk-backed layers (no-op for memory-only caches)."""
+        if self._store is not None:
+            self._store.flush()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters and per-layer entry counts."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "profiles": len(self._profiles),
+            "reports": len(self._reports),
+            "rows": len(self._rows),
+        }
+
+    def _count(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+
+# ---------------------------------------------------------------------- #
+# Cached simulation entry point
+# ---------------------------------------------------------------------- #
+def simulate_cached(
+    workload: str | WorkloadSpec,
+    config: SimulationConfig | None = None,
+    cache: SimulationCache | None = None,
+) -> SimulationResult:
+    """Like :func:`simulate_workload`, but memoized through ``cache``.
+
+    The workload profile is simulated at most once per (workload, chip,
+    batch, parallelism, fusion) combination; each policy's energy report
+    is evaluated at most once per (profile, policy, gating parameters).
+    With ``cache=None`` this is exactly :func:`simulate_workload`.
+
+    Only *registry-backed* workloads are memoized: profile keys identify
+    a workload by name, so a hand-built :class:`WorkloadSpec` (whose
+    graph builder the name says nothing about) bypasses the cache rather
+    than risk colliding with a registered workload's entries.
+    """
+    if cache is None:
+        return simulate_workload(workload, config)
+    if isinstance(workload, WorkloadSpec):
+        try:
+            registered = get_workload(workload.name)
+        except KeyError:
+            registered = None
+        if registered is not workload:
+            return simulate_workload(workload, config)
+        spec = workload
+    else:
+        spec = get_workload(workload)
+    config = config or SimulationConfig()
+    chip, batch_size, parallelism = resolve_execution(spec, config)
+
+    pkey = profile_key(spec.name, chip, batch_size, parallelism, config.apply_fusion)
+    profile = cache.get_profile(pkey)
+    if profile is None:
+        graph = spec.build_graph(batch_size=batch_size, parallelism=parallelism)
+        profile = NPUSimulator(chip, apply_fusion=config.apply_fusion).simulate(graph)
+        cache.put_profile(pkey, profile)
+
+    # Fusion preserves all workload metadata, so the profile's graph
+    # stands in for a freshly built one.
+    result = build_result(spec.name, profile, parallelism, profile.graph, config)
+    power_model = ChipPowerModel(chip)
+    for policy_name in config.policies:
+        rkey = report_key(pkey, policy_name.value, config.gating_parameters)
+        report = cache.get_report(rkey)
+        if report is None:
+            policy = get_policy(policy_name, config.gating_parameters)
+            report = policy.evaluate(profile, power_model)
+            cache.put_report(rkey, report)
+        result.reports[policy_name] = report
+    return result
+
+
+__all__ = [
+    "JsonFileStore",
+    "SimulationCache",
+    "report_from_dict",
+    "report_to_dict",
+    "simulate_cached",
+]

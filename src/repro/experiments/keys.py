@@ -1,0 +1,138 @@
+"""Stable content-addressed keys for simulation memoization.
+
+Every cacheable artifact (a :class:`~repro.simulator.engine.WorkloadProfile`,
+a per-policy :class:`~repro.gating.report.EnergyReport`, a finished sweep
+row) is addressed by a SHA-256 hash of a canonical JSON rendering of the
+inputs that determine it.  Canonicalization recurses through dataclasses,
+enums, mappings and sequences, so hashing a
+:class:`~repro.core.config.SimulationConfig` (which nests chip specs,
+gating parameters and policy tuples) is deterministic across processes
+and Python invocations — a requirement for the on-disk cache and for the
+parallel sweep runner, whose workers hash in separate interpreters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any
+
+from repro import __version__
+from repro.core.config import SimulationConfig
+from repro.gating.bet import GatingParameters
+from repro.hardware.chips import NPUChipSpec
+from repro.workloads.base import ParallelismConfig
+
+#: Hex digest prefix length used as a key: 32 chars = 128 bits, which
+#: makes accidental collisions negligible at any realistic cache size.
+KEY_HEX_CHARS = 32
+
+#: Stamped into every domain key.  The hash covers the *inputs* of a
+#: simulation, not the simulator code; tying keys to the release version
+#: at least invalidates on-disk caches across upgrades.  (Same-version
+#: source edits still require deleting the cache file — see
+#: docs/experiments.md.)
+CACHE_SCHEMA_VERSION = __version__
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-serializable canonical structure.
+
+    Dataclasses become ``{"__type__": name, fields...}`` so two different
+    dataclass types with identical fields cannot collide; enums collapse
+    to their value; mappings are key-sorted; sequences become lists.
+    """
+    if isinstance(value, Enum):
+        # Checked before the plain types: the project's enums subclass str.
+        return {"__enum__": type(value).__name__, "value": value.value}
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr() is the shortest round-trip representation; it keeps the
+        # canonical form bit-faithful to the double.
+        return repr(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        rendered: dict[str, Any] = {"__type__": type(value).__name__}
+        for field in dataclasses.fields(value):
+            rendered[field.name] = canonical(getattr(value, field.name))
+        return rendered
+    if isinstance(value, dict):
+        return {str(key): canonical(val) for key, val in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonical(item) for item in value)
+    raise TypeError(f"cannot canonicalize {type(value).__name__!r} for hashing")
+
+
+def stable_hash(value: Any) -> str:
+    """Hex digest of the canonical JSON rendering of ``value``."""
+    payload = json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:KEY_HEX_CHARS]
+
+
+# ---------------------------------------------------------------------- #
+# Domain-specific keys
+# ---------------------------------------------------------------------- #
+def profile_key(
+    workload: str,
+    chip: NPUChipSpec,
+    batch_size: int,
+    parallelism: ParallelismConfig,
+    apply_fusion: bool,
+) -> str:
+    """Key of a :class:`WorkloadProfile` (independent of policies/gating)."""
+    return stable_hash(
+        {
+            "kind": "profile",
+            "version": CACHE_SCHEMA_VERSION,
+            "workload": workload,
+            "chip": chip,
+            "batch_size": batch_size,
+            "parallelism": parallelism,
+            "apply_fusion": apply_fusion,
+        }
+    )
+
+
+def report_key(profile: str, policy: str, parameters: GatingParameters) -> str:
+    """Key of one policy's :class:`EnergyReport` on one profile."""
+    return stable_hash(
+        {
+            "kind": "report",
+            "version": CACHE_SCHEMA_VERSION,
+            "profile": profile,
+            "policy": policy,
+            "parameters": parameters,
+        }
+    )
+
+
+def point_key(workload: str, config: SimulationConfig) -> str:
+    """Key of one fully-specified sweep point (workload + configuration).
+
+    The chip is resolved through the registry first so that
+    ``chip="NPU-D"`` and ``chip=get_chip("NPU-D")`` address the same
+    cache entry.
+    """
+    return stable_hash(
+        {
+            "kind": "point",
+            "version": CACHE_SCHEMA_VERSION,
+            "workload": workload,
+            "config": dataclasses.replace(config, chip=config.resolve_chip()),
+        }
+    )
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "KEY_HEX_CHARS",
+    "canonical",
+    "point_key",
+    "profile_key",
+    "report_key",
+    "stable_hash",
+]

@@ -1,0 +1,140 @@
+"""Tabular results of a parameter sweep.
+
+A :class:`SweepResult` is a small, dependency-free data frame: an
+ordered list of flat row dictionaries with a fixed column order, plus
+the export (CSV/JSON) and reshaping (filter/group-by/pivot) helpers the
+benchmarks and analyses need.  Floats are exported with ``repr`` so a
+CSV written by a parallel run is byte-identical to one written by a
+serial run of the same sweep.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+
+def _cell(value: Any) -> Any:
+    if isinstance(value, float):
+        return repr(value)
+    return value
+
+
+@dataclass
+class SweepResult:
+    """An ordered table of sweep rows (one row per point x policy)."""
+
+    columns: tuple[str, ...]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[dict[str, Any]]) -> "SweepResult":
+        """Build a result from row dicts (columns from the first row)."""
+        rows = list(rows)
+        columns: tuple[str, ...] = tuple(rows[0].keys()) if rows else ()
+        return cls(columns=columns, rows=rows)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> dict[str, Any]:
+        return self.rows[index]
+
+    def _check_columns(self, *names: str) -> None:
+        """Fail fast on misspelled column names (empty tables check nothing)."""
+        if not self.columns:
+            return
+        unknown = [name for name in names if name not in self.columns]
+        if unknown:
+            raise KeyError(f"unknown column(s) {unknown}; have {list(self.columns)}")
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        self._check_columns(name)
+        return [row[name] for row in self.rows]
+
+    # ------------------------------------------------------------------ #
+    def filter(self, **equals: Any) -> "SweepResult":
+        """Rows whose columns equal the given values (AND semantics)."""
+        self._check_columns(*equals)
+        kept = [
+            row
+            for row in self.rows
+            if all(row.get(column) == value for column, value in equals.items())
+        ]
+        return SweepResult(columns=self.columns, rows=kept)
+
+    def group_by(self, *columns: str) -> dict[tuple[Any, ...], "SweepResult"]:
+        """Partition the rows by the values of one or more columns."""
+        self._check_columns(*columns)
+        groups: dict[tuple[Any, ...], SweepResult] = {}
+        for row in self.rows:
+            key = tuple(row.get(column) for column in columns)
+            groups.setdefault(
+                key, SweepResult(columns=self.columns, rows=[])
+            ).rows.append(row)
+        return groups
+
+    def pivot(
+        self, index: str | Sequence[str], value: str
+    ) -> dict[Any, Any]:
+        """Map (index-column values) -> value-column entries.
+
+        ``index`` may be one column name or a sequence (keys become
+        tuples).  Raises if two rows map the same key to different
+        values — pre-:meth:`filter` the table down to one row per key.
+        """
+        index_columns = (index,) if isinstance(index, str) else tuple(index)
+        self._check_columns(*index_columns, value)
+        table: dict[Any, Any] = {}
+        for row in self.rows:
+            key = tuple(row.get(column) for column in index_columns)
+            if len(index_columns) == 1:
+                key = key[0]
+            entry = row.get(value)
+            if key in table and table[key] != entry:
+                raise ValueError(
+                    f"pivot key {key!r} is ambiguous: {table[key]!r} vs {entry!r}; "
+                    "filter the result (e.g. by policy) before pivoting"
+                )
+            table[key] = entry
+        return table
+
+    # ------------------------------------------------------------------ #
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Render as CSV (and write it to ``path`` when given)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow([_cell(row.get(column)) for column in self.columns])
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Render as JSON (and write it to ``path`` when given)."""
+        text = json.dumps(
+            {"columns": list(self.columns), "rows": self.rows}, indent=2, sort_keys=False
+        )
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls(columns=tuple(payload["columns"]), rows=list(payload["rows"]))
+
+
+__all__ = ["SweepResult"]

@@ -1,0 +1,209 @@
+"""Executes a :class:`SweepSpec`, serially or across worker processes.
+
+The runner guarantees **bit-identical results in either mode**: every
+row is a pure function of its :class:`SweepPoint`, points are evaluated
+in deterministic grid order (``ProcessPoolExecutor.map`` preserves input
+order), and floats are never re-derived from formatted strings.  Worker
+processes keep a per-process :class:`SimulationCache` so the expensive
+workload profiles are shared between the points each worker handles; in
+serial mode the runner's own cache plays that role and additionally
+memoizes finished rows, making a warm re-run free of simulator calls.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
+
+from repro.core.results import SimulationResult
+from repro.gating.report import PolicyName
+from repro.hardware.components import Component
+
+from repro.experiments.cache import SimulationCache, simulate_cached
+from repro.experiments.result import SweepResult
+from repro.experiments.spec import SweepPoint, SweepSpec
+
+_LOG = logging.getLogger(__name__)
+
+#: Temporal-utilization columns and the component each one reads.
+_UTILIZATION_COLUMNS = (
+    ("sa_temporal_util", Component.SA),
+    ("vu_temporal_util", Component.VU),
+    ("hbm_temporal_util", Component.HBM),
+    ("ici_temporal_util", Component.ICI),
+)
+
+
+def rows_from_result(point: SweepPoint, result: SimulationResult) -> list[dict[str, Any]]:
+    """Flatten one simulation into rows (one per evaluated policy)."""
+    rows: list[dict[str, Any]] = []
+    utilization = {
+        column: result.temporal_utilization(component)
+        for column, component in _UTILIZATION_COLUMNS
+    }
+    sa_spatial = result.sa_spatial_utilization()
+    for policy, report in result.reports.items():
+        row: dict[str, Any] = {
+            "workload": result.workload,
+            "chip": result.chip.name,
+            "num_chips": result.num_chips,
+            "batch_size": result.batch_size,
+            "parallelism": result.parallelism.describe(),
+            "gating_label": point.gating_label,
+            "policy": policy.value,
+            "time_s": report.total_time_s,
+            "overhead_time_s": report.overhead_time_s,
+            "total_energy_j": report.total_energy_j,
+            "static_energy_j": report.total_static_j,
+            "dynamic_energy_j": report.total_dynamic_j,
+            "static_fraction": report.static_fraction(),
+            "average_power_w": report.average_power_w,
+            "peak_power_w": report.peak_power_w,
+            "savings_vs_nopg": result.energy_savings(policy),
+            "overhead_vs_nopg": result.performance_overhead(policy),
+            "pod_energy_j": result.pod_energy_j(policy),
+            "energy_per_work_j": result.energy_per_work(policy),
+            "work_per_iteration": result.work_per_iteration,
+            "iteration_unit": result.iteration_unit,
+        }
+        for component in Component.all():
+            row[f"energy_{component.value}_j"] = report.component_energy_j(component)
+            row[f"static_{component.value}_j"] = report.static_energy_j.get(
+                component, 0.0
+            )
+        row.update(utilization)
+        row["sa_spatial_util"] = sa_spatial
+        rows.append(row)
+    return rows
+
+
+def run_point(point: SweepPoint, cache: SimulationCache | None = None) -> list[dict[str, Any]]:
+    """Evaluate one sweep point into its result rows."""
+    result = simulate_cached(point.workload, point.config, cache)
+    return rows_from_result(point, result)
+
+
+# Per-worker-process cache: shares workload profiles between the points a
+# worker handles without any cross-process communication.
+_WORKER_CACHE: SimulationCache | None = None
+
+
+def _run_point_in_worker(point: SweepPoint) -> list[dict[str, Any]]:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = SimulationCache()
+    return run_point(point, _WORKER_CACHE)
+
+
+class SweepRunner:
+    """Runs every point of a :class:`SweepSpec` into a :class:`SweepResult`.
+
+    Parameters
+    ----------
+    spec:
+        The grid to execute.
+    cache:
+        Optional :class:`SimulationCache`.  Cached rows are returned
+        without re-simulation (in serial *and* parallel mode: the row
+        lookup happens before work is dispatched); freshly computed rows
+        are written back and flushed to the disk layer when present.
+    max_workers:
+        ``None``, ``0`` or ``1`` run serially; ``>= 2`` dispatches the
+        uncached points to a :class:`ProcessPoolExecutor`.  If the pool
+        cannot be created or fails (sandboxed environments, pickling
+        restrictions), the runner logs a warning and falls back to the
+        serial path, which produces identical rows.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        cache: SimulationCache | None = None,
+        max_workers: int | None = None,
+    ):
+        self.spec = spec
+        self.cache = cache
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SweepResult:
+        """Execute the sweep and return the assembled table."""
+        # With no caller-supplied cache, a run-scoped one still shares
+        # workload profiles across grid points (e.g. gating-parameter
+        # sweeps re-evaluate a single simulated profile); it just isn't
+        # retained between runs.
+        cache = self.cache if self.cache is not None else SimulationCache()
+        points = self.spec.points()
+        rows_by_index: dict[int, list[dict[str, Any]]] = {}
+        pending: list[SweepPoint] = []
+        for point in points:
+            cached = cache.get_rows(point.cache_key)
+            if cached is not None:
+                rows_by_index[point.index] = cached
+            else:
+                pending.append(point)
+
+        if pending:
+            if self.max_workers is not None and self.max_workers >= 2:
+                computed = self._run_parallel(pending, cache)
+            else:
+                computed = [run_point(point, cache) for point in pending]
+            for point, rows in zip(pending, computed):
+                rows_by_index[point.index] = rows
+                cache.put_rows(point.cache_key, rows)
+        cache.flush()
+
+        all_rows = [
+            row for index in sorted(rows_by_index) for row in rows_by_index[index]
+        ]
+        return SweepResult.from_rows(all_rows)
+
+    # ------------------------------------------------------------------ #
+    def _run_parallel(
+        self, pending: list[SweepPoint], cache: SimulationCache
+    ) -> list[list[dict[str, Any]]]:
+        # Only pool-infrastructure failures fall back to the serial path;
+        # a point-level error (e.g. an unknown workload) propagates as-is
+        # rather than re-simulating the whole grid to rediscover it.
+        def _fallback(error: BaseException) -> list[list[dict[str, Any]]]:
+            _LOG.warning(
+                "parallel sweep execution failed (%s: %s); falling back to serial",
+                type(error).__name__,
+                error,
+            )
+            return [run_point(point, cache) for point in pending]
+
+        # Points arrive in grid order with gating parameters innermost, so
+        # variants sharing one workload profile are consecutive; a large
+        # chunksize keeps them on one worker, preserving the per-process
+        # profile-cache sharing the serial path gets for free.
+        chunksize = max(1, -(-len(pending) // self.max_workers))
+        try:
+            executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        except OSError as error:  # pool creation only: sandboxes, no sem support
+            return _fallback(error)
+        try:
+            with executor:
+                return list(
+                    executor.map(_run_point_in_worker, pending, chunksize=chunksize)
+                )
+        except (BrokenProcessPool, pickle.PicklingError) as error:
+            # executor.map re-raises worker exceptions with their original
+            # type, so a point-level error (even an OSError from a builder)
+            # propagates as-is instead of triggering a serial re-run.
+            return _fallback(error)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    cache: SimulationCache | None = None,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Convenience wrapper: ``SweepRunner(spec, cache, max_workers).run()``."""
+    return SweepRunner(spec, cache=cache, max_workers=max_workers).run()
+
+
+__all__ = ["SweepRunner", "rows_from_result", "run_point", "run_sweep"]

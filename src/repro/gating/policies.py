@@ -356,14 +356,7 @@ def get_policy(
     name: PolicyName | str, parameters: GatingParameters | None = None
 ) -> PowerGatingPolicy:
     """Instantiate a policy by name."""
-    if isinstance(name, str):
-        lookup = {p.value.lower(): p for p in PolicyName}
-        lookup.update({p.name.lower(): p for p in PolicyName})
-        key = name.strip().lower()
-        if key not in lookup:
-            raise KeyError(f"unknown policy {name!r}")
-        name = lookup[key]
-    return _POLICIES[name](parameters)
+    return _POLICIES[PolicyName.parse(name)](parameters)
 
 
 __all__ = [

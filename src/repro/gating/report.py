@@ -17,6 +17,25 @@ class PolicyName(str, Enum):
     REGATE_FULL = "ReGate-Full"
     IDEAL = "Ideal"
 
+    @classmethod
+    def parse(cls, name: "PolicyName | str") -> "PolicyName":
+        """Resolve a policy from its display value or enum name.
+
+        Case-insensitive; the single place CLI, sweep specs and policy
+        lookups share for name resolution.
+        """
+        if isinstance(name, PolicyName):
+            return name
+        lookup = {policy.value.lower(): policy for policy in cls}
+        lookup.update({policy.name.lower(): policy for policy in cls})
+        key = str(name).strip().lower()
+        if key not in lookup:
+            raise KeyError(
+                f"unknown policy {name!r}; choose from "
+                f"{', '.join(policy.value for policy in cls)}"
+            )
+        return lookup[key]
+
 
 @dataclass
 class EnergyReport:

@@ -4,6 +4,7 @@ from repro.simulator.engine import (
     GapProfile,
     NPUSimulator,
     OperatorProfile,
+    UtilizationError,
     WorkloadProfile,
 )
 from repro.simulator.systolic import SystolicArraySimulator, SystolicRunResult
@@ -17,5 +18,6 @@ __all__ = [
     "OperatorTimingModel",
     "SystolicArraySimulator",
     "SystolicRunResult",
+    "UtilizationError",
     "WorkloadProfile",
 ]

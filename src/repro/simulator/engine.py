@@ -12,8 +12,10 @@ power/energy analysis.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.compiler.fusion import FusionPass
 from repro.compiler.tiling import TileInfo, TilingPass
@@ -22,6 +24,20 @@ from repro.hardware.components import Component
 from repro.hardware.power import ChipPowerModel
 from repro.simulator.timing import ComponentTimes, OperatorTimingModel
 from repro.workloads.base import Operator, OperatorGraph, OpKind
+
+_LOG = logging.getLogger(__name__)
+
+#: Slack for floating-point noise when checking utilization bounds.
+UTILIZATION_TOLERANCE = 1e-9
+
+
+class UtilizationError(ValueError):
+    """A component's active time exceeds the total busy time.
+
+    Per-operator active times are clamped to the operator latency, so a
+    structurally valid profile can never trip this; seeing it means a
+    timing-model (or hand-built profile) bug rather than rounding noise.
+    """
 
 
 @dataclass(frozen=True)
@@ -148,12 +164,28 @@ class WorkloadProfile:
         """Total active seconds of one component per iteration."""
         return sum(p.active_s(component) * p.count for p in self.profiles)
 
-    def temporal_utilization(self, component: Component) -> float:
-        """Active time over busy time (the Figures 4, 6, 8, 9 metric)."""
+    def temporal_utilization(self, component: Component, strict: bool = False) -> float:
+        """Active time over busy time (the Figures 4, 6, 8, 9 metric).
+
+        An over-unity ratio indicates a timing-model bug (per-operator
+        active times are clamped to the operator latency, so it cannot
+        arise structurally).  It is logged as a warning and clamped; with
+        ``strict=True`` it raises :class:`UtilizationError` instead.
+        """
         total = self.total_time_s
         if total <= 0:
             return 0.0
-        return min(1.0, self.active_s(component) / total)
+        ratio = self.active_s(component) / total
+        if ratio > 1.0 + UTILIZATION_TOLERANCE:
+            message = (
+                f"temporal utilization of {component.value} on {self.graph.name!r} "
+                f"is {ratio:.9f} > 1: active time exceeds busy time "
+                "(timing-model bug?)"
+            )
+            if strict:
+                raise UtilizationError(message)
+            _LOG.warning("%s; clamping to 1.0", message)
+        return min(1.0, ratio)
 
     def dynamic_energy_j(self, component: Component) -> float:
         """Total dynamic energy of one component per iteration."""
@@ -207,6 +239,17 @@ class WorkloadProfile:
 class NPUSimulator:
     """Simulates a workload graph on one NPU chip."""
 
+    #: Process-wide count of full-graph simulations.  Instrumentation for
+    #: the experiment cache: a warm sweep must not increment this.
+    simulate_calls: ClassVar[int] = 0
+
+    @classmethod
+    def reset_simulate_calls(cls) -> int:
+        """Reset the instrumentation counter, returning the old value."""
+        previous = NPUSimulator.simulate_calls
+        NPUSimulator.simulate_calls = 0
+        return previous
+
     def __init__(self, chip: NPUChipSpec, apply_fusion: bool = True):
         self.chip = chip
         self.apply_fusion = apply_fusion
@@ -249,6 +292,7 @@ class NPUSimulator:
 
     def simulate(self, graph: OperatorGraph) -> WorkloadProfile:
         """Simulate one iteration of a workload graph."""
+        NPUSimulator.simulate_calls += 1
         graph.validate()
         if self.apply_fusion:
             graph, _groups = FusionPass(self.chip).run(graph)
@@ -262,5 +306,7 @@ __all__ = [
     "GapProfile",
     "NPUSimulator",
     "OperatorProfile",
+    "UTILIZATION_TOLERANCE",
+    "UtilizationError",
     "WorkloadProfile",
 ]

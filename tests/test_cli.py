@@ -56,3 +56,62 @@ class TestCommands:
     def test_simulate_unknown_policy_exits(self):
         with pytest.raises(SystemExit):
             main(["simulate", "llama3-8b-decode", "--policy", "dvfs"])
+
+
+class TestSweepCommand:
+    #: 2 chips x 3 workloads (x 5 policies by default): the acceptance grid.
+    GRID = [
+        "sweep",
+        "-w", "llama3-8b-prefill",
+        "-w", "llama3-8b-decode",
+        "-w", "dlrm-s-inference",
+        "--chip", "NPU-C",
+        "--chip", "NPU-D",
+        "--batch-size", "1",
+    ]
+
+    def test_sweep_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_grid_end_to_end(self, capsys):
+        assert main(self.GRID) == 0
+        output = capsys.readouterr().out
+        assert "3 workload(s) x 2 chip(s)" in output
+        assert "result rows   : 30" in output  # 6 points x 5 policies
+        for policy in ("NoPG", "ReGate-Base", "ReGate-HW", "ReGate-Full", "Ideal"):
+            assert policy in output
+
+    def test_sweep_csv_export_and_warm_cache(self, capsys, tmp_path):
+        from repro.simulator.engine import NPUSimulator
+
+        cache = str(tmp_path / "cache.json")
+        cold_csv = str(tmp_path / "cold.csv")
+        warm_csv = str(tmp_path / "warm.csv")
+        assert main([*self.GRID, "--cache", cache, "--csv", cold_csv]) == 0
+        capsys.readouterr()
+        NPUSimulator.reset_simulate_calls()
+        assert main([*self.GRID, "--cache", cache, "--csv", warm_csv]) == 0
+        assert "0 misses" in capsys.readouterr().out
+        assert NPUSimulator.simulate_calls == 0
+        with open(cold_csv) as cold, open(warm_csv) as warm:
+            assert cold.read() == warm.read()
+
+    def test_sweep_parallel_matches_serial_csv(self, capsys, tmp_path):
+        serial_csv = str(tmp_path / "serial.csv")
+        parallel_csv = str(tmp_path / "parallel.csv")
+        assert main([*self.GRID, "--csv", serial_csv]) == 0
+        assert main([*self.GRID, "--parallel", "2", "--csv", parallel_csv]) == 0
+        capsys.readouterr()
+        with open(serial_csv) as serial, open(parallel_csv) as parallel:
+            assert serial.read() == parallel.read()
+
+    def test_sweep_json_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.json"
+        assert main(["sweep", "-w", "dlrm-s-inference", "--batch-size", "64",
+                     "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert len(payload["rows"]) == 5
+        assert "total_energy_j" in payload["columns"]

@@ -1,0 +1,210 @@
+"""Tests for the sweep runner: parallel/serial equivalence and caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    SimulationCache,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+)
+from repro.gating.report import PolicyName
+from repro.simulator.engine import NPUSimulator
+
+
+@pytest.fixture()
+def small_spec():
+    """A tiny but multi-axis grid (2 workloads x 2 chips x 5 policies)."""
+    return SweepSpec(
+        workloads=("llama3-8b-prefill", "llama3-8b-decode"),
+        chips=("NPU-C", "NPU-D"),
+        batch_sizes=(1,),
+    )
+
+
+class TestRunnerModes:
+    def test_serial_run_produces_full_table(self, small_spec):
+        result = run_sweep(small_spec)
+        assert len(result) == small_spec.num_points * len(small_spec.policies)
+        assert set(result.column("policy")) == {p.value for p in PolicyName}
+        # Grid order: workloads outer, chips inner.
+        assert result[0]["workload"] == "llama3-8b-prefill"
+        assert result[0]["chip"] == "NPU-C"
+
+    def test_parallel_and_serial_are_bit_identical(self, small_spec, caplog):
+        import logging
+
+        serial = run_sweep(small_spec)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.runner"):
+            parallel = run_sweep(small_spec, max_workers=2)
+        # Guard against the serial fallback silently comparing serial to
+        # serial: the pool must actually have run.
+        assert not [m for m in caplog.messages if "falling back to serial" in m]
+        assert serial.to_csv() == parallel.to_csv()
+        assert serial.to_json() == parallel.to_json()
+
+    def test_parallel_with_cache_matches_serial(self, small_spec):
+        serial = run_sweep(small_spec)
+        parallel = run_sweep(small_spec, cache=SimulationCache(), max_workers=2)
+        assert serial.to_csv() == parallel.to_csv()
+
+
+class TestCaching:
+    def test_warm_cache_is_identical_and_simulation_free(self, small_spec):
+        cache = SimulationCache()
+        cold = run_sweep(small_spec, cache=cache)
+        NPUSimulator.reset_simulate_calls()
+        warm = run_sweep(small_spec, cache=cache)
+        # The acceptance criterion: a warm sweep performs ZERO new
+        # NPUSimulator.simulate calls.
+        assert NPUSimulator.simulate_calls == 0
+        assert warm.to_csv() == cold.to_csv()
+
+    def test_disk_cache_warms_a_fresh_process_equivalent(self, small_spec, tmp_path):
+        path = tmp_path / "cache.json"
+        cold = run_sweep(small_spec, cache=SimulationCache(path))
+        assert path.exists()
+        # A brand-new cache object backed by the same file models a new
+        # process; the rows must come back from disk without simulating.
+        NPUSimulator.reset_simulate_calls()
+        warm = run_sweep(small_spec, cache=SimulationCache(path))
+        assert NPUSimulator.simulate_calls == 0
+        assert warm.to_csv() == cold.to_csv()
+
+    def test_profiles_shared_across_gating_points(self):
+        """Gating parameters do not affect the performance simulation, so
+        a leakage sweep simulates each (workload, chip) exactly once."""
+        from repro.gating.bet import DEFAULT_PARAMETERS
+
+        spec = SweepSpec(
+            workloads=("llama3-8b-decode",),
+            chips=("NPU-D",),
+            batch_sizes=(1,),
+            gating_parameters=tuple(
+                (f"leak-{index}", DEFAULT_PARAMETERS.with_leakage(leak, 0.25, 0.002))
+                for index, leak in enumerate((0.03, 0.10, 0.20))
+            ),
+        )
+        cache = SimulationCache()
+        NPUSimulator.reset_simulate_calls()
+        result = run_sweep(spec, cache=cache)
+        assert NPUSimulator.simulate_calls == 1
+        assert len(result) == 3 * len(spec.policies)
+        assert cache.stats()["profiles"] == 1
+
+    def test_serial_no_cache_still_shares_profiles(self):
+        """Even without a caller-supplied cache, one run simulates each
+        (workload, chip) profile once across gating-parameter points."""
+        from repro.gating.bet import DEFAULT_PARAMETERS
+
+        spec = SweepSpec(
+            workloads=("llama3-8b-decode",),
+            chips=("NPU-D",),
+            batch_sizes=(1,),
+            gating_parameters=tuple(
+                (f"x{multiplier}", DEFAULT_PARAMETERS.with_delay_multiplier(multiplier))
+                for multiplier in (1.0, 2.0, 4.0)
+            ),
+        )
+        NPUSimulator.reset_simulate_calls()
+        run_sweep(spec)
+        assert NPUSimulator.simulate_calls == 1
+
+    def test_cache_keys_are_version_stamped(self, monkeypatch):
+        """A cache written by another release must not hit."""
+        from repro.core.config import SimulationConfig
+        from repro.experiments import keys
+
+        config = SimulationConfig()
+        current = keys.point_key("llama3-8b-decode", config)
+        monkeypatch.setattr(keys, "CACHE_SCHEMA_VERSION", "0.0.0-other")
+        assert keys.point_key("llama3-8b-decode", config) != current
+
+    def test_mutating_returned_rows_does_not_poison_cache(self):
+        spec = SweepSpec(
+            workloads=("llama3-8b-decode",), chips=("NPU-D",), batch_sizes=(1,)
+        )
+        cache = SimulationCache()
+        first = run_sweep(spec, cache=cache)
+        original = first[0]["workload"]
+        first[0]["workload"] = "MUTATED"
+        second = run_sweep(spec, cache=cache)
+        assert second[0]["workload"] == original
+
+    def test_cache_differentiates_configurations(self):
+        """Different batch sizes must not collide in the cache."""
+        cache = SimulationCache()
+        base = dict(workloads=("llama3-8b-decode",), chips=("NPU-D",))
+        first = run_sweep(SweepSpec(batch_sizes=(1,), **base), cache=cache)
+        second = run_sweep(SweepSpec(batch_sizes=(4,), **base), cache=cache)
+        assert first[0]["total_energy_j"] != second[0]["total_energy_j"]
+
+
+class TestSweepResultHelpers:
+    @pytest.fixture()
+    def table(self, small_spec):
+        return run_sweep(small_spec, cache=SimulationCache())
+
+    def test_filter_and_column(self, table):
+        nopg = table.filter(policy="NoPG")
+        assert len(nopg) == 4
+        assert all(value == 0.0 for value in nopg.column("savings_vs_nopg"))
+
+    def test_group_by(self, table):
+        groups = table.group_by("workload")
+        assert set(groups) == {("llama3-8b-prefill",), ("llama3-8b-decode",)}
+        assert all(len(group) == 10 for group in groups.values())
+
+    def test_pivot_requires_unambiguous_keys(self, table):
+        with pytest.raises(ValueError, match="ambiguous"):
+            table.pivot(("workload", "chip"), "total_energy_j")
+        pivoted = table.filter(policy="Ideal").pivot(
+            ("workload", "chip"), "total_energy_j"
+        )
+        assert len(pivoted) == 4
+
+    def test_misspelled_columns_fail_fast(self, table):
+        with pytest.raises(KeyError, match="unknown column"):
+            table.pivot(("workload", "chip"), "energy_per_work")  # missing _j
+        with pytest.raises(KeyError, match="unknown column"):
+            table.filter(polcy="NoPG")
+        with pytest.raises(KeyError, match="unknown column"):
+            table.group_by("workloads")
+
+    def test_json_roundtrip(self, table):
+        from repro.experiments import SweepResult
+
+        clone = SweepResult.from_json(table.to_json())
+        assert clone.columns == table.columns
+        assert clone.rows == table.rows
+
+    def test_csv_export_writes_file(self, table, tmp_path):
+        path = tmp_path / "sweep.csv"
+        text = table.to_csv(path)
+        assert path.read_text() == text
+        header = text.splitlines()[0].split(",")
+        assert header[: len(table.columns)] == list(table.columns)
+        assert len(text.splitlines()) == len(table) + 1
+
+
+class TestSavingsConsistency:
+    def test_rows_match_direct_simulation(self, small_spec):
+        """Sweep rows must agree with the plain simulate_workload path."""
+        from repro.core.config import SimulationConfig
+        from repro.core.regate import simulate_workload
+
+        table = run_sweep(small_spec, cache=SimulationCache())
+        direct = simulate_workload(
+            "llama3-8b-decode", SimulationConfig(chip="NPU-D", batch_size=1)
+        )
+        row = table.filter(
+            workload="llama3-8b-decode", chip="NPU-D", policy="ReGate-Full"
+        )[0]
+        assert row["total_energy_j"] == pytest.approx(
+            direct.report(PolicyName.REGATE_FULL).total_energy_j, rel=1e-12
+        )
+        assert row["savings_vs_nopg"] == pytest.approx(
+            direct.energy_savings(PolicyName.REGATE_FULL), rel=1e-12
+        )
