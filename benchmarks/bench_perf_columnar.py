@@ -1,0 +1,109 @@
+"""Perf benchmarks: columnar fast path vs the object-path oracle.
+
+Unlike the figure-regeneration benchmarks (which run once and print
+tables), these measure wall time of the hot simulation paths under
+pytest-benchmark, pairing each columnar benchmark with its object-path
+twin so a local ``pytest benchmarks/bench_perf_columnar.py`` run shows
+the speedups directly.  The ``repro perf`` CLI runs the same pairs and
+writes ``BENCH_perf.json``; CI gates on that payload.
+
+The suite stays on the small configs so the tier-1 run remains fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.perf import PERF_CHIP, PERF_WORKLOAD, perf_sweep_spec
+from repro.core.config import SimulationConfig
+from repro.core.regate import resolve_execution
+from repro.experiments import SweepRunner
+from repro.gating.idle_detection import IdleDetector, run_length_idle_stats
+from repro.gating.policies import get_policy
+from repro.hardware.power import ChipPowerModel
+from repro.simulator import columnar
+from repro.simulator.engine import NPUSimulator
+from repro.workloads.registry import get_workload
+
+_ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def perf_graph():
+    spec = get_workload(PERF_WORKLOAD)
+    config = SimulationConfig(chip=PERF_CHIP)
+    chip, batch, parallelism = resolve_execution(spec, config)
+    return spec.build_graph(batch_size=batch, parallelism=parallelism), chip
+
+
+def _simulate(graph_chip):
+    graph, chip = graph_chip
+    return NPUSimulator(chip).simulate(graph)
+
+
+def _evaluate_policies(graph_chip):
+    graph, chip = graph_chip
+    config = SimulationConfig(chip=PERF_CHIP)
+    profile = NPUSimulator(chip).simulate(graph)
+    power_model = ChipPowerModel.for_chip(chip)
+    for policy_name in config.policies:
+        get_policy(policy_name, config.gating_parameters).evaluate(
+            profile, power_model
+        )
+
+
+def _bench(benchmark, fn, fast: bool):
+    def run():
+        with columnar.use_fast_path(fast):
+            fn()
+
+    run()  # warm-up outside the measured rounds
+    benchmark.pedantic(run, rounds=_ROUNDS, iterations=1, warmup_rounds=0)
+
+
+# -- cold simulate ------------------------------------------------------- #
+def test_perf_cold_simulate_columnar(benchmark, perf_graph):
+    _bench(benchmark, lambda: _simulate(perf_graph), fast=True)
+
+
+def test_perf_cold_simulate_object(benchmark, perf_graph):
+    _bench(benchmark, lambda: _simulate(perf_graph), fast=False)
+
+
+# -- policy evaluation --------------------------------------------------- #
+def test_perf_policy_evaluation_columnar(benchmark, perf_graph):
+    _bench(benchmark, lambda: _evaluate_policies(perf_graph), fast=True)
+
+
+def test_perf_policy_evaluation_object(benchmark, perf_graph):
+    _bench(benchmark, lambda: _evaluate_policies(perf_graph), fast=False)
+
+
+# -- idle detector ------------------------------------------------------- #
+_TRACE = ([True] * 7 + [False] * 40) * 2000
+
+
+def test_perf_idle_detector_vectorized(benchmark):
+    stats = benchmark.pedantic(
+        lambda: run_length_idle_stats(_TRACE, 16, 4),
+        rounds=_ROUNDS, iterations=1, warmup_rounds=0,
+    )
+    assert stats == IdleDetector(16, 4).run(_TRACE)
+
+
+def test_perf_idle_detector_stepwise(benchmark):
+    benchmark.pedantic(
+        lambda: IdleDetector(16, 4).run(_TRACE),
+        rounds=_ROUNDS, iterations=1, warmup_rounds=0,
+    )
+
+
+# -- cold sweep (small grid) --------------------------------------------- #
+def test_perf_cold_sweep_small_columnar(benchmark):
+    spec = perf_sweep_spec("small")
+    _bench(benchmark, lambda: SweepRunner(spec, cache=None).run(), fast=True)
+
+
+def test_perf_cold_sweep_small_object(benchmark):
+    spec = perf_sweep_spec("small")
+    _bench(benchmark, lambda: SweepRunner(spec, cache=None).run(), fast=False)

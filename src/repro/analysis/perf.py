@@ -1,0 +1,322 @@
+"""Performance benchmark harness for the columnar simulation core.
+
+``repro perf`` times the hot paths of the reproduction twice — once on
+the object-path reference (``columnar.use_fast_path(False)``) and once
+on the columnar fast path — and writes the results to
+``BENCH_perf.json`` so every commit's performance trajectory is
+recorded.  The measured pairs are:
+
+* **cold_simulate** — one cold ``NPUSimulator.simulate`` of a large
+  workload graph (batch vectorized timing/tiling/energy vs the
+  per-operator loop);
+* **policy_evaluation** — all five gating policies evaluated on one
+  fresh profile (vectorized gap/leakage accounting vs per-gap loops);
+* **sensitivity_sweep** — a Figure-22 style delay sweep (one profile,
+  many gating-parameter points) through :mod:`repro.analysis.sensitivity`;
+* **idle_detector** — the run-length-encoded detection-window state
+  machine vs the stepwise :class:`~repro.gating.idle_detection.IdleDetector`;
+* **cold_sweep** — a cold multi-workload × multi-chip grid through the
+  :class:`~repro.experiments.SweepRunner` (the ROADMAP's headline
+  number; the grids are defined in :data:`PERF_GRIDS`).
+
+Both paths must produce byte-identical sweep tables — the harness
+asserts this on every run, so the benchmark doubles as an end-to-end
+equivalence check.  Regression checking compares *speedups* (a
+machine-independent ratio) against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis.sensitivity import delay_sensitivity
+from repro.core.config import SimulationConfig
+from repro.core.regate import resolve_execution
+from repro.experiments import SimulationCache, SweepRunner, SweepSpec
+from repro.gating.idle_detection import IdleDetector, run_length_idle_stats
+from repro.gating.policies import get_policy
+from repro.hardware.power import ChipPowerModel
+from repro.simulator import columnar
+from repro.simulator.engine import NPUSimulator
+from repro.workloads.registry import get_workload, list_workloads
+
+#: Workload used by the single-simulation and policy benchmarks: the
+#: largest operator graph in the registry (the diffusion pipeline),
+#: where the per-operator loops the columnar core replaces are hottest.
+PERF_WORKLOAD = "gligen-inference"
+PERF_CHIP = "NPU-D"
+
+#: Sweep grids by name: (number of workloads, chips).  The workload
+#: axis picks the N largest operator graphs from the registry (every
+#: workload family stays represented), so the grid measures compute
+#: rather than per-point bookkeeping.  ``full`` is the ROADMAP's
+#: 64-point cold sweep; ``small`` keeps CI fast; ``tiny`` is for tests.
+PERF_GRIDS: dict[str, tuple[int, tuple[str, ...]]] = {
+    "tiny": (2, ("NPU-D",)),
+    "small": (4, ("NPU-C", "NPU-D")),
+    "full": (16, ("NPU-A", "NPU-B", "NPU-C", "NPU-D")),
+}
+
+#: Idle-detector benchmark trace: a repeating burst/idle pattern long
+#: enough to make the stepwise oracle's per-cycle cost visible.
+_DETECTOR_PATTERN = (
+    [True] * 7 + [False] * 4 + [True] * 2 + [False] * 50 + [True] * 1 + [False] * 9
+)
+_DETECTOR_REPEATS = 2000
+_DETECTOR_WINDOW = 16
+_DETECTOR_DELAY = 4
+
+
+@dataclass
+class PerfResult:
+    """One benchmark pair: object path vs columnar path."""
+
+    name: str
+    object_s: float
+    columnar_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.columnar_s <= 0:
+            return 0.0
+        return self.object_s / self.columnar_s
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "object_s": self.object_s,
+            "columnar_s": self.columnar_s,
+            "speedup": self.speedup,
+        }
+
+
+def _best_of(fn: Callable[[], Any], repeat: int) -> float:
+    """Best-of-N wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timed_pair(name: str, fn: Callable[[], Any], repeat: int) -> PerfResult:
+    """Time ``fn`` under both paths (object first, then columnar)."""
+    with columnar.use_fast_path(False):
+        fn()  # warm imports/registries outside the timed region
+        object_s = _best_of(fn, repeat)
+    with columnar.use_fast_path(True):
+        fn()
+        columnar_s = _best_of(fn, repeat)
+    return PerfResult(name=name, object_s=object_s, columnar_s=columnar_s)
+
+
+def perf_sweep_spec(grid: str) -> SweepSpec:
+    """The cold-sweep grid of one :data:`PERF_GRIDS` entry."""
+    if grid not in PERF_GRIDS:
+        raise KeyError(
+            f"unknown perf grid {grid!r}; choose from {sorted(PERF_GRIDS)}"
+        )
+    num_workloads, chips = PERF_GRIDS[grid]
+    config = SimulationConfig()
+    sizes: list[tuple[int, str]] = []
+    for name in list_workloads():
+        spec = get_workload(name)
+        chip, batch, parallelism = resolve_execution(spec, config)
+        graph = spec.build_graph(batch_size=batch, parallelism=parallelism)
+        sizes.append((len(graph.operators), name))
+    largest = [name for _, name in sorted(sizes, reverse=True)[:num_workloads]]
+    # Registry order keeps the grid deterministic across runs.
+    ordered = tuple(name for name in list_workloads() if name in largest)
+    return SweepSpec(workloads=ordered, chips=chips)
+
+
+# ---------------------------------------------------------------------- #
+# Individual benchmarks
+# ---------------------------------------------------------------------- #
+def bench_cold_simulate(repeat: int) -> PerfResult:
+    spec = get_workload(PERF_WORKLOAD)
+    config = SimulationConfig(chip=PERF_CHIP)
+    chip, batch, parallelism = resolve_execution(spec, config)
+    graph = spec.build_graph(batch_size=batch, parallelism=parallelism)
+    return _timed_pair(
+        "cold_simulate", lambda: NPUSimulator(chip).simulate(graph), repeat
+    )
+
+
+def bench_policy_evaluation(repeat: int) -> PerfResult:
+    spec = get_workload(PERF_WORKLOAD)
+    config = SimulationConfig(chip=PERF_CHIP)
+    chip, batch, parallelism = resolve_execution(spec, config)
+    graph = spec.build_graph(batch_size=batch, parallelism=parallelism)
+    power_model = ChipPowerModel.for_chip(chip)
+
+    def evaluate_all() -> None:
+        # A fresh profile per run: "cold" includes building the gap
+        # tables and factor arrays, exactly like one sweep point.
+        profile = NPUSimulator(chip).simulate(graph)
+        for policy_name in config.policies:
+            get_policy(policy_name, config.gating_parameters).evaluate(
+                profile, power_model
+            )
+
+    return _timed_pair("policy_evaluation", evaluate_all, repeat)
+
+
+def bench_sensitivity_sweep(repeat: int) -> PerfResult:
+    return _timed_pair(
+        "sensitivity_sweep",
+        lambda: delay_sensitivity(PERF_WORKLOAD, chip=PERF_CHIP, cache=None),
+        repeat,
+    )
+
+
+def bench_idle_detector(repeat: int) -> PerfResult:
+    trace = _DETECTOR_PATTERN * _DETECTOR_REPEATS
+
+    def stepwise() -> None:
+        IdleDetector(_DETECTOR_WINDOW, _DETECTOR_DELAY).run(trace)
+
+    def vectorized() -> None:
+        run_length_idle_stats(trace, _DETECTOR_WINDOW, _DETECTOR_DELAY)
+
+    reference = IdleDetector(_DETECTOR_WINDOW, _DETECTOR_DELAY).run(trace)
+    fast = run_length_idle_stats(trace, _DETECTOR_WINDOW, _DETECTOR_DELAY)
+    if reference != fast:  # pragma: no cover - equivalence is tested
+        raise AssertionError("idle detector paths disagree")
+    stepwise()
+    object_s = _best_of(stepwise, repeat)
+    vectorized()
+    columnar_s = _best_of(vectorized, max(repeat, 10))
+    return PerfResult("idle_detector", object_s=object_s, columnar_s=columnar_s)
+
+
+def bench_cold_sweep(grid: str, repeat: int) -> PerfResult:
+    spec = perf_sweep_spec(grid)
+
+    def run_cold():
+        # A fresh run-scoped cache per run: every profile is simulated.
+        return SweepRunner(spec, cache=None).run()
+
+    with columnar.use_fast_path(False):
+        object_table = run_cold()
+        object_s = _best_of(run_cold, repeat)
+    with columnar.use_fast_path(True):
+        columnar_table = run_cold()
+        columnar_s = _best_of(run_cold, repeat)
+    if columnar_table.to_csv() != object_table.to_csv():  # pragma: no cover
+        raise AssertionError("cold sweep paths disagree (not byte-identical)")
+    return PerfResult("cold_sweep", object_s=object_s, columnar_s=columnar_s)
+
+
+# ---------------------------------------------------------------------- #
+# Suite
+# ---------------------------------------------------------------------- #
+def run_perf_suite(grid: str = "full", repeat: int = 3) -> dict[str, Any]:
+    """Run every benchmark pair and assemble the ``BENCH_perf`` payload."""
+    spec = perf_sweep_spec(grid)  # validates the grid name early
+    results = [
+        bench_cold_simulate(repeat),
+        bench_policy_evaluation(repeat),
+        bench_sensitivity_sweep(repeat),
+        bench_idle_detector(repeat),
+        bench_cold_sweep(grid, max(1, repeat - 1)),
+    ]
+    return {
+        "schema": 1,
+        "version": __version__,
+        "grid": grid,
+        "grid_points": spec.num_points,
+        "repeat": repeat,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "generated_unix": time.time(),
+        "benchmarks": {result.name: result.to_dict() for result in results},
+    }
+
+
+def write_payload(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write a perf payload as pretty JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def check_regression(
+    payload: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.25,
+) -> list[str]:
+    """Compare speedups against a committed baseline payload.
+
+    Returns a list of human-readable failures; empty means no benchmark
+    regressed by more than ``tolerance`` (fractional) against the
+    baseline's speedup.  Absolute times are machine-dependent, so only
+    the object/columnar ratio is compared.
+    """
+    failures: list[str] = []
+    current = payload.get("benchmarks", {})
+    for name, entry in baseline.get("benchmarks", {}).items():
+        baseline_speedup = entry.get("speedup", 0.0)
+        if baseline_speedup <= 0:
+            continue
+        observed = current.get(name)
+        if observed is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = baseline_speedup * (1.0 - tolerance)
+        if observed["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {observed['speedup']:.2f}x fell below "
+                f"{floor:.2f}x ({(1.0 - tolerance):.0%} of the baseline "
+                f"{baseline_speedup:.2f}x)"
+            )
+    return failures
+
+
+def format_report(payload: dict[str, Any]) -> str:
+    """Human-readable table of one perf payload."""
+    from repro.analysis.tables import format_table
+
+    rows = [
+        [
+            name,
+            f"{entry['object_s'] * 1e3:.2f}",
+            f"{entry['columnar_s'] * 1e3:.2f}",
+            f"{entry['speedup']:.1f}x",
+        ]
+        for name, entry in payload["benchmarks"].items()
+    ]
+    title = (
+        f"Columnar-core benchmarks (grid={payload['grid']}, "
+        f"{payload['grid_points']} sweep points)"
+    )
+    return format_table(
+        ["benchmark", "object (ms)", "columnar (ms)", "speedup"], rows, title=title
+    )
+
+
+__all__ = [
+    "PERF_GRIDS",
+    "PERF_WORKLOAD",
+    "PerfResult",
+    "bench_cold_simulate",
+    "bench_cold_sweep",
+    "bench_idle_detector",
+    "bench_policy_evaluation",
+    "bench_sensitivity_sweep",
+    "check_regression",
+    "format_report",
+    "perf_sweep_spec",
+    "run_perf_suite",
+    "write_payload",
+]

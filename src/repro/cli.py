@@ -152,7 +152,8 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             f"(sweep points; {args.cache})"
         )
     if args.csv:
-        result.to_csv(args.csv)
+        # Streamed row by row: very large grids export in O(1) memory.
+        result.write_csv(args.csv)
         lines.append(f"csv written   : {args.csv}")
     if args.json:
         result.to_json(args.json)
@@ -177,6 +178,40 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             rows,
         )
     )
+    return "\n".join(lines)
+
+
+def _cmd_perf(args: argparse.Namespace) -> str:
+    from repro.analysis.perf import (
+        check_regression,
+        format_report,
+        run_perf_suite,
+        write_payload,
+    )
+
+    try:
+        payload = run_perf_suite(grid=args.grid, repeat=args.repeat)
+    except KeyError as error:
+        raise SystemExit(error.args[0])
+    lines = [format_report(payload)]
+    if args.output:
+        write_payload(payload, args.output)
+        lines.append(f"\nbench written : {args.output}")
+    if args.check:
+        import json as _json
+        from pathlib import Path as _Path
+
+        baseline = _json.loads(_Path(args.check).read_text())
+        failures = check_regression(payload, baseline, tolerance=args.tolerance)
+        if failures:
+            print("\n".join(lines))
+            raise SystemExit(
+                "performance regression vs "
+                f"{args.check}:\n  " + "\n  ".join(failures)
+            )
+        lines.append(
+            f"regression    : ok (within {args.tolerance:.0%} of {args.check})"
+        )
     return "\n".join(lines)
 
 
@@ -243,6 +278,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", metavar="PATH", help="write the full table as CSV")
     sweep.add_argument("--json", metavar="PATH", help="write the full table as JSON")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    perf = subparsers.add_parser(
+        "perf",
+        help="benchmark the columnar fast path against the object-path oracle",
+    )
+    perf.add_argument(
+        "--grid", default="full", choices=("tiny", "small", "full"),
+        help="cold-sweep grid size (default: full, the 64-point grid)",
+    )
+    perf.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="best-of-N timing for each benchmark (default 3)",
+    )
+    perf.add_argument(
+        "--output", default="BENCH_perf.json", metavar="PATH",
+        help="write the benchmark payload as JSON (default BENCH_perf.json)",
+    )
+    perf.add_argument(
+        "--check", metavar="PATH",
+        help="fail if any speedup regresses vs this committed baseline payload",
+    )
+    perf.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRACTION",
+        help="allowed fractional speedup regression for --check (default 0.25)",
+    )
+    perf.set_defaults(handler=_cmd_perf)
     return parser
 
 

@@ -47,12 +47,20 @@ class FusionPass:
     def __init__(self, chip: NPUChipSpec):
         self.chip = chip
         self.tiling = TilingPass(chip)
+        # id(op) -> demand, reset at the start of every run().
+        self._demand_cache: dict[int, float] = {}
+
+    def _sram_demand(self, op: Operator) -> float:
+        """Memoized per-operator SRAM demand (one tiling per operator)."""
+        key = id(op)
+        demand = self._demand_cache.get(key)
+        if demand is None:
+            demand = self.tiling.tile(op).sram_demand_bytes
+            self._demand_cache[key] = demand
+        return demand
 
     def _fits_in_sram(self, producer: Operator, consumer: Operator) -> bool:
-        demand = (
-            self.tiling.tile(producer).sram_demand_bytes
-            + self.tiling.tile(consumer).sram_demand_bytes
-        )
+        demand = self._sram_demand(producer) + self._sram_demand(consumer)
         return demand <= self.chip.sram_bytes
 
     def run(self, graph: OperatorGraph) -> tuple[OperatorGraph, list[FusionGroup]]:
@@ -60,6 +68,22 @@ class FusionPass:
 
         The original graph is not modified.
         """
+        # Fresh per-run cache: operator ids are only stable within one
+        # run() invocation, and a pass instance may be reused.
+        self._demand_cache = {}
+        # Size every fusion candidate in one vectorized batch (imported
+        # lazily: the columnar module reaches this one through the
+        # engine at import time).
+        from repro.simulator import columnar
+
+        if columnar.fast_path_enabled() and len(graph.operators) > 1:
+            demands = columnar.batch_sram_demands(
+                graph.operators, self.chip, self.tiling
+            )
+            self._demand_cache = {
+                id(op): demand
+                for op, demand in zip(graph.operators, demands.tolist())
+            }
         fused_ops: list[Operator] = []
         groups: list[FusionGroup] = []
         current = FusionGroup()

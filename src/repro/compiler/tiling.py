@@ -42,13 +42,18 @@ class TilingPass:
     def __init__(self, chip: NPUChipSpec, double_buffer: bool = True):
         self.chip = chip
         self.double_buffer = double_buffer
+        self._streaming_demand: float | None = None
 
     # ------------------------------------------------------------------ #
     def streaming_demand_bytes(self) -> float:
         """Minimum SRAM needed to hide HBM latency for a streaming operator."""
-        inflight = self.chip.hbm_bandwidth_bytes * self.chip.hbm.access_latency_ns * 1e-9
-        factor = 2.0 if self.double_buffer else 1.0
-        return inflight * factor
+        if self._streaming_demand is None:
+            inflight = (
+                self.chip.hbm_bandwidth_bytes * self.chip.hbm.access_latency_ns * 1e-9
+            )
+            factor = 2.0 if self.double_buffer else 1.0
+            self._streaming_demand = inflight * factor
+        return self._streaming_demand
 
     def matmul_demand_bytes(self, m: int, k: int, n: int, dtype_bytes: int) -> float:
         """SRAM demand of a matmul with full data reuse.

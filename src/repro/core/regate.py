@@ -108,7 +108,7 @@ def _evaluate(
     config: SimulationConfig,
 ) -> SimulationResult:
     result = build_result(name, profile, parallelism, graph, config)
-    power_model = ChipPowerModel(result.chip)
+    power_model = ChipPowerModel.for_chip(result.chip)
     for policy_name in config.policies:
         policy = get_policy(policy_name, config.gating_parameters)
         result.reports[policy_name] = policy.evaluate(profile, power_model)

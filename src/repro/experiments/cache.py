@@ -298,7 +298,7 @@ def simulate_cached(
     # Fusion preserves all workload metadata, so the profile's graph
     # stands in for a freshly built one.
     result = build_result(spec.name, profile, parallelism, profile.graph, config)
-    power_model = ChipPowerModel(chip)
+    power_model = ChipPowerModel.for_chip(chip)
     for policy_name in config.policies:
         rkey = report_key(pkey, policy_name.value, config.gating_parameters)
         report = cache.get_report(rkey)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import weakref
 from enum import Enum
 from typing import Any
 
@@ -37,12 +38,48 @@ KEY_HEX_CHARS = 32
 CACHE_SCHEMA_VERSION = __version__
 
 
+#: Immutable spec types that appear, unchanged, in thousands of keys per
+#: sweep (every point hashes the same chip spec and gating parameters).
+#: They collapse to a content digest computed once per instance, so the
+#: hot key path serializes a 32-char string instead of re-walking (and
+#: re-JSON-encoding) a deeply nested dataclass.  Digests are themselves
+#: canonical hashes, so they stay deterministic across processes — a
+#: requirement for the parallel runner and the on-disk cache.
+_DIGESTED_TYPES = (NPUChipSpec, GatingParameters)
+
+#: id(instance) -> digest dict, evicted by weakref.finalize when the
+#: instance is collected (before its id can be reused).
+_DIGEST_MEMO: dict[int, dict[str, str]] = {}
+
+
+def _digested(value: Any) -> dict[str, str]:
+    key = id(value)
+    hit = _DIGEST_MEMO.get(key)
+    if hit is None:
+        hit = {
+            "__type__": type(value).__name__,
+            "__digest__": stable_hash(_canonical_dataclass(value)),
+        }
+        _DIGEST_MEMO[key] = hit
+        weakref.finalize(value, _DIGEST_MEMO.pop, key, None)
+    return hit
+
+
+def _canonical_dataclass(value: Any) -> dict[str, Any]:
+    rendered: dict[str, Any] = {"__type__": type(value).__name__}
+    for field in dataclasses.fields(value):
+        rendered[field.name] = canonical(getattr(value, field.name))
+    return rendered
+
+
 def canonical(value: Any) -> Any:
     """Reduce ``value`` to a JSON-serializable canonical structure.
 
     Dataclasses become ``{"__type__": name, fields...}`` so two different
     dataclass types with identical fields cannot collide; enums collapse
     to their value; mappings are key-sorted; sequences become lists.
+    Shared immutable specs (chips, gating parameters) collapse to a
+    memoized content digest — see :data:`_DIGESTED_TYPES`.
     """
     if isinstance(value, Enum):
         # Checked before the plain types: the project's enums subclass str.
@@ -53,11 +90,10 @@ def canonical(value: Any) -> Any:
         # repr() is the shortest round-trip representation; it keeps the
         # canonical form bit-faithful to the double.
         return repr(value)
+    if isinstance(value, _DIGESTED_TYPES):
+        return _digested(value)
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        rendered: dict[str, Any] = {"__type__": type(value).__name__}
-        for field in dataclasses.fields(value):
-            rendered[field.name] = canonical(getattr(value, field.name))
-        return rendered
+        return _canonical_dataclass(value)
     if isinstance(value, dict):
         return {str(key): canonical(val) for key, val in sorted(value.items())}
     if isinstance(value, (list, tuple)):
@@ -76,6 +112,32 @@ def stable_hash(value: Any) -> str:
 # ---------------------------------------------------------------------- #
 # Domain-specific keys
 # ---------------------------------------------------------------------- #
+# Steady-state memo for the two hottest domain keys: a sweep hashes the
+# same (workload, chip, ...) tuples on every run, and the shared chip /
+# parameter instances make an identity-based lookup key cheap.  Values
+# are full stable hashes, so the memo changes nothing content-wise.
+# When an instance whose id anchors memo entries is collected, those
+# entries are evicted before the id can be reused.
+_DOMAIN_KEY_MEMO: dict[tuple, str] = {}
+_DOMAIN_KEYS_BY_INSTANCE: dict[int, list[tuple]] = {}
+
+
+def _evict_domain_keys_for(instance_id: int) -> None:
+    for key in _DOMAIN_KEYS_BY_INSTANCE.pop(instance_id, ()):
+        _DOMAIN_KEY_MEMO.pop(key, None)
+
+
+def _remember_domain_key(anchor: Any, memo_key: tuple, value: str) -> None:
+    _DOMAIN_KEY_MEMO[memo_key] = value
+    anchor_id = id(anchor)
+    keys = _DOMAIN_KEYS_BY_INSTANCE.get(anchor_id)
+    if keys is None:
+        keys = []
+        _DOMAIN_KEYS_BY_INSTANCE[anchor_id] = keys
+        weakref.finalize(anchor, _evict_domain_keys_for, anchor_id)
+    keys.append(memo_key)
+
+
 def profile_key(
     workload: str,
     chip: NPUChipSpec,
@@ -84,30 +146,40 @@ def profile_key(
     apply_fusion: bool,
 ) -> str:
     """Key of a :class:`WorkloadProfile` (independent of policies/gating)."""
-    return stable_hash(
-        {
-            "kind": "profile",
-            "version": CACHE_SCHEMA_VERSION,
-            "workload": workload,
-            "chip": chip,
-            "batch_size": batch_size,
-            "parallelism": parallelism,
-            "apply_fusion": apply_fusion,
-        }
-    )
+    memo_key = ("profile", workload, id(chip), batch_size, parallelism, apply_fusion)
+    cached = _DOMAIN_KEY_MEMO.get(memo_key)
+    if cached is None:
+        cached = stable_hash(
+            {
+                "kind": "profile",
+                "version": CACHE_SCHEMA_VERSION,
+                "workload": workload,
+                "chip": chip,
+                "batch_size": batch_size,
+                "parallelism": parallelism,
+                "apply_fusion": apply_fusion,
+            }
+        )
+        _remember_domain_key(chip, memo_key, cached)
+    return cached
 
 
 def report_key(profile: str, policy: str, parameters: GatingParameters) -> str:
     """Key of one policy's :class:`EnergyReport` on one profile."""
-    return stable_hash(
-        {
-            "kind": "report",
-            "version": CACHE_SCHEMA_VERSION,
-            "profile": profile,
-            "policy": policy,
-            "parameters": parameters,
-        }
-    )
+    memo_key = ("report", profile, policy, id(parameters))
+    cached = _DOMAIN_KEY_MEMO.get(memo_key)
+    if cached is None:
+        cached = stable_hash(
+            {
+                "kind": "report",
+                "version": CACHE_SCHEMA_VERSION,
+                "profile": profile,
+                "policy": policy,
+                "parameters": parameters,
+            }
+        )
+        _remember_domain_key(parameters, memo_key, cached)
+    return cached
 
 
 def point_key(workload: str, config: SimulationConfig) -> str:

@@ -109,16 +109,48 @@ class SweepResult:
         return table
 
     # ------------------------------------------------------------------ #
-    def to_csv(self, path: str | Path | None = None) -> str:
-        """Render as CSV (and write it to ``path`` when given)."""
+    def iter_csv(self) -> Iterator[str]:
+        """Yield CSV lines (header first, trailing newline included).
+
+        The generator renders one row at a time, so consumers that
+        stream the lines to a file or socket never hold more than one
+        rendered row in memory regardless of the grid size.
+        """
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
-        writer.writerow(self.columns)
+
+        def render(cells) -> str:
+            writer.writerow(cells)
+            line = buffer.getvalue()
+            buffer.seek(0)
+            buffer.truncate(0)
+            return line
+
+        yield render(self.columns)
         for row in self.rows:
-            writer.writerow([_cell(row.get(column)) for column in self.columns])
-        text = buffer.getvalue()
+            yield render([_cell(row.get(column)) for column in self.columns])
+
+    def write_csv(self, path: str | Path) -> int:
+        """Stream the table to ``path`` in O(1) memory; returns row count.
+
+        Unlike :meth:`to_csv`, the full CSV text is never materialized —
+        use this for very large grids.  The bytes written are identical
+        to what :meth:`to_csv` produces.
+        """
+        lines = 0
+        with Path(path).open("w", newline="") as handle:
+            for line in self.iter_csv():
+                handle.write(line)
+                lines += 1
+        return max(0, lines - 1)  # exclude the header
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Render as CSV (and write it to ``path`` when given)."""
+        text = "".join(self.iter_csv())
         if path is not None:
-            Path(path).write_text(text)
+            # newline="" matches write_csv: the rendered "\n" line
+            # endings reach the file untranslated on every platform.
+            Path(path).write_text(text, newline="")
         return text
 
     def to_json(self, path: str | Path | None = None) -> str:

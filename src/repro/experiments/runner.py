@@ -38,14 +38,30 @@ _UTILIZATION_COLUMNS = (
 
 
 def rows_from_result(point: SweepPoint, result: SimulationResult) -> list[dict[str, Any]]:
-    """Flatten one simulation into rows (one per evaluated policy)."""
+    """Flatten one simulation into rows (one per evaluated policy).
+
+    Derived cells replicate the :class:`EnergyReport` /
+    :class:`SimulationResult` property chains with each report's energy
+    totals computed once — same float operations, same results, without
+    re-summing the per-component dicts for every derived column.
+    """
     rows: list[dict[str, Any]] = []
     utilization = {
         column: result.temporal_utilization(component)
         for column, component in _UTILIZATION_COLUMNS
     }
     sa_spatial = result.sa_spatial_utilization()
+    nopg = result.report(PolicyName.NOPG)
+    nopg_total_j = sum(nopg.static_energy_j.values()) + sum(
+        nopg.dynamic_energy_j.values()
+    )
+    nopg_time_s = nopg.baseline_time_s + nopg.overhead_time_s
     for policy, report in result.reports.items():
+        static_j = sum(report.static_energy_j.values())
+        dynamic_j = sum(report.dynamic_energy_j.values())
+        total_j = static_j + dynamic_j
+        time_s = report.baseline_time_s + report.overhead_time_s
+        pod_energy_j = total_j * result.num_chips
         row: dict[str, Any] = {
             "workload": result.workload,
             "chip": result.chip.name,
@@ -54,26 +70,33 @@ def rows_from_result(point: SweepPoint, result: SimulationResult) -> list[dict[s
             "parallelism": result.parallelism.describe(),
             "gating_label": point.gating_label,
             "policy": policy.value,
-            "time_s": report.total_time_s,
+            "time_s": time_s,
             "overhead_time_s": report.overhead_time_s,
-            "total_energy_j": report.total_energy_j,
-            "static_energy_j": report.total_static_j,
-            "dynamic_energy_j": report.total_dynamic_j,
-            "static_fraction": report.static_fraction(),
-            "average_power_w": report.average_power_w,
+            "total_energy_j": total_j,
+            "static_energy_j": static_j,
+            "dynamic_energy_j": dynamic_j,
+            "static_fraction": 0.0 if total_j <= 0 else static_j / total_j,
+            "average_power_w": 0.0 if time_s <= 0 else total_j / time_s,
             "peak_power_w": report.peak_power_w,
-            "savings_vs_nopg": result.energy_savings(policy),
-            "overhead_vs_nopg": result.performance_overhead(policy),
-            "pod_energy_j": result.pod_energy_j(policy),
-            "energy_per_work_j": result.energy_per_work(policy),
+            "savings_vs_nopg": (
+                0.0 if nopg_total_j <= 0 else 1.0 - total_j / nopg_total_j
+            ),
+            "overhead_vs_nopg": (
+                0.0 if nopg_time_s <= 0 else time_s / nopg_time_s - 1.0
+            ),
+            "pod_energy_j": pod_energy_j,
+            "energy_per_work_j": pod_energy_j / result.work_per_iteration,
             "work_per_iteration": result.work_per_iteration,
             "iteration_unit": result.iteration_unit,
         }
+        static_energy = report.static_energy_j
+        dynamic_energy = report.dynamic_energy_j
         for component in Component.all():
-            row[f"energy_{component.value}_j"] = report.component_energy_j(component)
-            row[f"static_{component.value}_j"] = report.static_energy_j.get(
+            static_c = static_energy.get(component, 0.0)
+            row[f"energy_{component.value}_j"] = static_c + dynamic_energy.get(
                 component, 0.0
             )
+            row[f"static_{component.value}_j"] = static_c
         row.update(utilization)
         row["sa_spatial_util"] = sa_spatial
         rows.append(row)
@@ -90,12 +113,31 @@ def run_point(point: SweepPoint, cache: SimulationCache | None = None) -> list[d
 # worker handles without any cross-process communication.
 _WORKER_CACHE: SimulationCache | None = None
 
+#: Compact wire format for rows crossing the process pool: one shared
+#: column tuple plus one value tuple per row, instead of repeating every
+#: column name in every row dict (~40 string keys per row otherwise).
+PackedRows = tuple[tuple[str, ...], list[tuple[Any, ...]]]
 
-def _run_point_in_worker(point: SweepPoint) -> list[dict[str, Any]]:
+
+def pack_rows(rows: list[dict[str, Any]]) -> PackedRows:
+    """Pack row dicts into (columns, value-tuples) for cheap pickling."""
+    if not rows:
+        return ((), [])
+    columns = tuple(rows[0])
+    return columns, [tuple(row[column] for column in columns) for row in rows]
+
+
+def unpack_rows(packed: PackedRows) -> list[dict[str, Any]]:
+    """Inverse of :func:`pack_rows`."""
+    columns, values = packed
+    return [dict(zip(columns, row)) for row in values]
+
+
+def _run_point_in_worker(point: SweepPoint) -> PackedRows:
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
         _WORKER_CACHE = SimulationCache()
-    return run_point(point, _WORKER_CACHE)
+    return pack_rows(run_point(point, _WORKER_CACHE))
 
 
 class SweepRunner:
@@ -187,9 +229,12 @@ class SweepRunner:
             return _fallback(error)
         try:
             with executor:
-                return list(
-                    executor.map(_run_point_in_worker, pending, chunksize=chunksize)
-                )
+                return [
+                    unpack_rows(packed)
+                    for packed in executor.map(
+                        _run_point_in_worker, pending, chunksize=chunksize
+                    )
+                ]
         except (BrokenProcessPool, pickle.PicklingError) as error:
             # executor.map re-raises worker exceptions with their original
             # type, so a point-level error (even an OSError from a builder)
@@ -206,4 +251,11 @@ def run_sweep(
     return SweepRunner(spec, cache=cache, max_workers=max_workers).run()
 
 
-__all__ = ["SweepRunner", "rows_from_result", "run_point", "run_sweep"]
+__all__ = [
+    "SweepRunner",
+    "pack_rows",
+    "rows_from_result",
+    "run_point",
+    "run_sweep",
+    "unpack_rows",
+]

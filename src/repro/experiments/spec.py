@@ -45,10 +45,21 @@ class SweepPoint:
 
     @property
     def cache_key(self) -> str:
-        """Content-addressed key of this point (stable across processes)."""
-        return stable_hash(
-            {"point": point_key(self.workload, self.config), "label": self.gating_label}
-        )
+        """Content-addressed key of this point (stable across processes).
+
+        Computed once per instance (the runner consults it for the row
+        cache before and after evaluating the point).
+        """
+        cached = self.__dict__.get("_cache_key")
+        if cached is None:
+            cached = stable_hash(
+                {
+                    "point": point_key(self.workload, self.config),
+                    "label": self.gating_label,
+                }
+            )
+            object.__setattr__(self, "_cache_key", cached)
+        return cached
 
 
 @dataclass
@@ -128,8 +139,39 @@ class SweepSpec:
             * len(self.gating_parameters)
         )
 
+    def _grid_token(self) -> tuple:
+        """Hashable fingerprint of every axis (parameters by identity)."""
+        from repro.gating.bet import parameters_token
+
+        return (
+            tuple(self.workloads),
+            tuple(self.chips),
+            tuple(self.batch_sizes),
+            tuple(self.num_chips),
+            tuple(self.policies),
+            tuple(
+                (label, parameters_token(parameters))
+                for label, parameters in self.gating_parameters
+            ),
+            self.apply_fusion,
+        )
+
     def points(self) -> list[SweepPoint]:
-        """Expand the grid in deterministic (row-major) order."""
+        """Expand the grid in deterministic (row-major) order.
+
+        The expansion is memoized per grid fingerprint: repeated runs of
+        one spec (e.g. a cold/warm benchmark pair) reuse the same point
+        objects and therefore their memoized cache keys.
+        """
+        cached = self.__dict__.get("_points_cache")
+        token = self._grid_token()
+        if cached is not None and cached[0] == token:
+            return list(cached[1])
+        points = self._expand_points()
+        self.__dict__["_points_cache"] = (token, points)
+        return list(points)
+
+    def _expand_points(self) -> list[SweepPoint]:
         points: list[SweepPoint] = []
         for workload in self.workloads:
             for chip in self.chips:

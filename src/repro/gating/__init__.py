@@ -1,7 +1,7 @@
 """Power-gating mechanisms and policies (ReGate's core contribution)."""
 
 from repro.gating.bet import ComponentTiming, GatingParameters, DEFAULT_PARAMETERS
-from repro.gating.idle_detection import IdleDetector
+from repro.gating.idle_detection import IdleDetector, run_length_idle_stats
 from repro.gating.policies import (
     PolicyName,
     PowerGatingPolicy,
@@ -22,5 +22,6 @@ __all__ = [
     "SramGatingModel",
     "get_policy",
     "list_policies",
+    "run_length_idle_stats",
     "spatial_utilization",
 ]

@@ -12,10 +12,36 @@ them.
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from dataclasses import dataclass, field, replace
 
 from repro.hardware.chips import NPUChipSpec
 from repro.hardware.components import Component
+
+# Monotonic per-instance tokens for GatingParameters (see
+# :func:`parameters_token`): a hashable stand-in for the (unhashable,
+# dict-holding) parameters object in memoization keys.
+_PARAMETER_TOKENS: dict[int, int] = {}
+_TOKEN_COUNTER = itertools.count()
+
+
+def parameters_token(parameters: "GatingParameters") -> int:
+    """A process-unique token identifying one parameters instance.
+
+    ``GatingParameters`` is frozen but holds a dict, so it cannot be
+    hashed directly; the token lets caches key on the instance without
+    re-deriving anything from its content.  Entries are evicted when
+    the instance is collected (before its id can be reused), so a token
+    never aliases two different parameter sets.
+    """
+    key = id(parameters)
+    token = _PARAMETER_TOKENS.get(key)
+    if token is None:
+        token = next(_TOKEN_COUNTER)
+        _PARAMETER_TOKENS[key] = token
+        weakref.finalize(parameters, _PARAMETER_TOKENS.pop, key, None)
+    return token
 
 
 @dataclass(frozen=True)
@@ -70,6 +96,29 @@ class LeakageRatios:
                 raise ValueError(f"{name} must be within [0, 1], got {value}")
 
 
+class _FrozenTimings(dict):
+    """Immutable timing table: ``GatingParameters`` is deeply frozen.
+
+    The cache keys and the fast-path memos identify a parameters
+    instance by identity, so its content must never change after
+    construction; derive variants with :meth:`with_delay_multiplier` /
+    ``dataclasses.replace`` instead of mutating in place.
+    """
+
+    def _readonly(self, *args, **kwargs):
+        raise TypeError(
+            "GatingParameters timings are immutable; build a new instance "
+            "(e.g. with_delay_multiplier or dataclasses.replace)"
+        )
+
+    __setitem__ = __delitem__ = _readonly
+    clear = pop = popitem = setdefault = update = _readonly
+    del _readonly
+
+    def __reduce__(self):
+        return (type(self), (dict(self),))
+
+
 @dataclass(frozen=True)
 class GatingParameters:
     """All tunable parameters of the power-gating mechanisms."""
@@ -83,6 +132,12 @@ class GatingParameters:
     detection_window_bet_fraction: float = 1.0 / 3.0
     # Weight-register share of a PE's leakage when held in W_on mode.
     pe_weight_register_share: float = 0.12
+
+    def __post_init__(self) -> None:
+        # Deep-freeze: a copied, immutable mapping means neither the
+        # caller's dict nor in-place item assignment can change this
+        # instance's content behind the identity-keyed caches.
+        object.__setattr__(self, "timings", _FrozenTimings(self.timings))
 
     # ------------------------------------------------------------------ #
     _COMPONENT_KEYS = {
@@ -144,6 +199,65 @@ class GatingParameters:
         return static_power_w * bet_s * (1.0 - self.off_leakage(component))
 
 
+@dataclass(frozen=True)
+class IdleGatingCoefficients:
+    """Scalar idle-gating terms of one (policy, component, chip) triple.
+
+    These are the per-gap coefficients of the idle-energy accounting in
+    :mod:`repro.gating.policies`; both the object-path loop and the
+    columnar fast path consume the same instance, so the two paths use
+    bit-identical scalars by construction.
+    """
+
+    window_s: float  # idle-detection window (0 for software gating)
+    threshold_s: float  # minimum gap length worth gating
+    off_leakage: float  # leakage ratio of the gated block
+    transition_j: float  # energy of one power-off/on cycle
+    delay_cycles: float  # wake-up delay exposed per gated gap
+    software: bool  # compiler-managed (no window, no missed wake-ups)
+
+
+def idle_gating_coefficients(
+    parameters: GatingParameters,
+    component: Component,
+    variant: str | None,
+    static_power_w: float,
+    chip: NPUChipSpec,
+    software: bool,
+    min_window_cycles: float = 0.0,
+    window_s: float | None = None,
+) -> IdleGatingCoefficients:
+    """Compute the per-gap idle-gating coefficients of one component.
+
+    ``window_s`` overrides the detection window derived from
+    ``parameters`` — the policies pass their (possibly subclassed)
+    ``_detection_window_s`` result through here so a custom window
+    implementation affects both accounting paths.
+    """
+    timing = parameters.timing(component, variant)
+    delay_s = chip.cycles_to_seconds(timing.delay_cycles)
+    bet_s = chip.cycles_to_seconds(timing.bet_cycles)
+    off_leak = parameters.off_leakage(component)
+    transition_j = static_power_w * bet_s * (1.0 - off_leak)
+    if software:
+        window_s = 0.0
+        threshold_s = max(bet_s, 2.0 * delay_s)
+    else:
+        if window_s is None:
+            window = parameters.detection_window_cycles(component, variant)
+            window = max(window, min_window_cycles)
+            window_s = chip.cycles_to_seconds(window)
+        threshold_s = window_s + bet_s
+    return IdleGatingCoefficients(
+        window_s=window_s,
+        threshold_s=threshold_s,
+        off_leakage=off_leak,
+        transition_j=transition_j,
+        delay_cycles=timing.delay_cycles,
+        software=software,
+    )
+
+
 DEFAULT_PARAMETERS = GatingParameters()
 
 # Leakage sweep points of Figure 21 (logic off / SRAM sleep / SRAM off).
@@ -165,6 +279,9 @@ __all__ = [
     "FIGURE21_LEAKAGE_POINTS",
     "FIGURE22_DELAY_MULTIPLIERS",
     "GatingParameters",
+    "IdleGatingCoefficients",
     "LeakageRatios",
     "TABLE3_TIMINGS",
+    "idle_gating_coefficients",
+    "parameters_token",
 ]

@@ -24,12 +24,22 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.gating.bet import DEFAULT_PARAMETERS, GatingParameters
+import numpy as np
+
+from repro.gating.bet import (
+    DEFAULT_PARAMETERS,
+    GatingParameters,
+    IdleGatingCoefficients,
+    idle_gating_coefficients,
+    parameters_token,
+)
 from repro.gating.report import EnergyReport, PolicyName
 from repro.gating.sa_gating import SpatialGatingModel
 from repro.gating.sram_gating import SramGatingModel
 from repro.hardware.components import Component
 from repro.hardware.power import ChipPowerModel
+from repro.simulator import columnar
+from repro.simulator.columnar import ProfileTable, seq_sum
 from repro.simulator.engine import GapProfile, OperatorProfile, WorkloadProfile
 
 # The hardware VU idle detector waits at least 8 cycles to avoid blocking
@@ -44,6 +54,37 @@ class _IdleAccounting:
     energy_j: float = 0.0
     gated_gaps: float = 0.0
     exposed_wake_cycles: float = 0.0
+
+
+# Object-path accounting hooks and their columnar counterparts.  A
+# subclass overriding one side of a pair without the other would make
+# the two paths disagree, so `evaluate` only takes the fast path when,
+# for every pair, both names are (re)defined by the same class.
+_HOOK_PAIRS = (
+    ("_idle_energy", "_idle_energy_columnar"),
+    ("_sa_active_energy", "_sa_active_energy_columnar"),
+    ("_sram_energy", "_sram_energy_columnar"),
+    ("_peak_power", "_peak_power_columnar"),
+)
+_DISPATCH_SAFE: dict[type, bool] = {}
+
+
+def _first_definer(cls: type, name: str) -> type | None:
+    for klass in cls.__mro__:
+        if name in vars(klass):
+            return klass
+    return None
+
+
+def _columnar_dispatch_safe(cls: type) -> bool:
+    cached = _DISPATCH_SAFE.get(cls)
+    if cached is None:
+        cached = all(
+            _first_definer(cls, legacy) is _first_definer(cls, fast)
+            for legacy, fast in _HOOK_PAIRS
+        )
+        _DISPATCH_SAFE[cls] = cached
+    return cached
 
 
 class PowerGatingPolicy:
@@ -79,6 +120,46 @@ class PowerGatingPolicy:
     def _uses_software_gating(self, component: Component) -> bool:
         return self.software_managed and component is Component.VU
 
+    def _idle_coefficients(
+        self, component: Component, static_power_w: float, chip
+    ) -> IdleGatingCoefficients:
+        """Per-gap gating coefficients shared by both accounting paths.
+
+        The detection window is resolved through
+        :meth:`_detection_window_s`, so a subclass overriding that hook
+        affects the object path and the columnar path alike.
+        """
+        software = self._uses_software_gating(component)
+        return idle_gating_coefficients(
+            self.parameters,
+            component,
+            self._timing_variant(component),
+            static_power_w,
+            chip,
+            software=software,
+            window_s=None if software else self._detection_window_s(component, chip),
+        )
+
+    def _idle_memo_key(
+        self, component: Component, static_power_w: float, chip, token
+    ) -> tuple:
+        """Memo key covering every input of the base idle accounting.
+
+        The resolved detection window is part of the key so subclasses
+        customizing :meth:`_detection_window_s` never share entries with
+        the stock policies.
+        """
+        software = self._uses_software_gating(component)
+        return (
+            "idle",
+            component,
+            static_power_w,
+            self._timing_variant(component),
+            software,
+            None if software else self._detection_window_s(component, chip),
+            token,
+        )
+
     def _idle_energy(
         self,
         component: Component,
@@ -86,40 +167,108 @@ class PowerGatingPolicy:
         static_power_w: float,
         chip,
     ) -> _IdleAccounting:
-        """Static energy of a component's idle time under this policy."""
+        """Static energy of a component's idle time (object path)."""
         accounting = _IdleAccounting()
         if not self.gating_enabled:
             accounting.energy_j = static_power_w * sum(g.total_idle_s for g in gaps)
             return accounting
 
-        variant = self._timing_variant(component)
-        timing = self.parameters.timing(component, variant)
-        delay_s = chip.cycles_to_seconds(timing.delay_cycles)
-        bet_s = chip.cycles_to_seconds(timing.bet_cycles)
-        off_leak = self.parameters.off_leakage(component)
-        transition_j = static_power_w * bet_s * (1.0 - off_leak)
-
-        software = self._uses_software_gating(component)
-        window_s = 0.0 if software else self._detection_window_s(component, chip)
-        threshold_s = max(bet_s, 2.0 * delay_s) if software else window_s + bet_s
-
+        coeff = self._idle_coefficients(component, static_power_w, chip)
         for gap in gaps:
             if gap.gap_s <= 0 or gap.num_gaps <= 0:
                 continue
-            if gap.gap_s <= threshold_s:
+            if gap.gap_s <= coeff.threshold_s:
                 accounting.energy_j += static_power_w * gap.total_idle_s
                 continue
-            gated_s = gap.gap_s - window_s
+            gated_s = gap.gap_s - coeff.window_s
             per_gap = (
-                static_power_w * window_s
-                + static_power_w * off_leak * gated_s
-                + transition_j
+                static_power_w * coeff.window_s
+                + static_power_w * coeff.off_leakage * gated_s
+                + coeff.transition_j
             )
             accounting.energy_j += per_gap * gap.num_gaps
             accounting.gated_gaps += gap.num_gaps
-            if not software:
-                accounting.exposed_wake_cycles += timing.delay_cycles * gap.num_gaps
+            if not coeff.software:
+                accounting.exposed_wake_cycles += coeff.delay_cycles * gap.num_gaps
         return accounting
+
+    def _idle_energy_columnar(
+        self,
+        component: Component,
+        gap_s: np.ndarray,
+        num_gaps: np.ndarray,
+        static_power_w: float,
+        chip,
+        table: ProfileTable | None = None,
+    ) -> _IdleAccounting:
+        """Vectorized :meth:`_idle_energy` over a profile's gap table.
+
+        The arrays are zero-padded per operator; a zero gap contributes
+        an exact ``+0.0`` to every sequential reduction, so the result
+        is bit-identical to the object path's filtered gap list.  The
+        result is memoized on the table keyed by the full coefficient
+        set — policies with identical gating behavior for a component
+        (e.g. ReGate-Base/HW/Full on the HBM controller) share one
+        computation.
+        """
+        accounting = _IdleAccounting()
+        if not self.gating_enabled:
+            accounting.energy_j = static_power_w * self._total_idle_s(
+                component, gap_s, num_gaps, table
+            )
+            return accounting
+
+        memo_key = self._idle_memo_key(
+            component, static_power_w, chip, parameters_token(self.parameters)
+        )
+        if table is not None:
+            cached = table.memo.get(memo_key)
+            if cached is not None:
+                return _IdleAccounting(*cached)
+
+        coeff = self._idle_coefficients(component, static_power_w, chip)
+        valid = (gap_s > 0.0) & (num_gaps > 0.0)
+        below = gap_s <= coeff.threshold_s
+        ungated_j = static_power_w * (gap_s * num_gaps)
+        gated_s = gap_s - coeff.window_s
+        per_gap = (
+            static_power_w * coeff.window_s
+            + static_power_w * coeff.off_leakage * gated_s
+            + coeff.transition_j
+        )
+        accounting.energy_j = seq_sum(
+            np.where(valid, np.where(below, ungated_j, per_gap * num_gaps), 0.0)
+        )
+        gated_mask = valid & ~below
+        accounting.gated_gaps = seq_sum(np.where(gated_mask, num_gaps, 0.0))
+        if not coeff.software:
+            accounting.exposed_wake_cycles = seq_sum(
+                np.where(gated_mask, coeff.delay_cycles * num_gaps, 0.0)
+            )
+        if table is not None:
+            table.memo[memo_key] = (
+                accounting.energy_j,
+                accounting.gated_gaps,
+                accounting.exposed_wake_cycles,
+            )
+        return accounting
+
+    @staticmethod
+    def _total_idle_s(
+        component: Component,
+        gap_s: np.ndarray,
+        num_gaps: np.ndarray,
+        table: ProfileTable | None,
+    ) -> float:
+        """Memoized ``sum(gap_s * num_gaps)`` of one component."""
+        if table is None:
+            return seq_sum(gap_s * num_gaps)
+        key = ("total_idle", component)
+        total = table.memo.get(key)
+        if total is None:
+            total = seq_sum(gap_s * num_gaps)
+            table.memo[key] = total
+        return total
 
     def _ideal_idle_energy(self, gaps: list[GapProfile]) -> _IdleAccounting:
         return _IdleAccounting(energy_j=0.0)
@@ -143,6 +292,45 @@ class PowerGatingPolicy:
             energy += static_power_w * active * factor
         return energy
 
+    def _sa_active_energy_columnar(
+        self, profile: WorkloadProfile, table: ProfileTable, static_power_w: float
+    ) -> float:
+        """Vectorized :meth:`_sa_active_energy` over the profile table."""
+        if not self.spatial_sa_gating:
+            return static_power_w * table.active_total_s(Component.SA)
+        memo_key = (
+            "sa_active_energy",
+            static_power_w,
+            self.parameters.leakage.logic_off,
+            self.parameters.pe_weight_register_share,
+        )
+        cached = table.memo.get(memo_key)
+        if cached is not None:
+            return cached
+        active = table.weighted_active(Component.SA)
+        factor = self._spatial_factor_array(profile.chip, table)
+        energy = seq_sum(
+            np.where(active > 0.0, static_power_w * active * factor, 0.0)
+        )
+        table.memo[memo_key] = energy
+        return energy
+
+    def _spatial_factor_array(self, chip, table: ProfileTable) -> np.ndarray:
+        """Memoized per-operator spatial static-power factor array."""
+        memo_key = (
+            "spatial_factor",
+            self.parameters.leakage.logic_off,
+            self.parameters.pe_weight_register_share,
+        )
+        factor = table.memo.get(memo_key)
+        if factor is None:
+            model = SpatialGatingModel(chip.sa_width, self.parameters)
+            factor = model.static_power_factor_array(
+                table.dims_m, table.dims_k, table.dims_n, table.has_dims
+            )
+            table.memo[memo_key] = factor
+        return factor
+
     def _sram_energy(self, profile: WorkloadProfile, static_power_w: float) -> float:
         """SRAM leakage: used capacity stays on, unused is slept/gated."""
         if not self.gating_enabled:
@@ -157,47 +345,134 @@ class PowerGatingPolicy:
             energy += static_power_w * duration * factor
         return energy
 
+    def _sram_energy_columnar(
+        self, profile: WorkloadProfile, table: ProfileTable, static_power_w: float
+    ) -> float:
+        """Vectorized :meth:`_sram_energy` over the profile table."""
+        if not self.gating_enabled:
+            return static_power_w * table.total_time_s()
+        leak = (
+            self.parameters.leakage.sram_off
+            if self.software_managed
+            else self.parameters.sleep_leakage()
+        )
+        memo_key = ("sram_energy", static_power_w, self.software_managed, leak)
+        cached = table.memo.get(memo_key)
+        if cached is not None:
+            return cached
+        duration = table.weighted_latency()
+        factor = self._sram_factor_array(profile.chip, table)
+        energy = seq_sum(static_power_w * duration * factor)
+        table.memo[memo_key] = energy
+        return energy
+
+    def _sram_factor_array(self, chip, table: ProfileTable) -> np.ndarray:
+        """Memoized per-operator SRAM leakage-factor array."""
+        leak = (
+            self.parameters.leakage.sram_off
+            if self.software_managed
+            else self.parameters.sleep_leakage()
+        )
+        memo_key = ("sram_factor", self.software_managed, leak)
+        factor = table.memo.get(memo_key)
+        if factor is None:
+            model = SramGatingModel(chip, self.parameters)
+            factor = model.leakage_factor_for_demand_array(
+                table.sram_demand_bytes, self.software_managed
+            )
+            table.memo[memo_key] = factor
+        return factor
+
     # ------------------------------------------------------------------ #
     def evaluate(
         self, profile: WorkloadProfile, power_model: ChipPowerModel | None = None
     ) -> EnergyReport:
-        """Compute the full energy report of this policy for one profile."""
-        power_model = power_model or ChipPowerModel(profile.chip)
+        """Compute the full energy report of this policy for one profile.
+
+        The per-gap / per-operator accounting runs on the columnar fast
+        path by default (vectorized over the profile's memoized
+        :class:`~repro.simulator.columnar.ProfileTable`) and on the
+        original object-path loops when the fast path is disabled or a
+        subclass overrides only the object-path hooks; both paths
+        produce bit-identical reports.
+        """
+        power_model = power_model or ChipPowerModel.for_chip(profile.chip)
         chip = profile.chip
+        table = (
+            profile._fast_table() if _columnar_dispatch_safe(type(self)) else None
+        )
+        fast = table is not None
+
+        token = parameters_token(self.parameters) if fast else None
+        # The hoisted memo lookup below replicates the base columnar
+        # idle accounting's key; it must not short-circuit a subclass
+        # override (e.g. Ideal), which memoizes under its own keys.
+        base_idle = (
+            type(self)._idle_energy_columnar
+            is PowerGatingPolicy._idle_energy_columnar
+        )
+
+        def idle_accounting(component: Component) -> _IdleAccounting:
+            if fast:
+                if base_idle and self.gating_enabled:
+                    memo_key = self._idle_memo_key(
+                        component, static[component], chip, token
+                    )
+                    cached = table.memo.get(memo_key)
+                    if cached is not None:
+                        return _IdleAccounting(*cached)
+                gap_s, _, num_total = table.gap_table(component)
+                return self._idle_energy_columnar(
+                    component, gap_s, num_total, static[component], chip, table
+                )
+            return self._idle_energy(
+                component, profile.gap_profiles(component), static[component], chip
+            )
+
+        total_time_s = table.total_time_s() if fast else profile.total_time_s
+
+        def active_s(component: Component) -> float:
+            if fast:
+                return table.active_total_s(component)
+            return profile.active_s(component)
+
         report = EnergyReport(
             policy=self.name,
-            baseline_time_s=profile.total_time_s,
+            baseline_time_s=total_time_s,
             overhead_time_s=0.0,
         )
         exposed_cycles = 0.0
 
         for component in Component.all():
-            report.dynamic_energy_j[component] = profile.dynamic_energy_j(component)
+            report.dynamic_energy_j[component] = (
+                table.dynamic_total_j(component)
+                if fast
+                else profile.dynamic_energy_j(component)
+            )
 
-        static = {c: power_model.static_power_w(c) for c in Component.all()}
+        static = power_model.static_power_by_component()
 
         # Never-gated logic leaks for the whole execution.
         report.static_energy_j[Component.OTHER] = (
-            static[Component.OTHER] * profile.total_time_s
+            static[Component.OTHER] * total_time_s
         )
 
         # Systolic arrays: active-time leakage (possibly spatially gated)
         # plus idle-time leakage under the temporal gating scheme.
-        sa_idle = self._idle_energy(
-            Component.SA, profile.gap_profiles(Component.SA), static[Component.SA], chip
+        sa_idle = idle_accounting(Component.SA)
+        sa_active_j = (
+            self._sa_active_energy_columnar(profile, table, static[Component.SA])
+            if fast
+            else self._sa_active_energy(profile, static[Component.SA])
         )
-        report.static_energy_j[Component.SA] = (
-            self._sa_active_energy(profile, static[Component.SA]) + sa_idle.energy_j
-        )
+        report.static_energy_j[Component.SA] = sa_active_j + sa_idle.energy_j
         report.gating_events[Component.SA] = sa_idle.gated_gaps
         exposed_cycles += sa_idle.exposed_wake_cycles
 
         # Vector units.
-        vu_idle = self._idle_energy(
-            Component.VU, profile.gap_profiles(Component.VU), static[Component.VU], chip
-        )
+        vu_idle = idle_accounting(Component.VU)
         report.static_energy_j[Component.VU] = (
-            static[Component.VU] * profile.active_s(Component.VU) + vu_idle.energy_j
+            static[Component.VU] * active_s(Component.VU) + vu_idle.energy_j
         )
         report.gating_events[Component.VU] = vu_idle.gated_gaps
         exposed_cycles += vu_idle.exposed_wake_cycles
@@ -206,19 +481,21 @@ class PowerGatingPolicy:
         # variant; their wake-up delay is amortized by the DMA latency, so
         # it does not show up as a performance overhead.
         for component in (Component.HBM, Component.ICI):
-            idle = self._idle_energy(
-                component, profile.gap_profiles(component), static[component], chip
-            )
+            idle = idle_accounting(component)
             report.static_energy_j[component] = (
-                static[component] * profile.active_s(component) + idle.energy_j
+                static[component] * active_s(component) + idle.energy_j
             )
             report.gating_events[component] = idle.gated_gaps
 
         # SRAM capacity gating.
-        report.static_energy_j[Component.SRAM] = self._sram_energy(
-            profile, static[Component.SRAM]
+        report.static_energy_j[Component.SRAM] = (
+            self._sram_energy_columnar(profile, table, static[Component.SRAM])
+            if fast
+            else self._sram_energy(profile, static[Component.SRAM])
         )
-        report.gating_events[Component.SRAM] = float(len(profile.profiles))
+        report.gating_events[Component.SRAM] = float(
+            table.n_ops if fast else len(profile.profiles)
+        )
 
         report.overhead_time_s = chip.cycles_to_seconds(exposed_cycles)
         # The exposed wake-up delays keep the whole chip powered a little
@@ -228,7 +505,11 @@ class PowerGatingPolicy:
             extra = total_static_power * report.overhead_time_s
             report.static_energy_j[Component.OTHER] += extra
 
-        report.peak_power_w = self._peak_power(profile, power_model)
+        report.peak_power_w = (
+            self._peak_power_columnar(profile, table, power_model)
+            if fast
+            else self._peak_power(profile, power_model)
+        )
         return report
 
     # ------------------------------------------------------------------ #
@@ -270,6 +551,83 @@ class PowerGatingPolicy:
                     )
             peak = max(peak, dynamic_w + static_w)
         return peak
+
+    def _peak_power_columnar(
+        self, profile: WorkloadProfile, table: ProfileTable, power_model: ChipPowerModel
+    ) -> float:
+        """Vectorized :meth:`_peak_power` over the profile table."""
+        latency = table.latency_s
+        mask = latency > 0.0
+        if not bool(mask.any()):
+            return 0.0
+        safe_latency = np.where(mask, latency, 1.0)
+
+        off_leak = self.parameters.leakage.logic_off
+
+        dynamic_w = table.memo.get("peak_dynamic_w")
+        if dynamic_w is None:
+            dynamic = table.dynamic
+            # Mirrors sum(op.dynamic_energy_j.values()) over the
+            # insertion order SA, VU, SRAM, HBM, ICI, OTHER.
+            dynamic_j = (
+                dynamic[Component.SA]
+                + dynamic[Component.VU]
+                + dynamic[Component.SRAM]
+                + dynamic[Component.HBM]
+                + dynamic[Component.ICI]
+                + dynamic[Component.OTHER]
+            )
+            dynamic_w = dynamic_j / safe_latency
+            table.memo["peak_dynamic_w"] = dynamic_w
+
+        def active_fraction(component: Component) -> np.ndarray:
+            key = ("active_fraction", component)
+            fraction = table.memo.get(key)
+            if fraction is None:
+                fraction = np.minimum(1.0, table.active[component] / safe_latency)
+                table.memo[key] = fraction
+            return fraction
+
+        # Per-component static contributions, cached on the table and
+        # shared by every policy whose accounting for that component is
+        # identical (e.g. ReGate-Base/HW/Full on the HBM controller).
+        token = parameters_token(self.parameters)
+
+        def contribution(component: Component) -> np.ndarray | float:
+            base = power_model.static_power_w(component)
+            if not self.gating_enabled or component is Component.OTHER:
+                return base
+            if component is Component.SRAM:
+                key = ("peak_sram", base, self.software_managed, token)
+                value = table.memo.get(key)
+                if value is None:
+                    value = base * self._sram_factor_array(profile.chip, table)
+                    table.memo[key] = value
+                return value
+            if component is Component.SA and self.spatial_sa_gating:
+                key = ("peak_sa_spatial", base, token)
+                value = table.memo.get(key)
+                if value is None:
+                    factor = self._spatial_factor_array(profile.chip, table)
+                    fraction = active_fraction(component)
+                    value = base * (
+                        fraction * factor + (1 - fraction) * off_leak
+                    )
+                    table.memo[key] = value
+                return value
+            idle_leak = 0.0 if self.name is PolicyName.IDEAL else off_leak
+            key = ("peak_temporal", component, base, idle_leak, token)
+            value = table.memo.get(key)
+            if value is None:
+                fraction = active_fraction(component)
+                value = base * (fraction + (1 - fraction) * idle_leak)
+                table.memo[key] = value
+            return value
+
+        static_w = np.zeros_like(latency)
+        for component in Component.all():
+            static_w = static_w + contribution(component)
+        return float(np.max(np.where(mask, dynamic_w + static_w, 0.0), initial=0.0))
 
 
 class NoPGPolicy(PowerGatingPolicy):
@@ -317,6 +675,18 @@ class IdealPolicy(PowerGatingPolicy):
     def _idle_energy(self, component, gaps, static_power_w, chip) -> _IdleAccounting:
         return _IdleAccounting(energy_j=0.0, gated_gaps=sum(g.num_gaps for g in gaps))
 
+    def _idle_energy_columnar(
+        self, component, gap_s, num_gaps, static_power_w, chip, table=None
+    ) -> _IdleAccounting:
+        if table is None:
+            return _IdleAccounting(energy_j=0.0, gated_gaps=seq_sum(num_gaps))
+        key = ("ideal_gated_gaps", component)
+        gated = table.memo.get(key)
+        if gated is None:
+            gated = seq_sum(num_gaps)
+            table.memo[key] = gated
+        return _IdleAccounting(energy_j=0.0, gated_gaps=gated)
+
     def _sa_active_energy(self, profile: WorkloadProfile, static_power_w: float) -> float:
         model = SpatialGatingModel(profile.chip.sa_width, self.parameters)
         energy = 0.0
@@ -328,6 +698,27 @@ class IdealPolicy(PowerGatingPolicy):
             energy += static_power_w * active * shares.active
         return energy
 
+    def _sa_active_energy_columnar(
+        self, profile: WorkloadProfile, table: ProfileTable, static_power_w: float
+    ) -> float:
+        memo_key = ("ideal_sa_active_energy", static_power_w)
+        cached = table.memo.get(memo_key)
+        if cached is not None:
+            return cached
+        active = table.weighted_active(Component.SA)
+        active_share = table.memo.get("spatial_active_share")
+        if active_share is None:
+            model = SpatialGatingModel(profile.chip.sa_width, self.parameters)
+            active_share, _, _ = model.shares_arrays(
+                table.dims_m, table.dims_k, table.dims_n, table.has_dims
+            )
+            table.memo["spatial_active_share"] = active_share
+        energy = seq_sum(
+            np.where(active > 0.0, static_power_w * active * active_share, 0.0)
+        )
+        table.memo[memo_key] = energy
+        return energy
+
     def _sram_energy(self, profile: WorkloadProfile, static_power_w: float) -> float:
         capacity = profile.chip.sram_bytes
         energy = 0.0
@@ -335,6 +726,20 @@ class IdealPolicy(PowerGatingPolicy):
             duration = op_profile.latency_s * op_profile.count
             used = min(1.0, op_profile.sram_demand_bytes / capacity)
             energy += static_power_w * duration * used
+        return energy
+
+    def _sram_energy_columnar(
+        self, profile: WorkloadProfile, table: ProfileTable, static_power_w: float
+    ) -> float:
+        memo_key = ("ideal_sram_energy", static_power_w)
+        cached = table.memo.get(memo_key)
+        if cached is not None:
+            return cached
+        capacity = profile.chip.sram_bytes
+        duration = table.weighted_latency()
+        used = np.minimum(1.0, table.sram_demand_bytes / capacity)
+        energy = seq_sum(static_power_w * duration * used)
+        table.memo[memo_key] = energy
         return energy
 
 

@@ -104,6 +104,25 @@ def spatial_utilization(dims: MatmulDims, width: int) -> float:
     )
 
 
+# ---------------------------------------------------------------------- #
+# Vectorized counterparts (columnar fast path)
+# ---------------------------------------------------------------------- #
+# The array helpers mirror the scalar functions above operation for
+# operation so the columnar policy evaluation produces bit-identical
+# doubles; the ``max(..., 1.0)`` only rewrites denominators of entries
+# the `dim > 0` mask discards.
+def padding_efficiency_array(dim: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized :func:`padding_efficiency` over a dimension array."""
+    return np.where(
+        dim > 0, dim / np.maximum(np.ceil(dim / width) * width, 1.0), 0.0
+    )
+
+
+def pipeline_fill_efficiency_array(m: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized :func:`pipeline_fill_efficiency` over an M array."""
+    return np.where(m > 0, m / (m + 2.0 * width), 0.0)
+
+
 @dataclass(frozen=True)
 class SpatialPowerShares:
     """How PE-cycles split across power states during SA-active time."""
@@ -148,6 +167,48 @@ class SpatialGatingModel:
         w_on_leak = weight_share + (1.0 - weight_share) * off_leak
         return shares.active + shares.weight_only * w_on_leak + shares.off * off_leak
 
+    # ------------------------------------------------------------------ #
+    # Vectorized counterparts (columnar fast path)
+    # ------------------------------------------------------------------ #
+    def shares_arrays(
+        self,
+        m: np.ndarray,
+        k: np.ndarray,
+        n: np.ndarray,
+        has_dims: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-operator (active, weight_only, off) share arrays.
+
+        Operators without matmul dimensions get the scalar code's
+        ``dims=None`` answer of (1, 0, 0).
+        """
+        held = padding_efficiency_array(k, self.width) * padding_efficiency_array(
+            n, self.width
+        )
+        active = held * pipeline_fill_efficiency_array(m, self.width)
+        weight_only = np.maximum(0.0, held - active)
+        off = np.maximum(0.0, 1.0 - held)
+        total = active + weight_only + off
+        return (
+            np.where(has_dims, active / total, 1.0),
+            np.where(has_dims, weight_only / total, 0.0),
+            np.where(has_dims, off / total, 0.0),
+        )
+
+    def static_power_factor_array(
+        self,
+        m: np.ndarray,
+        k: np.ndarray,
+        n: np.ndarray,
+        has_dims: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`static_power_factor` over operator arrays."""
+        active, weight_only, off = self.shares_arrays(m, k, n, has_dims)
+        off_leak = self.parameters.leakage.logic_off
+        weight_share = self.parameters.pe_weight_register_share
+        w_on_leak = weight_share + (1.0 - weight_share) * off_leak
+        return active + weight_only * w_on_leak + off * off_leak
+
 
 __all__ = [
     "SpatialGatingModel",
@@ -156,7 +217,9 @@ __all__ = [
     "column_nonzero_bitmap",
     "column_on_bitmap",
     "padding_efficiency",
+    "padding_efficiency_array",
     "pipeline_fill_efficiency",
+    "pipeline_fill_efficiency_array",
     "row_nonzero_bitmap",
     "row_on_bitmap",
     "spatial_utilization",

@@ -19,7 +19,9 @@ breakdown matches the characterization in §3 of the paper:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.hardware.area import AreaModel, ChipAreaBreakdown
 from repro.hardware.chips import NPUChipSpec
@@ -125,6 +127,22 @@ class DynamicEnergyModel:
 class ChipPowerModel:
     """Static and peak-dynamic power model of a single NPU chip."""
 
+    #: id(spec) -> model; chip specs are frozen and shared through the
+    #: registry, so memoizing by identity is sound.  Entries are evicted
+    #: when the spec is collected (before its id can be reused).
+    _BY_CHIP: ClassVar[dict[int, "ChipPowerModel"]] = {}
+
+    @classmethod
+    def for_chip(cls, spec: NPUChipSpec) -> "ChipPowerModel":
+        """Shared memoized model of one chip spec (hot-path helper)."""
+        key = id(spec)
+        model = cls._BY_CHIP.get(key)
+        if model is None:
+            model = cls(spec)
+            cls._BY_CHIP[key] = model
+            weakref.finalize(spec, cls._BY_CHIP.pop, key, None)
+        return model
+
     def __init__(self, spec: NPUChipSpec):
         self.spec = spec
         self.area_model = AreaModel(spec)
@@ -167,6 +185,10 @@ class ChipPowerModel:
     def static_power_w(self, component: Component) -> float:
         """Leakage power of one component with its supply fully on."""
         return self._static[component]
+
+    def static_power_by_component(self) -> dict[Component, float]:
+        """Per-component leakage powers (shared mapping, do not mutate)."""
+        return self._static
 
     def peak_dynamic_power_w(self, component: Component) -> float:
         """Dynamic power of one component at 100% utilization."""

@@ -1,5 +1,13 @@
 """Tile-level NPU performance simulator and cycle-level systolic model."""
 
+from repro.simulator.columnar import (
+    ProfileTable,
+    batch_simulate,
+    fast_path_enabled,
+    seq_sum,
+    set_fast_path,
+    use_fast_path,
+)
 from repro.simulator.engine import (
     GapProfile,
     NPUSimulator,
@@ -16,8 +24,14 @@ __all__ = [
     "NPUSimulator",
     "OperatorProfile",
     "OperatorTimingModel",
+    "ProfileTable",
     "SystolicArraySimulator",
     "SystolicRunResult",
     "UtilizationError",
     "WorkloadProfile",
+    "batch_simulate",
+    "fast_path_enabled",
+    "seq_sum",
+    "set_fast_path",
+    "use_fast_path",
 ]

@@ -1,0 +1,605 @@
+"""Columnar (structure-of-arrays) simulation core.
+
+The object-path simulator represents a workload as a list of
+:class:`~repro.simulator.engine.OperatorProfile` objects and every
+aggregate (busy time, per-component active time, gap structure, energy)
+as a Python loop over them.  This module provides the NumPy-backed fast
+path: a :class:`ProfileTable` holds one aligned ``float64`` array per
+per-operator quantity, built either in one vectorized batch directly
+from an :class:`~repro.workloads.base.OperatorGraph`
+(:func:`batch_simulate`) or extracted from an existing object-path
+profile list (:meth:`ProfileTable.from_profiles`).
+
+**Bit-for-bit equivalence with the object path is a hard contract**, not
+a best-effort goal: the golden regression fixtures and the experiment
+cache were produced by the loop-based code, and a cold sweep must
+produce byte-identical CSVs on either path.  Two rules keep the paths
+exactly equal:
+
+* every elementwise expression mirrors the scalar code's operation
+  order (IEEE-754 double arithmetic is deterministic, but not
+  associative — ``a + b + c`` must stay ``(a + b) + c``);
+* reductions that the object path accumulates sequentially use
+  :func:`seq_sum` (a ``cumsum``-based strictly left-to-right sum)
+  rather than ``np.sum``, whose pairwise summation rounds differently.
+
+The fast path can be globally disabled with :func:`use_fast_path` (or
+:func:`set_fast_path`), which makes every consumer fall back to the
+original loop implementations — that object path stays in the tree as
+the reference oracle for the equivalence tests and the perf harness.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.hardware.chips import NPUChipSpec
+from repro.hardware.components import Component
+from repro.hardware.power import DynamicEnergyModel
+from repro.compiler.tiling import TilingPass
+from repro.simulator.timing import (
+    HBM_EFFICIENCY,
+    ICI_EFFICIENCY,
+    OPERATOR_OVERHEAD_CYCLES,
+    SA_MAPPING_MIN_M,
+)
+from repro.workloads.base import CollectiveKind, OperatorGraph, OpKind
+
+#: 4 MiB DMA burst granularity (mirrors the constants in tiling.py).
+_DMA_BURST_BYTES = 4 * 1024 * 1024
+
+# ---------------------------------------------------------------------- #
+# Fast-path switch
+# ---------------------------------------------------------------------- #
+_FAST_PATH_ENABLED = True
+
+
+def fast_path_enabled() -> bool:
+    """Whether aggregates and policies use the columnar fast path."""
+    return _FAST_PATH_ENABLED
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Enable/disable the fast path globally; returns the previous state."""
+    global _FAST_PATH_ENABLED
+    previous = _FAST_PATH_ENABLED
+    _FAST_PATH_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_fast_path(enabled: bool = True) -> Iterator[None]:
+    """Context manager scoping the fast-path switch (reference oracle off)."""
+    previous = set_fast_path(enabled)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)
+
+
+# ---------------------------------------------------------------------- #
+# Sequential reduction
+# ---------------------------------------------------------------------- #
+def seq_sum(values: np.ndarray) -> float:
+    """Strictly left-to-right sum, bit-identical to Python's ``sum()``.
+
+    ``np.sum`` uses pairwise summation, which rounds differently from
+    the sequential accumulation the object path performs; ``cumsum`` is
+    defined element-by-element and therefore accumulates in order.
+    """
+    if values.size == 0:
+        return 0.0
+    return float(values.cumsum()[-1])
+
+
+def _as_float_array(values: list) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64)
+
+
+# ---------------------------------------------------------------------- #
+# The structure-of-arrays profile
+# ---------------------------------------------------------------------- #
+class ProfileTable:
+    """Aligned per-operator arrays of one simulated workload iteration.
+
+    All arrays have one entry per operator (post-fusion program order).
+    ``active``/``dynamic`` map each :class:`Component` to its per-
+    invocation active seconds (clamped to the operator latency) and
+    dynamic energy.  Derived aggregates (busy time, per-component
+    totals, idle-gap tables) are computed once on first use and cached —
+    this is what lets the five gating policies share one gap table per
+    component instead of rebuilding identical
+    :class:`~repro.simulator.engine.GapProfile` lists per policy.
+    """
+
+    def __init__(
+        self,
+        *,
+        count: np.ndarray,
+        latency_s: np.ndarray,
+        sa_mapped: np.ndarray,
+        sa_spatial_util: np.ndarray,
+        active: dict[Component, np.ndarray],
+        dynamic: dict[Component, np.ndarray],
+        sram_demand_bytes: np.ndarray,
+        num_weight_tiles: np.ndarray,
+        num_output_tiles: np.ndarray,
+        num_dma_bursts: np.ndarray,
+        dims_m: np.ndarray,
+        dims_k: np.ndarray,
+        dims_n: np.ndarray,
+        has_dims: np.ndarray,
+    ):
+        self.count = count
+        self.latency_s = latency_s
+        self.sa_mapped = sa_mapped
+        self.sa_spatial_util = sa_spatial_util
+        self.active = active
+        self.dynamic = dynamic
+        self.sram_demand_bytes = sram_demand_bytes
+        self.num_weight_tiles = num_weight_tiles
+        self.num_output_tiles = num_output_tiles
+        self.num_dma_bursts = num_dma_bursts
+        self.dims_m = dims_m
+        self.dims_k = dims_k
+        self.dims_n = dims_n
+        self.has_dims = has_dims
+        self.n_ops = int(count.size)
+        # Lazily-filled aggregate caches.
+        self._total_time_s: float | None = None
+        self._active_totals: dict[Component, float] = {}
+        self._dynamic_totals: dict[Component, float] = {}
+        self._gap_tables: dict[Component, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._sa_spatial: float | None = None
+        self._weighted_active: dict[Component, np.ndarray] = {}
+        self._weighted_latency: np.ndarray | None = None
+        #: Cross-policy scratchpad: the gating policies memoize derived
+        #: arrays here (idle accounting, leakage-factor arrays) keyed by
+        #: everything their value depends on, so five policies evaluated
+        #: on one profile share the work instead of recomputing it.
+        self.memo: dict = {}
+
+    # -- constructors --------------------------------------------------- #
+    @classmethod
+    def from_profiles(cls, profiles: list) -> "ProfileTable":
+        """Extract the arrays from object-path ``OperatorProfile``s."""
+        count = _as_float_array([p.count for p in profiles])
+        latency = _as_float_array([p.latency_s for p in profiles])
+        sa_mapped = np.asarray([p.sa_mapped for p in profiles], dtype=bool)
+        sa_util = _as_float_array([p.times.sa_spatial_util for p in profiles])
+        active = {
+            component: _as_float_array([p.active_s(component) for p in profiles])
+            for component in Component.all()
+        }
+        dynamic = {
+            component: _as_float_array(
+                [p.dynamic_energy_j[component] for p in profiles]
+            )
+            for component in Component.all()
+        }
+        dims = [p.operator.dims for p in profiles]
+        return cls(
+            count=count,
+            latency_s=latency,
+            sa_mapped=sa_mapped,
+            sa_spatial_util=sa_util,
+            active=active,
+            dynamic=dynamic,
+            sram_demand_bytes=_as_float_array(
+                [p.sram_demand_bytes for p in profiles]
+            ),
+            num_weight_tiles=_as_float_array(
+                [p.tile_info.num_weight_tiles for p in profiles]
+            ),
+            num_output_tiles=_as_float_array(
+                [p.tile_info.num_output_tiles for p in profiles]
+            ),
+            num_dma_bursts=_as_float_array(
+                [p.tile_info.num_dma_bursts for p in profiles]
+            ),
+            dims_m=_as_float_array([d.m if d is not None else 1 for d in dims]),
+            dims_k=_as_float_array([d.k if d is not None else 1 for d in dims]),
+            dims_n=_as_float_array([d.n if d is not None else 1 for d in dims]),
+            has_dims=np.asarray([d is not None for d in dims], dtype=bool),
+        )
+
+    # -- scalar aggregates ---------------------------------------------- #
+    def total_time_s(self) -> float:
+        """Busy time of one iteration: ``sum(latency * count)``."""
+        if self._total_time_s is None:
+            self._total_time_s = seq_sum(self.weighted_latency())
+        return self._total_time_s
+
+    def active_total_s(self, component: Component) -> float:
+        """Total active seconds of one component per iteration."""
+        cached = self._active_totals.get(component)
+        if cached is None:
+            cached = seq_sum(self.weighted_active(component))
+            self._active_totals[component] = cached
+        return cached
+
+    def dynamic_total_j(self, component: Component) -> float:
+        """Total dynamic energy of one component per iteration."""
+        cached = self._dynamic_totals.get(component)
+        if cached is None:
+            cached = seq_sum(self.dynamic[component] * self.count)
+            self._dynamic_totals[component] = cached
+        return cached
+
+    def sa_spatial_utilization(self) -> float:
+        """SA-active-time-weighted spatial utilization (Figure 5)."""
+        if self._sa_spatial is None:
+            active = self.weighted_active(Component.SA)
+            mask = active > 0.0
+            weighted = seq_sum(np.where(mask, self.sa_spatial_util * active, 0.0))
+            total = seq_sum(np.where(mask, active, 0.0))
+            self._sa_spatial = 0.0 if total <= 0 else weighted / total
+        return self._sa_spatial
+
+    def weighted_active(self, component: Component) -> np.ndarray:
+        """Per-operator ``active * count`` array, computed once."""
+        cached = self._weighted_active.get(component)
+        if cached is None:
+            cached = self.active[component] * self.count
+            self._weighted_active[component] = cached
+        return cached
+
+    def weighted_latency(self) -> np.ndarray:
+        """Per-operator ``latency * count`` array, computed once."""
+        if self._weighted_latency is None:
+            self._weighted_latency = self.latency_s * self.count
+        return self._weighted_latency
+
+    def sram_demand_distribution(self) -> list[tuple[float, float]]:
+        """(demand_bytes, time_s) pairs, one per operator (Figure 7)."""
+        times = self.weighted_latency()
+        return list(zip(self.sram_demand_bytes.tolist(), times.tolist()))
+
+    # -- idle-gap tables ------------------------------------------------ #
+    def gap_table(
+        self, component: Component
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-operator idle-gap family of one component.
+
+        Returns ``(gap_s, num_gaps_per_invocation, num_gaps_total)``
+        arrays aligned with the operator order; operators without an
+        idle gap for this component hold zeros in all three (adding a
+        zero term to a running float sum is exact, so the zero-padded
+        arrays reduce bit-identically to the object path's filtered gap
+        lists).  Computed once per profile and shared by every policy
+        evaluation — the memoization the sensitivity sweeps rely on.
+        """
+        cached = self._gap_tables.get(component)
+        if cached is not None:
+            return cached
+
+        latency = self.latency_s
+        active = self.active[component]
+        idle = np.maximum(0.0, latency - active)
+        has_gap = idle > 0.0
+        if component is Component.SA:
+            bursts = np.where(
+                self.sa_mapped & (active > 0.0),
+                np.maximum(1.0, self.num_weight_tiles),
+                1.0,
+            )
+        elif component is Component.VU:
+            bursts = np.where(
+                active > 0.0,
+                np.where(
+                    self.sa_mapped,
+                    np.maximum(1.0, self.num_output_tiles),
+                    np.maximum(1.0, self.num_dma_bursts),
+                ),
+                1.0,
+            )
+        elif component is Component.HBM:
+            bursts = np.where(
+                active > 0.0, np.maximum(1.0, self.num_dma_bursts), 1.0
+            )
+        elif component is Component.ICI:
+            bursts = np.ones_like(latency)
+        else:
+            # SRAM/OTHER have no per-operator idle-gap structure; the
+            # object path produces an empty gap list for them.
+            zeros = np.zeros_like(latency)
+            table = (zeros, zeros, zeros)
+            self._gap_tables[component] = table
+            return table
+
+        gap_s = np.where(has_gap, idle / bursts, 0.0)
+        num_per_invocation = np.where(has_gap, bursts, 0.0)
+        num_total = num_per_invocation * self.count
+        table = (gap_s, num_per_invocation, num_total)
+        self._gap_tables[component] = table
+        return table
+
+
+# ---------------------------------------------------------------------- #
+# Batch simulation (vectorized timing + tiling + dynamic energy)
+# ---------------------------------------------------------------------- #
+def batch_sram_demands(
+    operators: list,
+    chip: NPUChipSpec,
+    tiling: TilingPass | None = None,
+) -> np.ndarray:
+    """Vectorized ``TilingPass.tile(op).sram_demand_bytes`` for a list.
+
+    Used by the fusion pass to size all fusion candidates in one batch
+    instead of tiling operators one by one; mirrors the scalar tiling
+    expressions bit-for-bit (same contract as :func:`batch_simulate`).
+    """
+    tiling = tiling or TilingPass(chip)
+    streaming_demand = tiling.streaming_demand_bytes()
+    width = chip.sa_width
+    dims = [op.dims for op in operators]
+    dims_m = _as_float_array([d.m if d is not None else 1 for d in dims])
+    dims_k = _as_float_array([d.k if d is not None else 1 for d in dims])
+    dims_n = _as_float_array([d.n if d is not None else 1 for d in dims])
+    has_dims = np.asarray([d is not None for d in dims], dtype=bool)
+    uses_sa = np.asarray([op.kind.uses_sa for op in operators], dtype=bool)
+    is_collective = np.asarray(
+        [op.kind.is_collective for op in operators], dtype=bool
+    )
+    dtype_bytes = _as_float_array([op.dtype_bytes for op in operators])
+    hbm_read = _as_float_array([op.hbm_read_bytes for op in operators])
+
+    matmul_mask = uses_sa & has_dims
+    factor = 2.0 if tiling.double_buffer else 1.0
+    weights = dims_k * dims_n * dtype_bytes
+    panel_rows = np.minimum(dims_m, 4 * width)
+    activations = panel_rows * dims_k * dtype_bytes
+    outputs = panel_rows * dims_n * dtype_bytes
+    matmul_demand = np.maximum(
+        weights + factor * (activations + outputs), streaming_demand
+    )
+    collective_demand = np.maximum(
+        np.minimum(hbm_read, 8 * streaming_demand), streaming_demand
+    )
+    return np.where(
+        matmul_mask,
+        matmul_demand,
+        np.where(is_collective, collective_demand, streaming_demand),
+    )
+
+
+class BatchSimulation:
+    """Raw arrays of one batch simulation plus the derived ProfileTable.
+
+    The raw per-component times (un-clamped), the dispatch overhead and
+    the tile shapes are what the engine needs to materialize the
+    object-path ``OperatorProfile`` list; the :class:`ProfileTable` is
+    what the aggregates and policies consume.
+    """
+
+    def __init__(
+        self,
+        *,
+        table: ProfileTable,
+        sa_s: np.ndarray,
+        vu_s: np.ndarray,
+        hbm_s: np.ndarray,
+        ici_s: np.ndarray,
+        overhead_s: float,
+        tile_m: np.ndarray,
+        tile_k: np.ndarray,
+        tile_n: np.ndarray,
+    ):
+        self.table = table
+        self.sa_s = sa_s
+        self.vu_s = vu_s
+        self.hbm_s = hbm_s
+        self.ici_s = ici_s
+        self.overhead_s = overhead_s
+        self.tile_m = tile_m
+        self.tile_k = tile_k
+        self.tile_n = tile_n
+
+
+def batch_simulate(
+    graph: OperatorGraph,
+    chip: NPUChipSpec,
+    dynamic_model: DynamicEnergyModel | None = None,
+    tiling: TilingPass | None = None,
+) -> BatchSimulation:
+    """Simulate every operator of ``graph`` in one vectorized batch.
+
+    Produces, for each operator, exactly the values
+    ``OperatorTimingModel.times`` + ``TilingPass.tile`` +
+    ``NPUSimulator._dynamic_energy`` compute one at a time — the scalar
+    expression structure is mirrored operation-for-operation so the
+    results are bit-identical doubles.
+    """
+    dyn = dynamic_model or DynamicEnergyModel(chip)
+    tiling = tiling or TilingPass(chip)
+    ops = graph.operators
+    width = chip.sa_width
+    ptp_kinds = (CollectiveKind.ALL_TO_ALL, CollectiveKind.SEND_RECV)
+
+    # One pass over the operators, one C-level array conversion.
+    raw = np.array(
+        [
+            (
+                op.count,
+                op.sa_flops,
+                op.vu_flops,
+                op.hbm_read_bytes,
+                op.hbm_read_bytes + op.hbm_write_bytes,
+                op.ici_bytes,
+                op.dtype_bytes,
+                op.kind.uses_sa,
+                op.kind is OpKind.COLLECTIVE,
+                op.collective in ptp_kinds,
+                op.dims is not None,
+                1 if op.dims is None else op.dims.m,
+                1 if op.dims is None else op.dims.k,
+                1 if op.dims is None else op.dims.n,
+            )
+            for op in ops
+        ],
+        dtype=np.float64,
+    ).reshape(len(ops), 14)
+    (
+        count, sa_flops, vu_flops, hbm_read, hbm_bytes, ici_bytes, dtype_bytes,
+    ) = raw[:, :7].T
+    uses_sa = raw[:, 7] != 0.0
+    is_collective = raw[:, 8] != 0.0
+    is_ptp = raw[:, 9] != 0.0
+    has_dims = raw[:, 10] != 0.0
+    dims_m, dims_k, dims_n = raw[:, 11:14].T
+
+    # -- timing (OperatorTimingModel) ----------------------------------- #
+    sa_mapped = uses_sa & has_dims & (sa_flops > 0.0) & (dims_m >= SA_MAPPING_MIN_M)
+    # padding_efficiency / pipeline_fill_efficiency with the scalar
+    # code's `dim <= 0 -> 0.0` guards (the max(..., 1.0) only rewrites
+    # denominators of masked-out entries, never a live one).
+    pad_k = np.where(
+        dims_k > 0, dims_k / np.maximum(np.ceil(dims_k / width) * width, 1.0), 0.0
+    )
+    pad_n = np.where(
+        dims_n > 0, dims_n / np.maximum(np.ceil(dims_n / width) * width, 1.0), 0.0
+    )
+    fill_m = np.where(dims_m > 0, dims_m / (dims_m + 2.0 * width), 0.0)
+    util = np.maximum(pad_k * pad_n * fill_m, 1e-4)
+    sa_s = np.where(sa_mapped, sa_flops / (chip.peak_sa_flops * util), 0.0)
+    sa_util = np.where(sa_mapped, util, 0.0)
+
+    eff_vu_flops = vu_flops + np.where(sa_mapped, 0.0, sa_flops)
+    vu_s = np.where(eff_vu_flops > 0.0, eff_vu_flops / chip.peak_vu_flops, 0.0)
+
+    hbm_s = np.where(
+        hbm_bytes > 0.0,
+        hbm_bytes / (chip.hbm_bandwidth_bytes * HBM_EFFICIENCY),
+        0.0,
+    )
+
+    ici_bandwidth = chip.ici_bandwidth_bytes * ICI_EFFICIENCY
+    ici_s = np.where(
+        ici_bytes > 0.0,
+        ici_bytes / np.where(is_ptp, ici_bandwidth * 0.5, ici_bandwidth),
+        0.0,
+    )
+
+    overhead_s = OPERATOR_OVERHEAD_CYCLES * chip.cycle_time_s
+    latency = np.maximum(np.maximum(np.maximum(sa_s, vu_s), hbm_s), ici_s) + overhead_s
+
+    active = {
+        Component.SA: np.minimum(sa_s, latency),
+        Component.VU: np.minimum(vu_s, latency),
+        Component.HBM: np.minimum(hbm_s, latency),
+        Component.ICI: np.minimum(ici_s, latency),
+        Component.SRAM: np.minimum(
+            np.maximum(np.maximum(sa_s, vu_s), hbm_s), latency
+        ),
+        Component.OTHER: latency,
+    }
+
+    # -- tiling (TilingPass) -------------------------------------------- #
+    streaming_demand = tiling.streaming_demand_bytes()
+    buffer_factor = 2.0 if tiling.double_buffer else 1.0
+    matmul_mask = uses_sa & has_dims
+
+    weights = dims_k * dims_n * dtype_bytes
+    panel_rows = np.minimum(dims_m, 4 * width)
+    activations = panel_rows * dims_k * dtype_bytes
+    outputs = panel_rows * dims_n * dtype_bytes
+    matmul_demand = np.maximum(
+        weights + buffer_factor * (activations + outputs), streaming_demand
+    )
+    ceil_k = np.ceil(dims_k / width)
+    ceil_m = np.ceil(dims_m / width)
+    ceil_n = np.ceil(dims_n / width)
+    matmul_weight_tiles = ceil_k * ceil_n
+    matmul_output_tiles = np.maximum(1.0, ceil_m) * ceil_n
+    matmul_dma = np.maximum(1.0, ceil_n)
+
+    collective_demand = np.maximum(
+        np.minimum(hbm_read, 8 * streaming_demand), streaming_demand
+    )
+    collective_dma = np.maximum(1.0, ici_bytes // _DMA_BURST_BYTES)
+
+    stream_dma = np.maximum(1.0, hbm_bytes // _DMA_BURST_BYTES)
+    stream_vu_tiles = np.maximum(1.0, vu_flops // (chip.vu_alus * 64))
+
+    demand = np.where(
+        matmul_mask,
+        matmul_demand,
+        np.where(is_collective, collective_demand, streaming_demand),
+    )
+    num_weight_tiles = np.where(matmul_mask, matmul_weight_tiles, 0.0)
+    num_output_tiles = np.where(
+        matmul_mask, matmul_output_tiles, np.where(is_collective, 0.0, stream_vu_tiles)
+    )
+    num_dma_bursts = np.where(
+        matmul_mask, matmul_dma, np.where(is_collective, collective_dma, stream_dma)
+    )
+    tile_m = np.where(matmul_mask, np.minimum(dims_m, width), 0.0)
+    tile_k = np.where(matmul_mask, np.minimum(dims_k, width), 0.0)
+    tile_n = np.where(matmul_mask, np.minimum(dims_n, width), 0.0)
+
+    # -- dynamic energy (NPUSimulator._dynamic_energy) ------------------- #
+    dyn_sa_flops = np.where(sa_mapped, sa_flops, 0.0)
+    dyn_vu_flops = vu_flops + np.where(sa_mapped, 0.0, sa_flops)
+    sram_bytes = (
+        2.0 * hbm_bytes
+        + dyn_sa_flops * 2.0 * dtype_bytes / width
+        + dyn_vu_flops * dtype_bytes
+    )
+    e_sa = dyn.sa_energy(dyn_sa_flops)
+    e_vu = dyn.vu_energy(dyn_vu_flops)
+    e_sram = dyn.sram_energy(sram_bytes)
+    e_hbm = dyn.hbm_energy(hbm_bytes)
+    e_ici = dyn.ici_energy(ici_bytes)
+    # Mirrors sum(energies.values()) over the insertion order SA, VU,
+    # SRAM, HBM, ICI (sequential left-to-right adds).
+    e_other = dyn.other_energy(e_sa + e_vu + e_sram + e_hbm + e_ici)
+    dynamic = {
+        Component.SA: e_sa,
+        Component.VU: e_vu,
+        Component.SRAM: e_sram,
+        Component.HBM: e_hbm,
+        Component.ICI: e_ici,
+        Component.OTHER: e_other,
+    }
+
+    table = ProfileTable(
+        count=count,
+        latency_s=latency,
+        sa_mapped=sa_mapped,
+        sa_spatial_util=sa_util,
+        active=active,
+        dynamic=dynamic,
+        sram_demand_bytes=demand,
+        num_weight_tiles=num_weight_tiles,
+        num_output_tiles=num_output_tiles,
+        num_dma_bursts=num_dma_bursts,
+        dims_m=dims_m,
+        dims_k=dims_k,
+        dims_n=dims_n,
+        has_dims=has_dims,
+    )
+    return BatchSimulation(
+        table=table,
+        sa_s=sa_s,
+        vu_s=vu_s,
+        hbm_s=hbm_s,
+        ici_s=ici_s,
+        overhead_s=overhead_s,
+        tile_m=tile_m,
+        tile_k=tile_k,
+        tile_n=tile_n,
+    )
+
+
+__all__ = [
+    "BatchSimulation",
+    "ProfileTable",
+    "batch_simulate",
+    "fast_path_enabled",
+    "seq_sum",
+    "set_fast_path",
+    "use_fast_path",
+]

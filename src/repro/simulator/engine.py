@@ -22,6 +22,8 @@ from repro.compiler.tiling import TileInfo, TilingPass
 from repro.hardware.chips import NPUChipSpec
 from repro.hardware.components import Component
 from repro.hardware.power import ChipPowerModel
+from repro.simulator import columnar
+from repro.simulator.columnar import BatchSimulation, ProfileTable
 from repro.simulator.timing import ComponentTimes, OperatorTimingModel
 from repro.workloads.base import Operator, OperatorGraph, OpKind
 
@@ -142,18 +144,130 @@ class OperatorProfile:
         return gaps
 
 
+class _LazyOperatorProfiles(list):
+    """Operator-profile list materialized from a batch on first access.
+
+    A cold columnar simulation produces its aggregates from the
+    :class:`~repro.simulator.columnar.ProfileTable`; the per-operator
+    :class:`OperatorProfile` objects are only needed when somebody
+    actually walks :attr:`WorkloadProfile.profiles`, so their
+    construction is deferred to that first access.  Materialization
+    yields exactly the objects the eager path would have built.
+    """
+
+    __slots__ = ("_builder",)
+
+    def __init__(self, builder=None):
+        super().__init__()
+        self._builder = builder
+
+    @property
+    def pending(self) -> bool:
+        """Whether the list is still an unmaterialized placeholder."""
+        return self._builder is not None
+
+    def _materialize(self) -> None:
+        builder, self._builder = self._builder, None
+        if builder is not None:
+            super().extend(builder())
+
+    def _make_accessor(name):  # noqa: N805 - class-body helper
+        def accessor(self, *args, **kwargs):
+            self._materialize()
+            return getattr(super(_LazyOperatorProfiles, self), name)(*args, **kwargs)
+
+        accessor.__name__ = name
+        return accessor
+
+    for _name in (
+        "__len__", "__iter__", "__getitem__", "__setitem__", "__delitem__",
+        "__contains__", "__reversed__", "__eq__", "__ne__", "__add__",
+        "__iadd__", "__mul__", "__imul__", "__repr__", "append", "extend",
+        "insert", "remove", "pop", "clear", "index", "count", "copy",
+        "sort", "reverse",
+    ):
+        locals()[_name] = _make_accessor(_name)
+    del _name, _make_accessor
+
+
 @dataclass
 class WorkloadProfile:
-    """Aggregated simulation results for one workload iteration on one chip."""
+    """Aggregated simulation results for one workload iteration on one chip.
+
+    Every aggregate has two implementations producing bit-identical
+    doubles: a vectorized reduction over the memoized
+    :class:`~repro.simulator.columnar.ProfileTable` (the default), and
+    the original object-path loop, kept as the reference oracle and
+    selected with :func:`repro.simulator.columnar.use_fast_path`.
+    """
 
     graph: OperatorGraph
     chip: NPUChipSpec
     profiles: list[OperatorProfile] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
+    # Columnar table memoization
+    # ------------------------------------------------------------------ #
+    def _profiles_token(self) -> tuple:
+        """Cheap fingerprint of the profile list for cache invalidation."""
+        profiles = self.profiles
+        if isinstance(profiles, _LazyOperatorProfiles) and profiles.pending:
+            # Fingerprinting would force materialization; an untouched
+            # lazy list cannot have been mutated, so its identity is
+            # fingerprint enough.  (After materialization the token
+            # changes and the table is rebuilt — bit-identically.)
+            return ("lazy", id(profiles))
+        return (len(profiles), tuple(map(id, profiles)))
+
+    @property
+    def table(self) -> ProfileTable:
+        """The columnar view of this profile, built once and memoized.
+
+        Appending/replacing entries of :attr:`profiles` invalidates the
+        cache automatically (the fingerprint covers list length and
+        element identities); after mutating an :class:`OperatorProfile`
+        *in place*, call :meth:`invalidate_caches` explicitly.
+        """
+        cache = self.__dict__
+        token = self._profiles_token()
+        table = cache.get("_table")
+        if table is None or cache.get("_table_token") != token:
+            table = ProfileTable.from_profiles(self.profiles)
+            cache["_table"] = table
+            cache["_table_token"] = token
+        return table
+
+    def invalidate_caches(self) -> None:
+        """Drop the memoized columnar table and its derived aggregates."""
+        self.__dict__.pop("_table", None)
+        self.__dict__.pop("_table_token", None)
+
+    def _fast_table(self) -> ProfileTable | None:
+        """The memoized table, or ``None`` when the fast path is off.
+
+        Also returns ``None`` when the profile list holds duck-typed
+        stand-ins (e.g. hand-built test doubles) that the columnar
+        extraction cannot read — those fall back to the object path.
+        """
+        if not columnar.fast_path_enabled():
+            return None
+        try:
+            return self.table
+        except AttributeError:
+            return None
+
+    def _attach_table(self, table: ProfileTable) -> None:
+        """Install a pre-built table (the batch-simulation fast path)."""
+        self.__dict__["_table"] = table
+        self.__dict__["_table_token"] = self._profiles_token()
+
+    # ------------------------------------------------------------------ #
     @property
     def total_time_s(self) -> float:
         """Busy execution time of one workload iteration."""
+        table = self._fast_table()
+        if table is not None:
+            return table.total_time_s()
         return sum(p.latency_s * p.count for p in self.profiles)
 
     @property
@@ -162,6 +276,9 @@ class WorkloadProfile:
 
     def active_s(self, component: Component) -> float:
         """Total active seconds of one component per iteration."""
+        table = self._fast_table()
+        if table is not None:
+            return table.active_total_s(component)
         return sum(p.active_s(component) * p.count for p in self.profiles)
 
     def temporal_utilization(self, component: Component, strict: bool = False) -> float:
@@ -189,6 +306,9 @@ class WorkloadProfile:
 
     def dynamic_energy_j(self, component: Component) -> float:
         """Total dynamic energy of one component per iteration."""
+        table = self._fast_table()
+        if table is not None:
+            return table.dynamic_total_j(component)
         return sum(p.dynamic_energy_j[component] * p.count for p in self.profiles)
 
     def total_dynamic_energy_j(self) -> float:
@@ -197,6 +317,9 @@ class WorkloadProfile:
     # ------------------------------------------------------------------ #
     def sa_spatial_utilization(self) -> float:
         """SA-active-time-weighted spatial utilization (Figure 5 metric)."""
+        table = self._fast_table()
+        if table is not None:
+            return table.sa_spatial_utilization()
         weighted = 0.0
         total = 0.0
         for profile in self.profiles:
@@ -211,6 +334,9 @@ class WorkloadProfile:
 
     def sram_demand_distribution(self) -> list[tuple[float, float]]:
         """(demand_bytes, time_s) pairs, one per operator (Figure 7)."""
+        table = self._fast_table()
+        if table is not None:
+            return table.sram_demand_distribution()
         return [
             (profile.sram_demand_bytes, profile.latency_s * profile.count)
             for profile in self.profiles
@@ -218,6 +344,14 @@ class WorkloadProfile:
 
     def gap_profiles(self, component: Component) -> list[GapProfile]:
         """All idle-gap families of one component per iteration."""
+        table = self._fast_table()
+        if table is not None:
+            gap_s, _, num_total = table.gap_table(component)
+            return [
+                GapProfile(component=component, gap_s=gap, num_gaps=num)
+                for gap, num in zip(gap_s.tolist(), num_total.tolist())
+                if num > 0
+            ]
         gaps: list[GapProfile] = []
         for profile in self.profiles:
             for gap in profile.gap_profiles():
@@ -255,7 +389,7 @@ class NPUSimulator:
         self.apply_fusion = apply_fusion
         self.timing = OperatorTimingModel(chip)
         self.tiling = TilingPass(chip)
-        self.power_model = ChipPowerModel(chip)
+        self.power_model = ChipPowerModel.for_chip(chip)
 
     # ------------------------------------------------------------------ #
     def _dynamic_energy(self, op: Operator, times: ComponentTimes) -> dict[Component, float]:
@@ -291,15 +425,88 @@ class NPUSimulator:
         )
 
     def simulate(self, graph: OperatorGraph) -> WorkloadProfile:
-        """Simulate one iteration of a workload graph."""
+        """Simulate one iteration of a workload graph.
+
+        On the columnar fast path the whole graph is simulated in one
+        vectorized batch and the per-operator objects are materialized
+        from the resulting arrays; the per-operator loop below is the
+        reference oracle (``columnar.use_fast_path(False)``).  Both
+        produce bit-identical profiles.
+        """
         NPUSimulator.simulate_calls += 1
         graph.validate()
         if self.apply_fusion:
             graph, _groups = FusionPass(self.chip).run(graph)
+        if columnar.fast_path_enabled():
+            batch = columnar.batch_simulate(
+                graph, self.chip, self.power_model.dynamic, self.tiling
+            )
+            profile = WorkloadProfile(
+                graph=graph,
+                chip=self.chip,
+                profiles=_LazyOperatorProfiles(
+                    lambda: self._materialize(graph, batch)
+                ),
+            )
+            profile._attach_table(batch.table)
+            return profile
         profile = WorkloadProfile(graph=graph, chip=self.chip)
         for op in graph.operators:
             profile.profiles.append(self.simulate_operator(op))
         return profile
+
+    # ------------------------------------------------------------------ #
+    def _materialize(
+        self, graph: OperatorGraph, batch: BatchSimulation
+    ) -> list[OperatorProfile]:
+        """Build the per-operator objects from one batch simulation."""
+        table = batch.table
+        profiles: list[OperatorProfile] = []
+        components = Component.all()
+        dynamic_columns = [table.dynamic[c].tolist() for c in components]
+        sa_s = batch.sa_s.tolist()
+        vu_s = batch.vu_s.tolist()
+        hbm_s = batch.hbm_s.tolist()
+        ici_s = batch.ici_s.tolist()
+        sa_mapped = table.sa_mapped.tolist()
+        sa_util = table.sa_spatial_util.tolist()
+        demand = table.sram_demand_bytes.tolist()
+        weight_tiles = table.num_weight_tiles.tolist()
+        output_tiles = table.num_output_tiles.tolist()
+        dma_bursts = table.num_dma_bursts.tolist()
+        tile_m = batch.tile_m.tolist()
+        tile_k = batch.tile_k.tolist()
+        tile_n = batch.tile_n.tolist()
+        for index, op in enumerate(graph.operators):
+            times = ComponentTimes(
+                sa_s=sa_s[index],
+                vu_s=vu_s[index],
+                hbm_s=hbm_s[index],
+                ici_s=ici_s[index],
+                overhead_s=batch.overhead_s,
+                sa_mapped=sa_mapped[index],
+                sa_spatial_util=sa_util[index],
+            )
+            tile_info = TileInfo(
+                sram_demand_bytes=demand[index],
+                num_weight_tiles=int(weight_tiles[index]),
+                num_output_tiles=int(output_tiles[index]),
+                num_dma_bursts=int(dma_bursts[index]),
+                tile_m=int(tile_m[index]),
+                tile_k=int(tile_k[index]),
+                tile_n=int(tile_n[index]),
+            )
+            energy = {
+                component: dynamic_columns[position][index]
+                for position, component in enumerate(components)
+            }
+            profiles.append(
+                OperatorProfile(
+                    operator=op, times=times, tile_info=tile_info,
+                    dynamic_energy_j=energy,
+                )
+            )
+        return profiles
 
 
 __all__ = [

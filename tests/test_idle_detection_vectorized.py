@@ -1,0 +1,115 @@
+"""Equivalence of the RLE idle detector with the stepwise oracle.
+
+:func:`repro.gating.idle_detection.run_length_idle_stats` must produce
+*exactly* the statistics of driving :class:`IdleDetector` cycle by
+cycle — all quantities are integers, so the comparison is strict
+equality under hypothesis-generated activity traces, plus directed
+cases for the state machine's corners (the one-cycle-window quirk, the
+wake-up cycle accounting, empty and degenerate traces).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gating.idle_detection import (
+    IdleDetector,
+    IdleDetectorStats,
+    run_length_idle_stats,
+)
+
+
+def _reference(trace, window, delay) -> IdleDetectorStats:
+    return IdleDetector(window, delay).run(list(trace))
+
+
+@given(
+    trace=st.lists(st.booleans(), max_size=400),
+    window=st.integers(1, 16),
+    delay=st.integers(0, 8),
+)
+@settings(max_examples=300, deadline=None)
+def test_matches_stepwise_oracle(trace, window, delay):
+    assert run_length_idle_stats(trace, window, delay) == _reference(
+        trace, window, delay
+    )
+
+
+@given(
+    run_lengths=st.lists(st.integers(1, 30), min_size=1, max_size=40),
+    starts_with_work=st.booleans(),
+    window=st.integers(1, 16),
+    delay=st.integers(0, 8),
+)
+@settings(max_examples=200, deadline=None)
+def test_matches_oracle_on_long_runs(run_lengths, starts_with_work, window, delay):
+    """Run-length structured traces exercise the gating threshold."""
+    trace: list[bool] = []
+    state = starts_with_work
+    for length in run_lengths:
+        trace.extend([state] * length)
+        state = not state
+    assert run_length_idle_stats(trace, window, delay) == _reference(
+        trace, window, delay
+    )
+
+
+class TestDirectedCases:
+    def test_empty_trace(self):
+        assert run_length_idle_stats([], 4, 2) == IdleDetectorStats()
+
+    def test_all_work(self):
+        stats = run_length_idle_stats([True] * 50, 4, 2)
+        assert stats == _reference([True] * 50, 4, 2)
+        assert stats.active_cycles == 50
+        assert stats.gate_events == 0
+
+    def test_all_idle_gates_once(self):
+        stats = run_length_idle_stats([False] * 50, 4, 2)
+        assert stats == _reference([False] * 50, 4, 2)
+        assert stats.gate_events == 1
+        assert stats.counting_cycles == 4
+        assert stats.gated_cycles == 46
+
+    def test_one_cycle_window_still_needs_two_idle_cycles(self):
+        """The ACTIVE->COUNTING transition never gates (window=1 quirk)."""
+        single_idle = [True, False, True]
+        stats = run_length_idle_stats(single_idle, 1, 0)
+        assert stats == _reference(single_idle, 1, 0)
+        assert stats.gate_events == 0
+        double_idle = [True, False, False, True]
+        stats = run_length_idle_stats(double_idle, 1, 0)
+        assert stats == _reference(double_idle, 1, 0)
+        assert stats.gate_events == 1
+
+    @pytest.mark.parametrize("delay,expected_waking,expected_exposed", [
+        (0, 0, 0), (1, 2, 1), (2, 2, 1), (3, 3, 2), (5, 5, 4),
+    ])
+    def test_wakeup_cycle_accounting(self, delay, expected_waking, expected_exposed):
+        trace = [True] + [False] * 10 + [True] * 3
+        stats = run_length_idle_stats(trace, 3, delay)
+        assert stats == _reference(trace, 3, delay)
+        assert stats.waking_cycles == expected_waking
+        assert stats.exposed_wakeup_cycles == expected_exposed
+
+    def test_trailing_gated_idle_has_no_wake(self):
+        trace = [True] + [False] * 20
+        stats = run_length_idle_stats(trace, 4, 3)
+        assert stats == _reference(trace, 4, 3)
+        assert stats.gate_events == 1
+        assert stats.waking_cycles == 0
+
+    def test_validation_matches_detector(self):
+        with pytest.raises(ValueError, match="detection window"):
+            run_length_idle_stats([True], 0, 1)
+        with pytest.raises(ValueError, match="wake-up delay"):
+            run_length_idle_stats([True], 1, -1)
+
+    def test_accepts_numpy_input(self):
+        import numpy as np
+
+        trace = np.array([True, False, False, False, True])
+        assert run_length_idle_stats(trace, 2, 1) == _reference(
+            trace.tolist(), 2, 1
+        )

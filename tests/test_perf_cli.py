@@ -1,0 +1,122 @@
+"""The `repro perf` harness, BENCH_perf payloads and CSV streaming."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.perf import (
+    PERF_GRIDS,
+    check_regression,
+    format_report,
+    perf_sweep_spec,
+    run_perf_suite,
+    write_payload,
+)
+from repro.cli import main
+from repro.experiments import SimulationCache, SweepSpec, run_sweep
+
+EXPECTED_BENCHMARKS = {
+    "cold_simulate",
+    "policy_evaluation",
+    "sensitivity_sweep",
+    "idle_detector",
+    "cold_sweep",
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_payload():
+    return run_perf_suite(grid="tiny", repeat=1)
+
+
+class TestPerfSuite:
+    def test_payload_structure(self, tiny_payload):
+        assert set(tiny_payload["benchmarks"]) == EXPECTED_BENCHMARKS
+        for entry in tiny_payload["benchmarks"].values():
+            assert entry["object_s"] > 0
+            assert entry["columnar_s"] > 0
+            assert entry["speedup"] > 0
+        assert tiny_payload["grid"] == "tiny"
+        assert tiny_payload["schema"] == 1
+
+    def test_grids_pick_largest_graphs(self):
+        spec = perf_sweep_spec("tiny")
+        assert "gligen-inference" in spec.workloads
+        assert spec.num_points == PERF_GRIDS["tiny"][0] * len(PERF_GRIDS["tiny"][1])
+        with pytest.raises(KeyError, match="unknown perf grid"):
+            perf_sweep_spec("gigantic")
+
+    def test_write_and_report(self, tiny_payload, tmp_path):
+        path = write_payload(tiny_payload, tmp_path / "BENCH_perf.json")
+        loaded = json.loads(path.read_text())
+        assert set(loaded["benchmarks"]) == EXPECTED_BENCHMARKS
+        report = format_report(tiny_payload)
+        assert "cold_sweep" in report and "speedup" in report
+
+    def test_regression_check(self, tiny_payload):
+        assert check_regression(tiny_payload, tiny_payload) == []
+        inflated = json.loads(json.dumps(tiny_payload))
+        inflated["benchmarks"]["cold_sweep"]["speedup"] *= 1000
+        failures = check_regression(tiny_payload, inflated, tolerance=0.25)
+        assert failures and "cold_sweep" in failures[0]
+        missing = {"benchmarks": {"nonexistent": {"speedup": 5.0}}}
+        assert check_regression(tiny_payload, missing) == [
+            "nonexistent: missing from current run"
+        ]
+
+
+class TestPerfCli:
+    def test_perf_command_writes_payload(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_perf.json"
+        code = main(
+            ["perf", "--grid", "tiny", "--repeat", "1", "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert set(payload["benchmarks"]) == EXPECTED_BENCHMARKS
+        assert "speedup" in capsys.readouterr().out
+
+    def test_perf_check_failure_exits_nonzero(self, tmp_path):
+        baseline = run_perf_suite(grid="tiny", repeat=1)
+        baseline["benchmarks"]["cold_sweep"]["speedup"] *= 1000
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        with pytest.raises(SystemExit, match="performance regression"):
+            main(
+                [
+                    "perf", "--grid", "tiny", "--repeat", "1",
+                    "--output", str(tmp_path / "out.json"),
+                    "--check", str(baseline_path),
+                ]
+            )
+
+
+class TestCsvStreaming:
+    @pytest.fixture(scope="class")
+    def table(self):
+        spec = SweepSpec(workloads=("llama3-8b-decode",), chips=("NPU-D",))
+        return run_sweep(spec, cache=SimulationCache())
+
+    def test_iter_csv_matches_to_csv(self, table):
+        assert "".join(table.iter_csv()) == table.to_csv()
+
+    def test_write_csv_streams_identical_bytes(self, table, tmp_path):
+        path = tmp_path / "sweep.csv"
+        rows_written = table.write_csv(path)
+        assert rows_written == len(table)
+        assert path.read_text() == table.to_csv()
+
+    def test_header_first(self, table):
+        first = next(iter(table.iter_csv()))
+        assert first.rstrip("\n").split(",")[: len(table.columns)] == list(
+            table.columns
+        )
+
+    def test_empty_table(self, tmp_path):
+        from repro.experiments import SweepResult
+
+        empty = SweepResult.from_rows([])
+        assert empty.write_csv(tmp_path / "empty.csv") == 0
+        assert (tmp_path / "empty.csv").read_text() == empty.to_csv()
