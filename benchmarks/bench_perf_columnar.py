@@ -61,6 +61,29 @@ def _bench(benchmark, fn, fast: bool):
     benchmark.pedantic(run, rounds=_ROUNDS, iterations=1, warmup_rounds=0)
 
 
+# -- graph construction -------------------------------------------------- #
+def test_perf_graph_construction_columnar(benchmark):
+    spec = get_workload(PERF_WORKLOAD)
+    config = SimulationConfig(chip=PERF_CHIP)
+    _chip, batch, parallelism = resolve_execution(spec, config)
+    _bench(
+        benchmark,
+        lambda: spec.build_table(batch_size=batch, parallelism=parallelism),
+        fast=True,
+    )
+
+
+def test_perf_graph_construction_object(benchmark):
+    spec = get_workload(PERF_WORKLOAD)
+    config = SimulationConfig(chip=PERF_CHIP)
+    _chip, batch, parallelism = resolve_execution(spec, config)
+    _bench(
+        benchmark,
+        lambda: spec.build_graph(batch_size=batch, parallelism=parallelism),
+        fast=False,
+    )
+
+
 # -- cold simulate ------------------------------------------------------- #
 def test_perf_cold_simulate_columnar(benchmark, perf_graph):
     _bench(benchmark, lambda: _simulate(perf_graph), fast=True)
@@ -68,6 +91,55 @@ def test_perf_cold_simulate_columnar(benchmark, perf_graph):
 
 def test_perf_cold_simulate_object(benchmark, perf_graph):
     _bench(benchmark, lambda: _simulate(perf_graph), fast=False)
+
+
+# -- batched multi-profile policy evaluation ------------------------------ #
+@pytest.fixture(scope="module")
+def fleet_profiles():
+    from repro.analysis.perf import BATCH_EVAL_FLEET
+
+    spec = perf_sweep_spec("full")
+    config = SimulationConfig(chip=PERF_CHIP)
+    chip = config.resolve_chip()
+    profiles = []
+    for name in spec.workloads[:BATCH_EVAL_FLEET]:
+        workload = get_workload(name)
+        _chip, batch, parallelism = resolve_execution(workload, config)
+        table = workload.build_table(batch_size=batch, parallelism=parallelism)
+        profiles.append(NPUSimulator(chip).simulate(table))
+    return profiles, chip
+
+
+def test_perf_batch_policy_evaluation_columnar(benchmark, fleet_profiles):
+    from repro.gating.policies import PackedProfiles
+
+    profiles, chip = fleet_profiles
+    config = SimulationConfig(chip=PERF_CHIP)
+    power_model = ChipPowerModel.for_chip(chip)
+    policies = [get_policy(name, config.gating_parameters) for name in config.policies]
+
+    def run():
+        for profile in profiles:
+            profile.table.reset_caches()
+        packed = PackedProfiles.pack(profiles)
+        for policy in policies:
+            policy.batch_evaluate(packed, power_model)
+
+    _bench(benchmark, run, fast=True)
+
+
+def test_perf_batch_policy_evaluation_object(benchmark, fleet_profiles):
+    profiles, chip = fleet_profiles
+    config = SimulationConfig(chip=PERF_CHIP)
+    power_model = ChipPowerModel.for_chip(chip)
+    policies = [get_policy(name, config.gating_parameters) for name in config.policies]
+
+    def run():
+        for policy in policies:
+            for profile in profiles:
+                policy.evaluate(profile, power_model)
+
+    _bench(benchmark, run, fast=False)
 
 
 # -- policy evaluation --------------------------------------------------- #

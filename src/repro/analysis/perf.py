@@ -6,11 +6,17 @@ on the columnar fast path — and writes the results to
 ``BENCH_perf.json`` so every commit's performance trajectory is
 recorded.  The measured pairs are:
 
-* **cold_simulate** — one cold ``NPUSimulator.simulate`` of a large
-  workload graph (batch vectorized timing/tiling/energy vs the
-  per-operator loop);
+* **graph_construction** — building the large workload graph from its
+  builder parameters (array-native ``GraphTable`` emission vs
+  per-operator object construction);
+* **cold_simulate** — one cold ``NPUSimulator.simulate`` of that graph
+  (vectorized fusion/tiling/timing/energy over the ``GraphTable`` vs
+  the per-operator rewrite and simulation loops);
 * **policy_evaluation** — all five gating policies evaluated on one
   fresh profile (vectorized gap/leakage accounting vs per-gap loops);
+* **batch_policy_evaluation** — every policy across a fleet of
+  profiles (packed multi-profile ``batch_evaluate`` vs the per-profile
+  object-path loop; the serving-style deployment benchmark);
 * **sensitivity_sweep** — a Figure-22 style delay sweep (one profile,
   many gating-parameter points) through :mod:`repro.analysis.sensitivity`;
 * **idle_detector** — the run-length-encoded detection-window state
@@ -19,10 +25,12 @@ recorded.  The measured pairs are:
   :class:`~repro.experiments.SweepRunner` (the ROADMAP's headline
   number; the grids are defined in :data:`PERF_GRIDS`).
 
-Both paths must produce byte-identical sweep tables — the harness
-asserts this on every run, so the benchmark doubles as an end-to-end
-equivalence check.  Regression checking compares *speedups* (a
-machine-independent ratio) against a committed baseline.
+Each side reports the min **and** mean of its repeats (min is the
+stable machine-speed estimate the speedups use; the mean exposes
+variance).  Both paths must produce byte-identical sweep tables — the
+harness asserts this on every run, so the benchmark doubles as an
+end-to-end equivalence check.  Regression checking compares *speedups*
+(a machine-independent ratio) against a committed baseline.
 """
 
 from __future__ import annotations
@@ -78,11 +86,18 @@ _DETECTOR_DELAY = 4
 
 @dataclass
 class PerfResult:
-    """One benchmark pair: object path vs columnar path."""
+    """One benchmark pair: object path vs columnar path.
+
+    ``object_s``/``columnar_s`` are min-of-repeats (what the speedup and
+    the regression gate use); the ``*_mean_s`` fields report the mean of
+    the same repeats so run-to-run variance stays visible.
+    """
 
     name: str
     object_s: float
     columnar_s: float
+    object_mean_s: float = 0.0
+    columnar_mean_s: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -94,29 +109,48 @@ class PerfResult:
         return {
             "object_s": self.object_s,
             "columnar_s": self.columnar_s,
+            "object_mean_s": self.object_mean_s,
+            "columnar_mean_s": self.columnar_mean_s,
             "speedup": self.speedup,
         }
 
 
-def _best_of(fn: Callable[[], Any], repeat: int) -> float:
-    """Best-of-N wall time of ``fn`` in seconds."""
-    best = float("inf")
+def _timeit(fn: Callable[[], Any], repeat: int) -> tuple[float, float]:
+    """(min, mean) wall time of ``repeat`` runs of ``fn`` in seconds."""
+    samples: list[float] = []
     for _ in range(max(1, repeat)):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        samples.append(time.perf_counter() - start)
+    return min(samples), sum(samples) / len(samples)
 
 
-def _timed_pair(name: str, fn: Callable[[], Any], repeat: int) -> PerfResult:
-    """Time ``fn`` under both paths (object first, then columnar)."""
+def _timed_pair(
+    name: str,
+    fn: Callable[[], Any],
+    repeat: int,
+    columnar_fn: Callable[[], Any] | None = None,
+) -> PerfResult:
+    """Time ``fn`` under both paths (object first, then columnar).
+
+    ``columnar_fn`` overrides the callable timed on the fast path — for
+    benchmarks whose columnar side consumes a different input (e.g. a
+    ``GraphTable`` instead of an ``OperatorGraph``).
+    """
+    columnar_fn = columnar_fn or fn
     with columnar.use_fast_path(False):
         fn()  # warm imports/registries outside the timed region
-        object_s = _best_of(fn, repeat)
+        object_s, object_mean_s = _timeit(fn, repeat)
     with columnar.use_fast_path(True):
-        fn()
-        columnar_s = _best_of(fn, repeat)
-    return PerfResult(name=name, object_s=object_s, columnar_s=columnar_s)
+        columnar_fn()
+        columnar_s, columnar_mean_s = _timeit(columnar_fn, repeat)
+    return PerfResult(
+        name=name,
+        object_s=object_s,
+        columnar_s=columnar_s,
+        object_mean_s=object_mean_s,
+        columnar_mean_s=columnar_mean_s,
+    )
 
 
 def perf_sweep_spec(grid: str) -> SweepSpec:
@@ -142,13 +176,32 @@ def perf_sweep_spec(grid: str) -> SweepSpec:
 # ---------------------------------------------------------------------- #
 # Individual benchmarks
 # ---------------------------------------------------------------------- #
+def bench_graph_construction(repeat: int) -> PerfResult:
+    """Builder parameters -> graph IR (object list vs GraphTable)."""
+    spec = get_workload(PERF_WORKLOAD)
+    config = SimulationConfig(chip=PERF_CHIP)
+    _chip, batch, parallelism = resolve_execution(spec, config)
+    return _timed_pair(
+        "graph_construction",
+        lambda: spec.build_graph(batch_size=batch, parallelism=parallelism),
+        repeat,
+        columnar_fn=lambda: spec.build_table(
+            batch_size=batch, parallelism=parallelism
+        ),
+    )
+
+
 def bench_cold_simulate(repeat: int) -> PerfResult:
     spec = get_workload(PERF_WORKLOAD)
     config = SimulationConfig(chip=PERF_CHIP)
     chip, batch, parallelism = resolve_execution(spec, config)
     graph = spec.build_graph(batch_size=batch, parallelism=parallelism)
+    table = spec.build_table(batch_size=batch, parallelism=parallelism)
     return _timed_pair(
-        "cold_simulate", lambda: NPUSimulator(chip).simulate(graph), repeat
+        "cold_simulate",
+        lambda: NPUSimulator(chip).simulate(graph),
+        repeat,
+        columnar_fn=lambda: NPUSimulator(chip).simulate(table),
     )
 
 
@@ -157,18 +210,72 @@ def bench_policy_evaluation(repeat: int) -> PerfResult:
     config = SimulationConfig(chip=PERF_CHIP)
     chip, batch, parallelism = resolve_execution(spec, config)
     graph = spec.build_graph(batch_size=batch, parallelism=parallelism)
+    table = spec.build_table(batch_size=batch, parallelism=parallelism)
     power_model = ChipPowerModel.for_chip(chip)
 
-    def evaluate_all() -> None:
+    def evaluate_all(source) -> None:
         # A fresh profile per run: "cold" includes building the gap
         # tables and factor arrays, exactly like one sweep point.
-        profile = NPUSimulator(chip).simulate(graph)
+        profile = NPUSimulator(chip).simulate(source)
         for policy_name in config.policies:
             get_policy(policy_name, config.gating_parameters).evaluate(
                 profile, power_model
             )
 
-    return _timed_pair("policy_evaluation", evaluate_all, repeat)
+    return _timed_pair(
+        "policy_evaluation",
+        lambda: evaluate_all(graph),
+        repeat,
+        columnar_fn=lambda: evaluate_all(table),
+    )
+
+
+#: Fleet size of the batched policy-evaluation benchmark: the N largest
+#: registry workloads, all profiled on :data:`PERF_CHIP`.
+BATCH_EVAL_FLEET = 8
+
+
+def bench_batch_policy_evaluation(repeat: int) -> PerfResult:
+    """One policy set priced across a fleet of profiles (serving-style).
+
+    Object side: the per-profile object-path loops.  Columnar side: one
+    :class:`~repro.gating.policies.PackedProfiles` packing shared by all
+    five policies, with every profile's derived caches dropped first so
+    each run is cold like a fresh deployment evaluation.
+    """
+    from repro.gating.policies import PackedProfiles
+
+    spec = perf_sweep_spec("full")
+    workloads = spec.workloads[:BATCH_EVAL_FLEET]
+    config = SimulationConfig(chip=PERF_CHIP)
+    chip = config.resolve_chip()
+    power_model = ChipPowerModel.for_chip(chip)
+    profiles = []
+    for name in workloads:
+        workload_spec = get_workload(name)
+        _chip, batch, parallelism = resolve_execution(workload_spec, config)
+        table = workload_spec.build_table(batch_size=batch, parallelism=parallelism)
+        profiles.append(NPUSimulator(chip).simulate(table))
+    policies = [
+        get_policy(policy_name, config.gating_parameters)
+        for policy_name in config.policies
+    ]
+
+    def object_loop() -> None:
+        for policy in policies:
+            for profile in profiles:
+                policy.evaluate(profile, power_model)
+
+    def columnar_batch() -> None:
+        for profile in profiles:
+            profile.table.reset_caches()
+        packed = PackedProfiles.pack(profiles)
+        for policy in policies:
+            policy.batch_evaluate(packed, power_model)
+
+    return _timed_pair(
+        "batch_policy_evaluation", object_loop, repeat, columnar_fn=columnar_batch
+    )
 
 
 def bench_sensitivity_sweep(repeat: int) -> PerfResult:
@@ -193,10 +300,16 @@ def bench_idle_detector(repeat: int) -> PerfResult:
     if reference != fast:  # pragma: no cover - equivalence is tested
         raise AssertionError("idle detector paths disagree")
     stepwise()
-    object_s = _best_of(stepwise, repeat)
+    object_s, object_mean_s = _timeit(stepwise, repeat)
     vectorized()
-    columnar_s = _best_of(vectorized, max(repeat, 10))
-    return PerfResult("idle_detector", object_s=object_s, columnar_s=columnar_s)
+    columnar_s, columnar_mean_s = _timeit(vectorized, max(repeat, 10))
+    return PerfResult(
+        "idle_detector",
+        object_s=object_s,
+        columnar_s=columnar_s,
+        object_mean_s=object_mean_s,
+        columnar_mean_s=columnar_mean_s,
+    )
 
 
 def bench_cold_sweep(grid: str, repeat: int) -> PerfResult:
@@ -208,13 +321,19 @@ def bench_cold_sweep(grid: str, repeat: int) -> PerfResult:
 
     with columnar.use_fast_path(False):
         object_table = run_cold()
-        object_s = _best_of(run_cold, repeat)
+        object_s, object_mean_s = _timeit(run_cold, repeat)
     with columnar.use_fast_path(True):
         columnar_table = run_cold()
-        columnar_s = _best_of(run_cold, repeat)
+        columnar_s, columnar_mean_s = _timeit(run_cold, repeat)
     if columnar_table.to_csv() != object_table.to_csv():  # pragma: no cover
         raise AssertionError("cold sweep paths disagree (not byte-identical)")
-    return PerfResult("cold_sweep", object_s=object_s, columnar_s=columnar_s)
+    return PerfResult(
+        "cold_sweep",
+        object_s=object_s,
+        columnar_s=columnar_s,
+        object_mean_s=object_mean_s,
+        columnar_mean_s=columnar_mean_s,
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -224,14 +343,16 @@ def run_perf_suite(grid: str = "full", repeat: int = 3) -> dict[str, Any]:
     """Run every benchmark pair and assemble the ``BENCH_perf`` payload."""
     spec = perf_sweep_spec(grid)  # validates the grid name early
     results = [
+        bench_graph_construction(repeat),
         bench_cold_simulate(repeat),
         bench_policy_evaluation(repeat),
+        bench_batch_policy_evaluation(repeat),
         bench_sensitivity_sweep(repeat),
         bench_idle_detector(repeat),
         bench_cold_sweep(grid, max(1, repeat - 1)),
     ]
     return {
-        "schema": 1,
+        "schema": 2,
         "version": __version__,
         "grid": grid,
         "grid_points": spec.num_points,
@@ -291,26 +412,40 @@ def format_report(payload: dict[str, Any]) -> str:
         [
             name,
             f"{entry['object_s'] * 1e3:.2f}",
+            f"{entry.get('object_mean_s', 0.0) * 1e3:.2f}",
             f"{entry['columnar_s'] * 1e3:.2f}",
+            f"{entry.get('columnar_mean_s', 0.0) * 1e3:.2f}",
             f"{entry['speedup']:.1f}x",
         ]
         for name, entry in payload["benchmarks"].items()
     ]
     title = (
         f"Columnar-core benchmarks (grid={payload['grid']}, "
-        f"{payload['grid_points']} sweep points)"
+        f"{payload['grid_points']} sweep points; min / mean of repeats)"
     )
     return format_table(
-        ["benchmark", "object (ms)", "columnar (ms)", "speedup"], rows, title=title
+        [
+            "benchmark",
+            "object min (ms)",
+            "object mean (ms)",
+            "columnar min (ms)",
+            "columnar mean (ms)",
+            "speedup",
+        ],
+        rows,
+        title=title,
     )
 
 
 __all__ = [
+    "BATCH_EVAL_FLEET",
     "PERF_GRIDS",
     "PERF_WORKLOAD",
     "PerfResult",
+    "bench_batch_policy_evaluation",
     "bench_cold_simulate",
     "bench_cold_sweep",
+    "bench_graph_construction",
     "bench_idle_detector",
     "bench_policy_evaluation",
     "bench_sensitivity_sweep",

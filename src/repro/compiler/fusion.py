@@ -6,22 +6,47 @@ compiler optimization (XLA/TVM style) that the paper's simulator
 frontend applies; the SRAM-demand study in §3 explicitly fuses "as many
 consecutive operators as possible when they are small enough to fit
 entirely into the 128 MB SRAM".
+
+The pass has two implementations that produce bit-identical fused
+graphs and group boundaries:
+
+* :meth:`FusionPass.run` — the object-path rewrite loop over
+  :class:`~repro.workloads.base.Operator` objects (the reference
+  oracle);
+* :meth:`FusionPass.run_table` — a vectorized rewrite of a
+  :class:`~repro.workloads.table.GraphTable` with masked array ops (the
+  columnar compiler frontend): the fuse mask, the HBM read/write
+  reductions and the group boundaries are each one array expression.
+
+SRAM demands are returned explicitly (aligned with the operators /
+rows) rather than stashed on operator objects, so reusing a pass —
+or an operator — across runs can never serve stale state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.compiler.tiling import TilingPass
 from repro.hardware.chips import NPUChipSpec
 from repro.workloads.base import Operator, OperatorGraph, OpKind
+from repro.workloads.table import KIND_CODE, GraphTable
 
 
 @dataclass
 class FusionGroup:
-    """A maximal run of operators fused into a single kernel."""
+    """A maximal run of operators fused into a single kernel.
+
+    ``demands`` holds the per-operator SRAM demand (bytes) the pass
+    computed while deciding the group's boundaries, aligned with
+    ``operators`` — an explicit result rather than attribute-stashed
+    state, so groups stay valid however operators are reused.
+    """
 
     operators: list[Operator] = field(default_factory=list)
+    demands: list[float] = field(default_factory=list)
 
     @property
     def name(self) -> str:
@@ -29,7 +54,32 @@ class FusionGroup:
 
     @property
     def sram_demand_bytes(self) -> float:
-        return sum(getattr(op, "_fused_demand", 0.0) for op in self.operators)
+        return sum(self.demands)
+
+
+@dataclass(frozen=True)
+class TableFusionResult:
+    """Vectorized fusion output: the rewritten table plus group structure.
+
+    ``group_id`` maps each (pre- and post-fusion, the boundaries are
+    positional) operator row to its fusion group in program order;
+    ``demands`` is the per-row SRAM demand the fuse decisions used.
+    """
+
+    table: GraphTable
+    group_id: np.ndarray
+    demands: np.ndarray
+
+    @property
+    def num_groups(self) -> int:
+        if self.group_id.size == 0:
+            return 0
+        return int(self.group_id[-1]) + 1
+
+
+_FUSABLE_KIND_CODES = tuple(
+    KIND_CODE[kind] for kind in (OpKind.ELEMENTWISE, OpKind.SOFTMAX, OpKind.LAYERNORM)
+)
 
 
 class FusionPass:
@@ -47,55 +97,43 @@ class FusionPass:
     def __init__(self, chip: NPUChipSpec):
         self.chip = chip
         self.tiling = TilingPass(chip)
-        # id(op) -> demand, reset at the start of every run().
-        self._demand_cache: dict[int, float] = {}
 
-    def _sram_demand(self, op: Operator) -> float:
-        """Memoized per-operator SRAM demand (one tiling per operator)."""
-        key = id(op)
-        demand = self._demand_cache.get(key)
-        if demand is None:
-            demand = self.tiling.tile(op).sram_demand_bytes
-            self._demand_cache[key] = demand
-        return demand
+    def operator_demands(self, operators: list[Operator]) -> list[float]:
+        """Per-operator SRAM demands, aligned with ``operators``.
 
-    def _fits_in_sram(self, producer: Operator, consumer: Operator) -> bool:
-        demand = self._sram_demand(producer) + self._sram_demand(consumer)
-        return demand <= self.chip.sram_bytes
+        One tiling per operator; vectorized in a single batch when the
+        columnar fast path is enabled (bit-identical either way).  The
+        demands are *returned*, never cached on the pass or the
+        operators, so reuse across runs cannot alias.
+        """
+        # Imported lazily: the columnar module reaches this one through
+        # the engine at import time.
+        from repro.simulator import columnar
+
+        if columnar.fast_path_enabled() and len(operators) > 1:
+            return self.tiling.operator_demands(operators).tolist()
+        return [self.tiling.tile(op).sram_demand_bytes for op in operators]
 
     def run(self, graph: OperatorGraph) -> tuple[OperatorGraph, list[FusionGroup]]:
         """Apply fusion, returning the rewritten graph and fusion groups.
 
         The original graph is not modified.
         """
-        # Fresh per-run cache: operator ids are only stable within one
-        # run() invocation, and a pass instance may be reused.
-        self._demand_cache = {}
-        # Size every fusion candidate in one vectorized batch (imported
-        # lazily: the columnar module reaches this one through the
-        # engine at import time).
-        from repro.simulator import columnar
-
-        if columnar.fast_path_enabled() and len(graph.operators) > 1:
-            demands = columnar.batch_sram_demands(
-                graph.operators, self.chip, self.tiling
-            )
-            self._demand_cache = {
-                id(op): demand
-                for op, demand in zip(graph.operators, demands.tolist())
-            }
+        demands = self.operator_demands(graph.operators)
+        sram_bytes = self.chip.sram_bytes
         fused_ops: list[Operator] = []
         groups: list[FusionGroup] = []
         current = FusionGroup()
 
         previous: Operator | None = None
-        for op in graph.operators:
+        previous_demand = 0.0
+        for op, demand in zip(graph.operators, demands):
             fusable = (
                 previous is not None
                 and op.kind in self._FUSABLE_KINDS
                 and op.fusable
                 and op.count == previous.count
-                and self._fits_in_sram(previous, op)
+                and previous_demand + demand <= sram_bytes
             )
             if fusable:
                 # The intermediate tensor stays in SRAM: drop the consumer's
@@ -133,13 +171,16 @@ class FusionPass:
                 )
                 fused_ops.append(rewritten)
                 current.operators.append(op)
+                current.demands.append(demand)
                 previous = op
+                previous_demand = demand
                 continue
             if current.operators:
                 groups.append(current)
-            current = FusionGroup(operators=[op])
+            current = FusionGroup(operators=[op], demands=[demand])
             fused_ops.append(op)
             previous = op
+            previous_demand = demand
         if current.operators:
             groups.append(current)
 
@@ -155,5 +196,71 @@ class FusionPass:
         )
         return fused_graph, groups
 
+    # ------------------------------------------------------------------ #
+    # Vectorized rewrite (columnar compiler frontend)
+    # ------------------------------------------------------------------ #
+    def run_table(self, table: GraphTable) -> TableFusionResult:
+        """Vectorized :meth:`run` over a :class:`GraphTable`.
 
-__all__ = ["FusionGroup", "FusionPass"]
+        The fuse decision and both traffic rewrites only consult
+        *original* neighbor columns (exactly like the object loop, whose
+        ``previous`` variable always holds the unrewritten operator), so
+        the whole rewrite is three masked array expressions.
+        """
+        n = table.n_ops
+        if n == 0:
+            return TableFusionResult(
+                table=table,
+                group_id=np.zeros(0, dtype=np.int64),
+                demands=np.zeros(0, dtype=np.float64),
+            )
+        demands = self.tiling.demand_arrays(
+            dims_m=table.dims_m,
+            dims_k=table.dims_k,
+            dims_n=table.dims_n,
+            has_dims=table.has_dims,
+            uses_sa=table.uses_sa,
+            is_collective=table.is_collective,
+            dtype_bytes=table.dtype_bytes,
+            hbm_read=table.hbm_read_bytes,
+        )
+        kind = table.kind
+        fusable_kind = kind == _FUSABLE_KIND_CODES[0]
+        for code in _FUSABLE_KIND_CODES[1:]:
+            fusable_kind = fusable_kind | (kind == code)
+        # fused[i]: row i is merged into its predecessor.
+        fused = np.zeros(n, dtype=bool)
+        fused[1:] = (
+            fusable_kind[1:]
+            & table.fusable[1:]
+            & (table.count[1:] == table.count[:-1])
+            & (demands[:-1] + demands[1:] <= self.chip.sram_bytes)
+        )
+        read = table.hbm_read_bytes
+        write = table.hbm_write_bytes
+        new_read = read
+        new_write = write
+        if bool(fused.any()):
+            prev_write = np.empty_like(write)
+            prev_write[0] = 0.0
+            prev_write[1:] = write[:-1]
+            new_read = np.where(fused, np.maximum(0.0, read - prev_write), read)
+            # producer[i]: row i+1 fused into row i.
+            producer = np.zeros(n, dtype=bool)
+            producer[:-1] = fused[1:]
+            next_read = np.empty_like(read)
+            next_read[-1] = 0.0
+            next_read[:-1] = read[1:]
+            new_write = np.where(
+                producer, np.maximum(0.0, write - next_read), write
+            )
+        group_id = np.cumsum(~fused) - 1
+        fused_table = table.replace(
+            hbm_read_bytes=new_read, hbm_write_bytes=new_write
+        )
+        return TableFusionResult(
+            table=fused_table, group_id=group_id, demands=demands
+        )
+
+
+__all__ = ["FusionGroup", "FusionPass", "TableFusionResult"]

@@ -7,6 +7,14 @@ minimum tile that hides the HBM latency (§3, Figure 7).  This pass
 computes that demand per operator and derives the tile counts used by
 the performance simulator (number of weight panels pushed into an SA,
 number of output tiles post-processed by the VUs, number of DMA bursts).
+
+Two implementations produce bit-identical doubles: the scalar
+:meth:`TilingPass.tile` (the object-path oracle) and the vectorized
+:meth:`TilingPass.tile_table`, which rewrites a whole
+:class:`~repro.workloads.table.GraphTable` with masked array ops (the
+columnar compiler frontend).  The array expressions mirror the scalar
+ones operation for operation — the same contract the columnar simulator
+core upholds.
 """
 
 from __future__ import annotations
@@ -14,8 +22,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.chips import NPUChipSpec
 from repro.workloads.base import Operator, OpKind
+
+#: 4 MiB DMA burst granularity (the scalar expressions below use the
+#: literal; the array path shares this constant).
+DMA_BURST_BYTES = 4 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -114,5 +128,135 @@ class TilingPass:
         """Tile every operator of a graph."""
         return [(op, self.tile(op)) for op in operators]
 
+    # ------------------------------------------------------------------ #
+    # Vectorized counterparts (columnar compiler frontend)
+    # ------------------------------------------------------------------ #
+    def demand_arrays(
+        self,
+        dims_m: np.ndarray,
+        dims_k: np.ndarray,
+        dims_n: np.ndarray,
+        has_dims: np.ndarray,
+        uses_sa: np.ndarray,
+        is_collective: np.ndarray,
+        dtype_bytes: np.ndarray,
+        hbm_read: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized ``tile(op).sram_demand_bytes`` over column arrays.
 
-__all__ = ["TileInfo", "TilingPass"]
+        Mirrors the scalar demand expressions bit-for-bit; used by the
+        fusion pass to size all fusion candidates in one batch and by
+        :meth:`tile_table`.
+        """
+        streaming_demand = self.streaming_demand_bytes()
+        width = self.chip.sa_width
+        factor = 2.0 if self.double_buffer else 1.0
+        matmul_mask = uses_sa & has_dims
+        weights = dims_k * dims_n * dtype_bytes
+        panel_rows = np.minimum(dims_m, 4 * width)
+        activations = panel_rows * dims_k * dtype_bytes
+        outputs = panel_rows * dims_n * dtype_bytes
+        matmul_demand = np.maximum(
+            weights + factor * (activations + outputs), streaming_demand
+        )
+        collective_demand = np.maximum(
+            np.minimum(hbm_read, 8 * streaming_demand), streaming_demand
+        )
+        return np.where(
+            matmul_mask,
+            matmul_demand,
+            np.where(is_collective, collective_demand, streaming_demand),
+        )
+
+    def operator_demands(self, operators: list[Operator]) -> np.ndarray:
+        """Vectorized demands for an object-path operator list."""
+        dims = [op.dims for op in operators]
+        as_float = lambda values: np.asarray(values, dtype=np.float64)  # noqa: E731
+        return self.demand_arrays(
+            dims_m=as_float([d.m if d is not None else 1 for d in dims]),
+            dims_k=as_float([d.k if d is not None else 1 for d in dims]),
+            dims_n=as_float([d.n if d is not None else 1 for d in dims]),
+            has_dims=np.asarray([d is not None for d in dims], dtype=bool),
+            uses_sa=np.asarray([op.kind.uses_sa for op in operators], dtype=bool),
+            is_collective=np.asarray(
+                [op.kind.is_collective for op in operators], dtype=bool
+            ),
+            dtype_bytes=as_float([op.dtype_bytes for op in operators]),
+            hbm_read=as_float([op.hbm_read_bytes for op in operators]),
+        )
+
+    def tile_table(self, table, demand: np.ndarray | None = None) -> "TileTable":
+        """Vectorized :meth:`tile` over a whole ``GraphTable``.
+
+        Produces, per operator, exactly the :class:`TileInfo` fields the
+        scalar pass computes one at a time, as aligned arrays.
+        ``demand`` short-circuits the SRAM-demand computation with a
+        precomputed array — only valid when it was produced by *this*
+        pass configuration (the fusion pass hands its fuse-decision
+        demands through; fusion never changes any input of the demand
+        expressions).
+        """
+        width = self.chip.sa_width
+        dims_m, dims_k, dims_n = table.dims_m, table.dims_k, table.dims_n
+        matmul_mask = table.uses_sa & table.has_dims
+        is_collective = table.is_collective
+        hbm_bytes = table.hbm_bytes
+
+        if demand is None:
+            demand = self.demand_arrays(
+                dims_m=dims_m,
+                dims_k=dims_k,
+                dims_n=dims_n,
+                has_dims=table.has_dims,
+                uses_sa=table.uses_sa,
+                is_collective=is_collective,
+                dtype_bytes=table.dtype_bytes,
+                hbm_read=table.hbm_read_bytes,
+            )
+        ceil_k = np.ceil(dims_k / width)
+        ceil_m = np.ceil(dims_m / width)
+        ceil_n = np.ceil(dims_n / width)
+        matmul_weight_tiles = ceil_k * ceil_n
+        matmul_output_tiles = np.maximum(1.0, ceil_m) * ceil_n
+        matmul_dma = np.maximum(1.0, ceil_n)
+
+        collective_dma = np.maximum(1.0, table.ici_bytes // DMA_BURST_BYTES)
+        stream_dma = np.maximum(1.0, hbm_bytes // DMA_BURST_BYTES)
+        stream_vu_tiles = np.maximum(
+            1.0, table.vu_flops // (self.chip.vu_alus * 64)
+        )
+
+        num_weight_tiles = np.where(matmul_mask, matmul_weight_tiles, 0.0)
+        num_output_tiles = np.where(
+            matmul_mask,
+            matmul_output_tiles,
+            np.where(is_collective, 0.0, stream_vu_tiles),
+        )
+        num_dma_bursts = np.where(
+            matmul_mask, matmul_dma, np.where(is_collective, collective_dma, stream_dma)
+        )
+        return TileTable(
+            sram_demand_bytes=demand,
+            num_weight_tiles=num_weight_tiles,
+            num_output_tiles=num_output_tiles,
+            num_dma_bursts=num_dma_bursts,
+            tile_m=np.where(matmul_mask, np.minimum(dims_m, width), 0.0),
+            tile_k=np.where(matmul_mask, np.minimum(dims_k, width), 0.0),
+            tile_n=np.where(matmul_mask, np.minimum(dims_n, width), 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class TileTable:
+    """Aligned per-operator arrays of one graph's tiling decisions."""
+
+    sram_demand_bytes: np.ndarray
+    num_weight_tiles: np.ndarray
+    num_output_tiles: np.ndarray
+    num_dma_bursts: np.ndarray
+    tile_m: np.ndarray
+    tile_k: np.ndarray
+    tile_n: np.ndarray
+
+
+__all__ = ["DMA_BURST_BYTES", "TileInfo", "TileTable", "TilingPass"]

@@ -13,9 +13,27 @@ from repro.core.results import SimulationResult
 from repro.gating.policies import get_policy
 from repro.gating.report import PolicyName
 from repro.hardware.power import ChipPowerModel
+from repro.simulator import columnar
 from repro.simulator.engine import NPUSimulator, WorkloadProfile
 from repro.workloads.base import OperatorGraph, ParallelismConfig
 from repro.workloads.registry import WorkloadSpec, get_workload
+from repro.workloads.table import GraphTable
+
+
+def build_workload_graph(
+    spec: WorkloadSpec, batch_size: int, parallelism: ParallelismConfig
+) -> OperatorGraph | GraphTable:
+    """Build a workload's graph in the IR the active path consumes.
+
+    On the columnar fast path the builders emit a
+    :class:`~repro.workloads.table.GraphTable` directly (no per-operator
+    Python objects); on the object-path oracle they build the
+    :class:`OperatorGraph`.  Both IRs are bit-identical by contract and
+    the simulator accepts either.
+    """
+    if columnar.fast_path_enabled():
+        return spec.build_table(batch_size=batch_size, parallelism=parallelism)
+    return spec.build_graph(batch_size=batch_size, parallelism=parallelism)
 
 
 def simulate_graph(
@@ -57,7 +75,7 @@ def simulate_workload(
     config = config or SimulationConfig()
     spec = workload if isinstance(workload, WorkloadSpec) else get_workload(workload)
     chip, batch_size, parallelism = resolve_execution(spec, config)
-    graph = spec.build_graph(batch_size=batch_size, parallelism=parallelism)
+    graph = build_workload_graph(spec, batch_size, parallelism)
     simulator = NPUSimulator(chip, apply_fusion=config.apply_fusion)
     profile = simulator.simulate(graph)
     return _evaluate(spec.name, profile, parallelism, graph, config)
@@ -115,4 +133,4 @@ def _evaluate(
     return result
 
 
-__all__ = ["simulate_graph", "simulate_workload"]
+__all__ = ["build_workload_graph", "simulate_graph", "simulate_workload"]

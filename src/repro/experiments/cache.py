@@ -30,9 +30,15 @@ from pathlib import Path
 from typing import Any
 
 from repro.core.config import SimulationConfig
-from repro.core.regate import build_result, resolve_execution, simulate_workload
+from repro.core.regate import (
+    build_result,
+    build_workload_graph,
+    resolve_execution,
+    simulate_workload,
+)
 from repro.core.results import SimulationResult
-from repro.gating.policies import get_policy
+from repro.gating.bet import parameters_token
+from repro.gating.policies import PackedProfiles, get_policy
 from repro.gating.report import EnergyReport, PolicyName
 from repro.hardware.components import Component
 from repro.hardware.power import ChipPowerModel
@@ -256,6 +262,54 @@ class SimulationCache:
 # ---------------------------------------------------------------------- #
 # Cached simulation entry point
 # ---------------------------------------------------------------------- #
+def _registry_spec(workload: str | WorkloadSpec) -> WorkloadSpec | None:
+    """The registry-backed spec a workload memoizes under, or ``None``.
+
+    Only *registry-backed* workloads are memoized: profile keys identify
+    a workload by name, so a hand-built :class:`WorkloadSpec` (whose
+    graph builder the name says nothing about) bypasses the cache rather
+    than risk colliding with a registered workload's entries.
+    """
+    if isinstance(workload, WorkloadSpec):
+        try:
+            registered = get_workload(workload.name)
+        except KeyError:
+            return None
+        return workload if registered is workload else None
+    return get_workload(workload)
+
+
+def _cached_profile(
+    spec: WorkloadSpec,
+    config: SimulationConfig,
+    cache: SimulationCache,
+    built_graphs: dict | None = None,
+):
+    """Resolve one item's (chip, parallelism, pkey, profile) through ``cache``.
+
+    The single definition of the profile-memoization sequence, shared by
+    the per-item and batched entry points so their cache keys (and
+    therefore their results) can never diverge.  ``built_graphs`` lets a
+    batched caller share one built graph between chip-only variants of
+    the same workload (the simulator never mutates its input IR).
+    """
+    chip, batch_size, parallelism = resolve_execution(spec, config)
+    pkey = profile_key(spec.name, chip, batch_size, parallelism, config.apply_fusion)
+    profile = cache.get_profile(pkey)
+    if profile is None:
+        graph = None
+        graph_key = (spec.name, batch_size, parallelism)
+        if built_graphs is not None:
+            graph = built_graphs.get(graph_key)
+        if graph is None:
+            graph = build_workload_graph(spec, batch_size, parallelism)
+            if built_graphs is not None:
+                built_graphs[graph_key] = graph
+        profile = NPUSimulator(chip, apply_fusion=config.apply_fusion).simulate(graph)
+        cache.put_profile(pkey, profile)
+    return chip, parallelism, pkey, profile
+
+
 def simulate_cached(
     workload: str | WorkloadSpec,
     config: SimulationConfig | None = None,
@@ -267,33 +321,15 @@ def simulate_cached(
     batch, parallelism, fusion) combination; each policy's energy report
     is evaluated at most once per (profile, policy, gating parameters).
     With ``cache=None`` this is exactly :func:`simulate_workload`.
-
-    Only *registry-backed* workloads are memoized: profile keys identify
-    a workload by name, so a hand-built :class:`WorkloadSpec` (whose
-    graph builder the name says nothing about) bypasses the cache rather
-    than risk colliding with a registered workload's entries.
+    Non-registry workloads bypass the cache (see :func:`_registry_spec`).
     """
     if cache is None:
         return simulate_workload(workload, config)
-    if isinstance(workload, WorkloadSpec):
-        try:
-            registered = get_workload(workload.name)
-        except KeyError:
-            registered = None
-        if registered is not workload:
-            return simulate_workload(workload, config)
-        spec = workload
-    else:
-        spec = get_workload(workload)
+    spec = _registry_spec(workload)
+    if spec is None:
+        return simulate_workload(workload, config)
     config = config or SimulationConfig()
-    chip, batch_size, parallelism = resolve_execution(spec, config)
-
-    pkey = profile_key(spec.name, chip, batch_size, parallelism, config.apply_fusion)
-    profile = cache.get_profile(pkey)
-    if profile is None:
-        graph = spec.build_graph(batch_size=batch_size, parallelism=parallelism)
-        profile = NPUSimulator(chip, apply_fusion=config.apply_fusion).simulate(graph)
-        cache.put_profile(pkey, profile)
+    chip, parallelism, pkey, profile = _cached_profile(spec, config, cache)
 
     # Fusion preserves all workload metadata, so the profile's graph
     # stands in for a freshly built one.
@@ -310,10 +346,100 @@ def simulate_cached(
     return result
 
 
+def simulate_cached_many(
+    items: list[tuple[str | WorkloadSpec, SimulationConfig | None]],
+    cache: SimulationCache | None = None,
+) -> list[SimulationResult]:
+    """Batched :func:`simulate_cached` over many (workload, config) pairs.
+
+    Profiles are resolved exactly like the per-item path (same cache
+    keys, same probe order); the *report* phase is then batched: missing
+    (profile, policy) reports are grouped by (policy, chip, gating
+    parameters) and each group is evaluated in one
+    :meth:`~repro.gating.policies.PowerGatingPolicy.batch_evaluate`
+    call over the packed profiles.  Reports are bit-identical to the
+    per-item path, so a sweep's rows (and CSV bytes) do not change.
+    """
+    if cache is None:
+        return [simulate_workload(workload, config) for workload, config in items]
+
+    prepared: list[tuple | None] = []
+    results: list[SimulationResult | None] = [None] * len(items)
+    # Graphs are chip-independent: two points differing only in chip
+    # (same workload, batch and parallelism) share one built graph.
+    built_graphs: dict[tuple, Any] = {}
+    for index, (workload, config) in enumerate(items):
+        spec = _registry_spec(workload)
+        if spec is None:
+            results[index] = simulate_workload(workload, config)
+            prepared.append(None)
+            continue
+        config = config or SimulationConfig()
+        chip, parallelism, pkey, profile = _cached_profile(
+            spec, config, cache, built_graphs
+        )
+        prepared.append((spec, config, chip, parallelism, pkey, profile))
+
+    # Report phase: probe the cache once per (item, policy) like the
+    # per-item path, then batch-evaluate the misses per policy group.
+    fetched: dict[str, EnergyReport] = {}
+    groups: dict[tuple, dict[str, tuple]] = {}
+    for entry in prepared:
+        if entry is None:
+            continue
+        spec, config, chip, parallelism, pkey, profile = entry
+        for policy_name in config.policies:
+            rkey = report_key(pkey, policy_name.value, config.gating_parameters)
+            if rkey in fetched:
+                continue
+            report = cache.get_report(rkey)
+            if report is not None:
+                fetched[rkey] = report
+                continue
+            group_key = (
+                policy_name,
+                id(chip),
+                parameters_token(config.gating_parameters),
+            )
+            groups.setdefault(group_key, {})[rkey] = (
+                profile,
+                chip,
+                config.gating_parameters,
+            )
+    for (policy_name, _, _), members in groups.items():
+        rkeys = list(members)
+        first_profile, chip, parameters = members[rkeys[0]]
+        policy = get_policy(policy_name, parameters)
+        power_model = ChipPowerModel.for_chip(chip)
+        profiles = [members[rkey][0] for rkey in rkeys]
+        if len(profiles) == 1:
+            reports = [policy.evaluate(profiles[0], power_model)]
+        else:
+            packed = PackedProfiles.pack(profiles)
+            reports = policy.batch_evaluate(
+                packed if packed is not None else profiles, power_model
+            )
+        for rkey, report in zip(rkeys, reports):
+            cache.put_report(rkey, report)
+            fetched[rkey] = report
+
+    for index, entry in enumerate(prepared):
+        if entry is None:
+            continue
+        spec, config, chip, parallelism, pkey, profile = entry
+        result = build_result(spec.name, profile, parallelism, profile.graph, config)
+        for policy_name in config.policies:
+            rkey = report_key(pkey, policy_name.value, config.gating_parameters)
+            result.reports[policy_name] = fetched[rkey]
+        results[index] = result
+    return results
+
+
 __all__ = [
     "JsonFileStore",
     "SimulationCache",
     "report_from_dict",
     "report_to_dict",
     "simulate_cached",
+    "simulate_cached_many",
 ]

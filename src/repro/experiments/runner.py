@@ -21,8 +21,13 @@ from typing import Any
 from repro.core.results import SimulationResult
 from repro.gating.report import PolicyName
 from repro.hardware.components import Component
+from repro.simulator import columnar
 
-from repro.experiments.cache import SimulationCache, simulate_cached
+from repro.experiments.cache import (
+    SimulationCache,
+    simulate_cached,
+    simulate_cached_many,
+)
 from repro.experiments.result import SweepResult
 from repro.experiments.spec import SweepPoint, SweepSpec
 
@@ -34,6 +39,12 @@ _UTILIZATION_COLUMNS = (
     ("vu_temporal_util", Component.VU),
     ("hbm_temporal_util", Component.HBM),
     ("ici_temporal_util", Component.ICI),
+)
+
+#: Per-component energy column names, built once (not per row).
+_ENERGY_COLUMNS = tuple(
+    (component, f"energy_{component.value}_j", f"static_{component.value}_j")
+    for component in Component.all()
 )
 
 
@@ -91,12 +102,10 @@ def rows_from_result(point: SweepPoint, result: SimulationResult) -> list[dict[s
         }
         static_energy = report.static_energy_j
         dynamic_energy = report.dynamic_energy_j
-        for component in Component.all():
+        for component, energy_column, static_column in _ENERGY_COLUMNS:
             static_c = static_energy.get(component, 0.0)
-            row[f"energy_{component.value}_j"] = static_c + dynamic_energy.get(
-                component, 0.0
-            )
-            row[f"static_{component.value}_j"] = static_c
+            row[energy_column] = static_c + dynamic_energy.get(component, 0.0)
+            row[static_column] = static_c
         row.update(utilization)
         row["sa_spatial_util"] = sa_spatial
         rows.append(row)
@@ -107,6 +116,28 @@ def run_point(point: SweepPoint, cache: SimulationCache | None = None) -> list[d
     """Evaluate one sweep point into its result rows."""
     result = simulate_cached(point.workload, point.config, cache)
     return rows_from_result(point, result)
+
+
+def run_points(
+    points: list[SweepPoint], cache: SimulationCache | None = None
+) -> list[list[dict[str, Any]]]:
+    """Evaluate many sweep points, batching the policy accounting.
+
+    On the columnar fast path the grid's missing energy reports are
+    evaluated per policy across the whole batch of profiles
+    (:func:`~repro.experiments.cache.simulate_cached_many`), producing
+    bit-identical rows to the per-point loop that remains the
+    object-path oracle.
+    """
+    if cache is not None and columnar.fast_path_enabled():
+        results = simulate_cached_many(
+            [(point.workload, point.config) for point in points], cache
+        )
+        return [
+            rows_from_result(point, result)
+            for point, result in zip(points, results)
+        ]
+    return [run_point(point, cache) for point in points]
 
 
 # Per-worker-process cache: shares workload profiles between the points a
@@ -192,7 +223,7 @@ class SweepRunner:
             if self.max_workers is not None and self.max_workers >= 2:
                 computed = self._run_parallel(pending, cache)
             else:
-                computed = [run_point(point, cache) for point in pending]
+                computed = run_points(pending, cache)
             for point, rows in zip(pending, computed):
                 rows_by_index[point.index] = rows
                 cache.put_rows(point.cache_key, rows)
@@ -256,6 +287,7 @@ __all__ = [
     "pack_rows",
     "rows_from_result",
     "run_point",
+    "run_points",
     "run_sweep",
     "unpack_rows",
 ]

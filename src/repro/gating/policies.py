@@ -56,6 +56,34 @@ class _IdleAccounting:
     exposed_wake_cycles: float = 0.0
 
 
+def _idle_gap_values(
+    coeff: IdleGatingCoefficients,
+    static_power_w: float,
+    gap_s: np.ndarray,
+    num_gaps: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-gap ``(energy_j, gated-mask)`` arrays of the idle accounting.
+
+    The single definition of the gated-gap energy expressions, shared by
+    the per-profile columnar path and the packed multi-profile path so
+    the two can never drift apart; only the reduction differs between
+    them.
+    """
+    valid = (gap_s > 0.0) & (num_gaps > 0.0)
+    below = gap_s <= coeff.threshold_s
+    ungated_j = static_power_w * (gap_s * num_gaps)
+    gated_s = gap_s - coeff.window_s
+    per_gap = (
+        static_power_w * coeff.window_s
+        + static_power_w * coeff.off_leakage * gated_s
+        + coeff.transition_j
+    )
+    energy_values = np.where(
+        valid, np.where(below, ungated_j, per_gap * num_gaps), 0.0
+    )
+    return energy_values, valid & ~below
+
+
 # Object-path accounting hooks and their columnar counterparts.  A
 # subclass overriding one side of a pair without the other would make
 # the two paths disagree, so `evaluate` only takes the fast path when,
@@ -67,6 +95,19 @@ _HOOK_PAIRS = (
     ("_peak_power", "_peak_power_columnar"),
 )
 _DISPATCH_SAFE: dict[type, bool] = {}
+
+# The packed (multi-profile batch) accounting additionally mirrors each
+# hook as a ``*_packed`` variant; `batch_evaluate` only takes the packed
+# path when every member of each hook family is defined by the same
+# class AND `evaluate` itself is not customized (a subclass overriding
+# `evaluate` expects one call per profile).
+_HOOK_FAMILIES = (
+    ("_idle_energy", "_idle_energy_columnar", "_idle_energy_packed"),
+    ("_sa_active_energy", "_sa_active_energy_columnar", "_sa_active_energy_packed"),
+    ("_sram_energy", "_sram_energy_columnar", "_sram_energy_packed"),
+    ("_peak_power", "_peak_power_columnar", "_peak_power_packed"),
+)
+_PACKED_DISPATCH_SAFE: dict[type, bool] = {}
 
 
 def _first_definer(cls: type, name: str) -> type | None:
@@ -85,6 +126,235 @@ def _columnar_dispatch_safe(cls: type) -> bool:
         )
         _DISPATCH_SAFE[cls] = cached
     return cached
+
+
+def _packed_dispatch_safe(cls: type) -> bool:
+    cached = _PACKED_DISPATCH_SAFE.get(cls)
+    if cached is None:
+        cached = _first_definer(cls, "evaluate") is PowerGatingPolicy and all(
+            len({_first_definer(cls, name) for name in family}) == 1
+            for family in _HOOK_FAMILIES
+        )
+        _PACKED_DISPATCH_SAFE[cls] = cached
+    return cached
+
+
+class PackedProfiles:
+    """A ragged batch of profile tables packed into offset-indexed arrays.
+
+    The serving-style batch API: ``n`` profiles of one chip are
+    concatenated into single per-operator arrays so a policy can
+    evaluate all of them with single NumPy calls
+    (:meth:`PowerGatingPolicy.batch_evaluate`).  Derived arrays that do
+    not depend on the policy (gap tables, active fractions, leakage
+    factor arrays) are memoized on the pack and shared by every policy
+    evaluated on it — pack once, evaluate many.
+
+    Per-profile reductions slice the packed arrays at the segment
+    offsets and reduce each segment with :func:`seq_sum`, keeping the
+    strictly sequential accumulation the bit-exactness contract
+    requires (``np.add.reduceat`` rounds differently).
+    """
+
+    def __init__(self, profiles: list[WorkloadProfile], tables: list[ProfileTable]):
+        chips = {id(profile.chip) for profile in profiles}
+        if len(chips) != 1:
+            raise ValueError("PackedProfiles requires profiles of a single chip")
+        self.profiles = profiles
+        self.tables = tables
+        self.chip = profiles[0].chip
+        lengths = [table.n_ops for table in tables]
+        bounds = np.zeros(len(tables) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=bounds[1:])
+        self.starts = bounds[:-1]
+        self.ends = bounds[1:]
+        self.n_profiles = len(tables)
+        self.n_ops = np.asarray(lengths, dtype=np.float64)
+        self.count = np.concatenate([t.count for t in tables])
+        self.latency_s = np.concatenate([t.latency_s for t in tables])
+        self.sa_mapped = np.concatenate([t.sa_mapped for t in tables])
+        self.active = {
+            c: np.concatenate([t.active[c] for t in tables]) for c in Component.all()
+        }
+        self.dynamic = {
+            c: np.concatenate([t.dynamic[c] for t in tables]) for c in Component.all()
+        }
+        self.sram_demand_bytes = np.concatenate(
+            [t.sram_demand_bytes for t in tables]
+        )
+        self.num_weight_tiles = np.concatenate([t.num_weight_tiles for t in tables])
+        self.num_output_tiles = np.concatenate([t.num_output_tiles for t in tables])
+        self.num_dma_bursts = np.concatenate([t.num_dma_bursts for t in tables])
+        self.dims_m = np.concatenate([t.dims_m for t in tables])
+        self.dims_k = np.concatenate([t.dims_k for t in tables])
+        self.dims_n = np.concatenate([t.dims_n for t in tables])
+        self.has_dims = np.concatenate([t.has_dims for t in tables])
+        #: Cross-policy scratchpad (packed analogue of ``ProfileTable.memo``).
+        self.memo: dict = {}
+
+    @classmethod
+    def pack(cls, profiles: list[WorkloadProfile]) -> "PackedProfiles | None":
+        """Pack profiles for batch evaluation, or ``None`` off the fast path.
+
+        Returns ``None`` when the columnar fast path is disabled or any
+        profile cannot produce a table (duck-typed stand-ins) — callers
+        fall back to per-profile evaluation.
+        """
+        if not columnar.fast_path_enabled():
+            return None
+        tables = [profile._fast_table() for profile in profiles]
+        if any(table is None for table in tables):
+            return None
+        return cls(list(profiles), tables)
+
+    # ------------------------------------------------------------------ #
+    def seg_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-profile strictly-sequential sums of a packed array."""
+        out = np.empty(self.n_profiles, dtype=np.float64)
+        starts = self.starts.tolist()
+        ends = self.ends.tolist()
+        for index in range(self.n_profiles):
+            out[index] = seq_sum(values[starts[index]:ends[index]])
+        return out
+
+    def seg_sums_multi(self, rows: tuple[np.ndarray, ...]) -> np.ndarray:
+        """Per-profile sequential sums of several packed arrays at once.
+
+        Stacks the rows into one matrix and accumulates each segment
+        with a single ``cumsum(axis=1)`` — row-wise sequential, so every
+        row reduces bit-identically to :func:`seq_sum`, with one NumPy
+        call per profile instead of one per (row, profile).
+        """
+        stacked = np.vstack(rows)
+        out = np.empty((len(rows), self.n_profiles), dtype=np.float64)
+        starts = self.starts.tolist()
+        ends = self.ends.tolist()
+        for index in range(self.n_profiles):
+            start, end = starts[index], ends[index]
+            if end > start:
+                out[:, index] = stacked[:, start:end].cumsum(axis=1)[:, -1]
+            else:
+                out[:, index] = 0.0
+        return out
+
+    def base_totals(self) -> None:
+        """Fill the policy-independent reduction memos in one fused pass.
+
+        Busy time, per-component active seconds and dynamic energies of
+        every profile reduce together (11 rows, one pass); all five
+        policies evaluated on the pack read the same memo entries.
+        """
+        if "total_time_s" in self.memo:
+            return
+        components = Component.all()
+        active_components = (Component.SA, Component.VU, Component.HBM, Component.ICI)
+        rows = (
+            (self.weighted_latency(),)
+            + tuple(self.weighted_active(c) for c in active_components)
+            + tuple(self.dynamic[c] * self.count for c in components)
+        )
+        totals = self.seg_sums_multi(rows)
+        self.memo["total_time_s"] = totals[0]
+        for offset, component in enumerate(active_components):
+            self.memo[("active_total", component)] = totals[1 + offset]
+        for offset, component in enumerate(components):
+            self.memo[("dynamic_total", component)] = totals[5 + offset]
+        # Share the reductions with the per-table aggregate caches: the
+        # sweep's row assembly reads the same totals per profile, and
+        # the fused pass produced bit-identical doubles.
+        for index, table in enumerate(self.tables):
+            if table._total_time_s is None:
+                table._total_time_s = float(totals[0][index])
+            for offset, component in enumerate(active_components):
+                table._active_totals.setdefault(
+                    component, float(totals[1 + offset][index])
+                )
+            for offset, component in enumerate(components):
+                table._dynamic_totals.setdefault(
+                    component, float(totals[5 + offset][index])
+                )
+
+    def seg_max(self, values: np.ndarray) -> np.ndarray:
+        """Per-profile max (order-insensitive) with an implicit 0 floor."""
+        out = np.empty(self.n_profiles, dtype=np.float64)
+        starts = self.starts.tolist()
+        ends = self.ends.tolist()
+        for index in range(self.n_profiles):
+            out[index] = np.max(
+                values[starts[index]:ends[index]], initial=0.0
+            )
+        return out
+
+    # -- packed analogues of the per-table derived arrays ---------------- #
+    def weighted_latency(self) -> np.ndarray:
+        cached = self.memo.get("weighted_latency")
+        if cached is None:
+            cached = self.latency_s * self.count
+            self.memo["weighted_latency"] = cached
+        return cached
+
+    def weighted_active(self, component: Component) -> np.ndarray:
+        key = ("weighted_active", component)
+        cached = self.memo.get(key)
+        if cached is None:
+            cached = self.active[component] * self.count
+            self.memo[key] = cached
+        return cached
+
+    def total_time_s(self) -> np.ndarray:
+        """Per-profile busy time (packed ``ProfileTable.total_time_s``)."""
+        cached = self.memo.get("total_time_s")
+        if cached is None:
+            cached = self.seg_sums(self.weighted_latency())
+            self.memo["total_time_s"] = cached
+        return cached
+
+    def active_total_s(self, component: Component) -> np.ndarray:
+        key = ("active_total", component)
+        cached = self.memo.get(key)
+        if cached is None:
+            cached = self.seg_sums(self.weighted_active(component))
+            self.memo[key] = cached
+        return cached
+
+    def dynamic_total_j(self, component: Component) -> np.ndarray:
+        key = ("dynamic_total", component)
+        cached = self.memo.get(key)
+        if cached is None:
+            cached = self.seg_sums(self.dynamic[component] * self.count)
+            self.memo[key] = cached
+        return cached
+
+    def gap_table(self, component: Component) -> tuple[np.ndarray, np.ndarray]:
+        """Packed ``(gap_s, num_gaps_total)`` of one component.
+
+        Elementwise-identical to concatenating each table's
+        :meth:`~repro.simulator.columnar.ProfileTable.gap_table` (the
+        burst model lives in one shared helper,
+        :func:`repro.simulator.columnar.gap_arrays`), and computed once
+        per pack for all policies.
+        """
+        key = ("gap_table", component)
+        cached = self.memo.get(key)
+        if cached is not None:
+            return cached
+        family = columnar.gap_arrays(
+            component,
+            latency=self.latency_s,
+            active=self.active[component],
+            sa_mapped=self.sa_mapped,
+            num_weight_tiles=self.num_weight_tiles,
+            num_output_tiles=self.num_output_tiles,
+            num_dma_bursts=self.num_dma_bursts,
+        )
+        if family is None:
+            zeros = np.zeros_like(self.latency_s)
+            table = (zeros, zeros)
+        else:
+            gap_s, num_per_invocation = family
+            table = (gap_s, num_per_invocation * self.count)
+        self.memo[key] = table
+        return table
 
 
 class PowerGatingPolicy:
@@ -227,19 +497,10 @@ class PowerGatingPolicy:
                 return _IdleAccounting(*cached)
 
         coeff = self._idle_coefficients(component, static_power_w, chip)
-        valid = (gap_s > 0.0) & (num_gaps > 0.0)
-        below = gap_s <= coeff.threshold_s
-        ungated_j = static_power_w * (gap_s * num_gaps)
-        gated_s = gap_s - coeff.window_s
-        per_gap = (
-            static_power_w * coeff.window_s
-            + static_power_w * coeff.off_leakage * gated_s
-            + coeff.transition_j
+        energy_values, gated_mask = _idle_gap_values(
+            coeff, static_power_w, gap_s, num_gaps
         )
-        accounting.energy_j = seq_sum(
-            np.where(valid, np.where(below, ungated_j, per_gap * num_gaps), 0.0)
-        )
-        gated_mask = valid & ~below
+        accounting.energy_j = seq_sum(energy_values)
         accounting.gated_gaps = seq_sum(np.where(gated_mask, num_gaps, 0.0))
         if not coeff.software:
             accounting.exposed_wake_cycles = seq_sum(
@@ -556,17 +817,37 @@ class PowerGatingPolicy:
         self, profile: WorkloadProfile, table: ProfileTable, power_model: ChipPowerModel
     ) -> float:
         """Vectorized :meth:`_peak_power` over the profile table."""
-        latency = table.latency_s
-        mask = latency > 0.0
-        if not bool(mask.any()):
+        if not bool((table.latency_s > 0.0).any()):
             return 0.0
-        safe_latency = np.where(mask, latency, 1.0)
+        values = self._peak_power_values(table, profile.chip, power_model)
+        return float(np.max(values, initial=0.0))
+
+    def _peak_power_values(
+        self, store, chip, power_model: ChipPowerModel
+    ) -> np.ndarray:
+        """Masked per-operator total power array (zero where latency is 0).
+
+        The single definition of the peak-power accounting, shared by
+        the per-profile columnar path and the packed multi-profile path
+        (``store`` is a :class:`ProfileTable` or :class:`PackedProfiles`
+        — both expose the same array attributes and a ``memo``); only
+        the reduction differs between them.  Intermediates are cached on
+        the store and shared by every policy whose accounting for a
+        component is identical (e.g. ReGate-Base/HW/Full on the HBM
+        controller).
+        """
+        latency = store.latency_s
+        mask = latency > 0.0
+        safe_latency = store.memo.get("safe_latency")
+        if safe_latency is None:
+            safe_latency = np.where(mask, latency, 1.0)
+            store.memo["safe_latency"] = safe_latency
 
         off_leak = self.parameters.leakage.logic_off
 
-        dynamic_w = table.memo.get("peak_dynamic_w")
+        dynamic_w = store.memo.get("peak_dynamic_w")
         if dynamic_w is None:
-            dynamic = table.dynamic
+            dynamic = store.dynamic
             # Mirrors sum(op.dynamic_energy_j.values()) over the
             # insertion order SA, VU, SRAM, HBM, ICI, OTHER.
             dynamic_j = (
@@ -578,19 +859,16 @@ class PowerGatingPolicy:
                 + dynamic[Component.OTHER]
             )
             dynamic_w = dynamic_j / safe_latency
-            table.memo["peak_dynamic_w"] = dynamic_w
+            store.memo["peak_dynamic_w"] = dynamic_w
 
         def active_fraction(component: Component) -> np.ndarray:
             key = ("active_fraction", component)
-            fraction = table.memo.get(key)
+            fraction = store.memo.get(key)
             if fraction is None:
-                fraction = np.minimum(1.0, table.active[component] / safe_latency)
-                table.memo[key] = fraction
+                fraction = np.minimum(1.0, store.active[component] / safe_latency)
+                store.memo[key] = fraction
             return fraction
 
-        # Per-component static contributions, cached on the table and
-        # shared by every policy whose accounting for that component is
-        # identical (e.g. ReGate-Base/HW/Full on the HBM controller).
         token = parameters_token(self.parameters)
 
         def contribution(component: Component) -> np.ndarray | float:
@@ -599,35 +877,228 @@ class PowerGatingPolicy:
                 return base
             if component is Component.SRAM:
                 key = ("peak_sram", base, self.software_managed, token)
-                value = table.memo.get(key)
+                value = store.memo.get(key)
                 if value is None:
-                    value = base * self._sram_factor_array(profile.chip, table)
-                    table.memo[key] = value
+                    value = base * self._sram_factor_array(chip, store)
+                    store.memo[key] = value
                 return value
             if component is Component.SA and self.spatial_sa_gating:
                 key = ("peak_sa_spatial", base, token)
-                value = table.memo.get(key)
+                value = store.memo.get(key)
                 if value is None:
-                    factor = self._spatial_factor_array(profile.chip, table)
+                    factor = self._spatial_factor_array(chip, store)
                     fraction = active_fraction(component)
                     value = base * (
                         fraction * factor + (1 - fraction) * off_leak
                     )
-                    table.memo[key] = value
+                    store.memo[key] = value
                 return value
             idle_leak = 0.0 if self.name is PolicyName.IDEAL else off_leak
             key = ("peak_temporal", component, base, idle_leak, token)
-            value = table.memo.get(key)
+            value = store.memo.get(key)
             if value is None:
                 fraction = active_fraction(component)
                 value = base * (fraction + (1 - fraction) * idle_leak)
-                table.memo[key] = value
+                store.memo[key] = value
             return value
 
         static_w = np.zeros_like(latency)
         for component in Component.all():
             static_w = static_w + contribution(component)
-        return float(np.max(np.where(mask, dynamic_w + static_w, 0.0), initial=0.0))
+        return np.where(mask, dynamic_w + static_w, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Batched multi-profile evaluation (serving-style deployments)
+    # ------------------------------------------------------------------ #
+    def batch_evaluate(
+        self,
+        profiles: "list[WorkloadProfile] | PackedProfiles",
+        power_model: ChipPowerModel | None = None,
+    ) -> list[EnergyReport]:
+        """Evaluate this policy across a batch of profiles at once.
+
+        Bit-identical to ``[self.evaluate(p, power_model) for p in
+        profiles]``, but the per-gap / per-operator accounting runs in
+        single NumPy calls over the packed (offset-indexed) arrays of
+        the whole batch — the API a serving-style deployment uses to
+        price one gating design across a fleet of workload profiles.
+
+        Accepts a pre-built :class:`PackedProfiles` so several policies
+        can share one packing.  Falls back to the per-profile loop when
+        the fast path is off, profiles span multiple chips (packs are
+        single-chip; plain lists are grouped internally), or a subclass
+        customizes the accounting hooks or ``evaluate`` itself.
+        """
+        if isinstance(profiles, PackedProfiles):
+            if not _packed_dispatch_safe(type(self)):
+                return [
+                    self.evaluate(profile, power_model)
+                    for profile in profiles.profiles
+                ]
+            model = power_model or ChipPowerModel.for_chip(profiles.chip)
+            return self._evaluate_packed(profiles, model)
+        profiles = list(profiles)
+        if not _packed_dispatch_safe(type(self)) or not columnar.fast_path_enabled():
+            return [self.evaluate(profile, power_model) for profile in profiles]
+        reports: list[EnergyReport | None] = [None] * len(profiles)
+        groups: dict[int, list[int]] = {}
+        for index, profile in enumerate(profiles):
+            groups.setdefault(id(profile.chip), []).append(index)
+        for indices in groups.values():
+            packed = PackedProfiles.pack([profiles[i] for i in indices])
+            if packed is None or len(indices) == 1:
+                for i in indices:
+                    reports[i] = self.evaluate(profiles[i], power_model)
+                continue
+            model = power_model or ChipPowerModel.for_chip(packed.chip)
+            for i, report in zip(indices, self._evaluate_packed(packed, model)):
+                reports[i] = report
+        return reports
+
+    def _evaluate_packed(
+        self, pack: PackedProfiles, power_model: ChipPowerModel
+    ) -> list[EnergyReport]:
+        """Packed counterpart of :meth:`evaluate` (same scalar assembly)."""
+        chip = pack.chip
+        static = power_model.static_power_by_component()
+        pack.base_totals()
+        total_time = pack.total_time_s().tolist()
+        dynamic_totals = {
+            component: pack.dynamic_total_j(component).tolist()
+            for component in Component.all()
+        }
+        active_totals = {
+            component: pack.active_total_s(component).tolist()
+            for component in (Component.VU, Component.HBM, Component.ICI)
+        }
+
+        sa_idle = self._idle_energy_packed(Component.SA, pack, static[Component.SA], chip)
+        vu_idle = self._idle_energy_packed(Component.VU, pack, static[Component.VU], chip)
+        hbm_idle = self._idle_energy_packed(
+            Component.HBM, pack, static[Component.HBM], chip
+        )
+        ici_idle = self._idle_energy_packed(
+            Component.ICI, pack, static[Component.ICI], chip
+        )
+        sa_active_j = self._sa_active_energy_packed(
+            pack, static[Component.SA]
+        ).tolist()
+        sram_j = self._sram_energy_packed(pack, static[Component.SRAM]).tolist()
+        peak_w = self._peak_power_packed(pack, power_model).tolist()
+        n_ops = pack.n_ops.tolist()
+        total_static_power = sum(static.values())
+
+        idle_lists = {
+            component: tuple(array.tolist() for array in accounting)
+            for component, accounting in (
+                (Component.SA, sa_idle),
+                (Component.VU, vu_idle),
+                (Component.HBM, hbm_idle),
+                (Component.ICI, ici_idle),
+            )
+        }
+        reports: list[EnergyReport] = []
+        for b in range(pack.n_profiles):
+            report = EnergyReport(
+                policy=self.name,
+                baseline_time_s=total_time[b],
+                overhead_time_s=0.0,
+            )
+            exposed_cycles = 0.0
+            for component in Component.all():
+                report.dynamic_energy_j[component] = dynamic_totals[component][b]
+            report.static_energy_j[Component.OTHER] = (
+                static[Component.OTHER] * total_time[b]
+            )
+            sa_energy, sa_gated, sa_exposed = idle_lists[Component.SA]
+            report.static_energy_j[Component.SA] = sa_active_j[b] + sa_energy[b]
+            report.gating_events[Component.SA] = sa_gated[b]
+            exposed_cycles += sa_exposed[b]
+
+            vu_energy, vu_gated, vu_exposed = idle_lists[Component.VU]
+            report.static_energy_j[Component.VU] = (
+                static[Component.VU] * active_totals[Component.VU][b] + vu_energy[b]
+            )
+            report.gating_events[Component.VU] = vu_gated[b]
+            exposed_cycles += vu_exposed[b]
+
+            for component in (Component.HBM, Component.ICI):
+                energy, gated, _ = idle_lists[component]
+                report.static_energy_j[component] = (
+                    static[component] * active_totals[component][b] + energy[b]
+                )
+                report.gating_events[component] = gated[b]
+
+            report.static_energy_j[Component.SRAM] = sram_j[b]
+            report.gating_events[Component.SRAM] = float(n_ops[b])
+
+            report.overhead_time_s = chip.cycles_to_seconds(exposed_cycles)
+            if report.overhead_time_s > 0:
+                extra = total_static_power * report.overhead_time_s
+                report.static_energy_j[Component.OTHER] += extra
+            report.peak_power_w = peak_w[b]
+            reports.append(report)
+        return reports
+
+    def _idle_energy_packed(
+        self,
+        component: Component,
+        pack: PackedProfiles,
+        static_power_w: float,
+        chip,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Packed :meth:`_idle_energy_columnar`: per-profile arrays of
+        ``(energy_j, gated_gaps, exposed_wake_cycles)``."""
+        gap_s, num_gaps = pack.gap_table(component)
+        zeros = np.zeros(pack.n_profiles, dtype=np.float64)
+        if not self.gating_enabled:
+            energy = static_power_w * pack.seg_sums(gap_s * num_gaps)
+            return energy, zeros, zeros
+        coeff = self._idle_coefficients(component, static_power_w, chip)
+        energy_values, gated_mask = _idle_gap_values(
+            coeff, static_power_w, gap_s, num_gaps
+        )
+        gated_values = np.where(gated_mask, num_gaps, 0.0)
+        if coeff.software:
+            energy, gated = pack.seg_sums_multi((energy_values, gated_values))
+            return energy, gated, zeros
+        energy, gated, exposed = pack.seg_sums_multi(
+            (
+                energy_values,
+                gated_values,
+                np.where(gated_mask, coeff.delay_cycles * num_gaps, 0.0),
+            )
+        )
+        return energy, gated, exposed
+
+    def _sa_active_energy_packed(
+        self, pack: PackedProfiles, static_power_w: float
+    ) -> np.ndarray:
+        """Packed :meth:`_sa_active_energy_columnar` (per-profile array)."""
+        if not self.spatial_sa_gating:
+            return static_power_w * pack.active_total_s(Component.SA)
+        active = pack.weighted_active(Component.SA)
+        factor = self._spatial_factor_array(pack.chip, pack)
+        return pack.seg_sums(
+            np.where(active > 0.0, static_power_w * active * factor, 0.0)
+        )
+
+    def _sram_energy_packed(
+        self, pack: PackedProfiles, static_power_w: float
+    ) -> np.ndarray:
+        """Packed :meth:`_sram_energy_columnar` (per-profile array)."""
+        if not self.gating_enabled:
+            return static_power_w * pack.total_time_s()
+        duration = pack.weighted_latency()
+        factor = self._sram_factor_array(pack.chip, pack)
+        return pack.seg_sums(static_power_w * duration * factor)
+
+    def _peak_power_packed(
+        self, pack: PackedProfiles, power_model: ChipPowerModel
+    ) -> np.ndarray:
+        """Packed :meth:`_peak_power_columnar` (per-profile array)."""
+        values = self._peak_power_values(pack, pack.chip, power_model)
+        return pack.seg_max(values)
 
 
 class NoPGPolicy(PowerGatingPolicy):
@@ -742,6 +1213,42 @@ class IdealPolicy(PowerGatingPolicy):
         table.memo[memo_key] = energy
         return energy
 
+    # -- packed (batch) counterparts ------------------------------------- #
+    def _idle_energy_packed(
+        self, component, pack: PackedProfiles, static_power_w: float, chip
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        _, num_gaps = pack.gap_table(component)
+        zeros = np.zeros(pack.n_profiles, dtype=np.float64)
+        key = ("ideal_gated_gaps", component)
+        gated = pack.memo.get(key)
+        if gated is None:
+            gated = pack.seg_sums(num_gaps)
+            pack.memo[key] = gated
+        return zeros, gated, zeros
+
+    def _sa_active_energy_packed(
+        self, pack: PackedProfiles, static_power_w: float
+    ) -> np.ndarray:
+        active = pack.weighted_active(Component.SA)
+        active_share = pack.memo.get("spatial_active_share")
+        if active_share is None:
+            model = SpatialGatingModel(pack.chip.sa_width, self.parameters)
+            active_share, _, _ = model.shares_arrays(
+                pack.dims_m, pack.dims_k, pack.dims_n, pack.has_dims
+            )
+            pack.memo["spatial_active_share"] = active_share
+        return pack.seg_sums(
+            np.where(active > 0.0, static_power_w * active * active_share, 0.0)
+        )
+
+    def _sram_energy_packed(
+        self, pack: PackedProfiles, static_power_w: float
+    ) -> np.ndarray:
+        capacity = pack.chip.sram_bytes
+        duration = pack.weighted_latency()
+        used = np.minimum(1.0, pack.sram_demand_bytes / capacity)
+        return pack.seg_sums(static_power_w * duration * used)
+
 
 _POLICIES: dict[PolicyName, type[PowerGatingPolicy]] = {
     PolicyName.NOPG: NoPGPolicy,
@@ -767,6 +1274,7 @@ def get_policy(
 __all__ = [
     "IdealPolicy",
     "NoPGPolicy",
+    "PackedProfiles",
     "PolicyName",
     "PowerGatingPolicy",
     "ReGateBasePolicy",

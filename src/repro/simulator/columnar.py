@@ -46,10 +46,8 @@ from repro.simulator.timing import (
     OPERATOR_OVERHEAD_CYCLES,
     SA_MAPPING_MIN_M,
 )
-from repro.workloads.base import CollectiveKind, OperatorGraph, OpKind
-
-#: 4 MiB DMA burst granularity (mirrors the constants in tiling.py).
-_DMA_BURST_BYTES = 4 * 1024 * 1024
+from repro.workloads.base import OperatorGraph
+from repro.workloads.table import GraphTable
 
 # ---------------------------------------------------------------------- #
 # Fast-path switch
@@ -97,6 +95,52 @@ def seq_sum(values: np.ndarray) -> float:
 
 def _as_float_array(values: list) -> np.ndarray:
     return np.asarray(values, dtype=np.float64)
+
+
+def gap_arrays(
+    component: Component,
+    *,
+    latency: np.ndarray,
+    active: np.ndarray,
+    sa_mapped: np.ndarray,
+    num_weight_tiles: np.ndarray,
+    num_output_tiles: np.ndarray,
+    num_dma_bursts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Per-operator ``(gap_s, num_gaps_per_invocation)`` of one component.
+
+    The single definition of the idle-gap burst model
+    (:meth:`~repro.simulator.engine.OperatorProfile.gap_profiles`
+    vectorized), shared by :meth:`ProfileTable.gap_table` and the packed
+    multi-profile policy evaluation so the two can never drift apart.
+    Returns ``None`` for components without per-operator gap structure
+    (SRAM/OTHER).
+    """
+    idle = np.maximum(0.0, latency - active)
+    has_gap = idle > 0.0
+    if component is Component.SA:
+        bursts = np.where(
+            sa_mapped & (active > 0.0), np.maximum(1.0, num_weight_tiles), 1.0
+        )
+    elif component is Component.VU:
+        bursts = np.where(
+            active > 0.0,
+            np.where(
+                sa_mapped,
+                np.maximum(1.0, num_output_tiles),
+                np.maximum(1.0, num_dma_bursts),
+            ),
+            1.0,
+        )
+    elif component is Component.HBM:
+        bursts = np.where(active > 0.0, np.maximum(1.0, num_dma_bursts), 1.0)
+    elif component is Component.ICI:
+        bursts = np.ones_like(latency)
+    else:
+        return None
+    gap_s = np.where(has_gap, idle / bursts, 0.0)
+    num_per_invocation = np.where(has_gap, bursts, 0.0)
+    return gap_s, num_per_invocation
 
 
 # ---------------------------------------------------------------------- #
@@ -206,6 +250,21 @@ class ProfileTable:
             has_dims=np.asarray([d is not None for d in dims], dtype=bool),
         )
 
+    def reset_caches(self) -> None:
+        """Drop every derived aggregate and memo (keep the base arrays).
+
+        Lets benchmarks and what-if analyses re-run the derived
+        accounting cold without rebuilding the table itself.
+        """
+        self._total_time_s = None
+        self._active_totals.clear()
+        self._dynamic_totals.clear()
+        self._gap_tables.clear()
+        self._sa_spatial = None
+        self._weighted_active.clear()
+        self._weighted_latency = None
+        self.memo.clear()
+
     # -- scalar aggregates ---------------------------------------------- #
     def total_time_s(self) -> float:
         """Busy time of one iteration: ``sum(latency * count)``."""
@@ -276,44 +335,23 @@ class ProfileTable:
         if cached is not None:
             return cached
 
-        latency = self.latency_s
-        active = self.active[component]
-        idle = np.maximum(0.0, latency - active)
-        has_gap = idle > 0.0
-        if component is Component.SA:
-            bursts = np.where(
-                self.sa_mapped & (active > 0.0),
-                np.maximum(1.0, self.num_weight_tiles),
-                1.0,
-            )
-        elif component is Component.VU:
-            bursts = np.where(
-                active > 0.0,
-                np.where(
-                    self.sa_mapped,
-                    np.maximum(1.0, self.num_output_tiles),
-                    np.maximum(1.0, self.num_dma_bursts),
-                ),
-                1.0,
-            )
-        elif component is Component.HBM:
-            bursts = np.where(
-                active > 0.0, np.maximum(1.0, self.num_dma_bursts), 1.0
-            )
-        elif component is Component.ICI:
-            bursts = np.ones_like(latency)
-        else:
+        family = gap_arrays(
+            component,
+            latency=self.latency_s,
+            active=self.active[component],
+            sa_mapped=self.sa_mapped,
+            num_weight_tiles=self.num_weight_tiles,
+            num_output_tiles=self.num_output_tiles,
+            num_dma_bursts=self.num_dma_bursts,
+        )
+        if family is None:
             # SRAM/OTHER have no per-operator idle-gap structure; the
             # object path produces an empty gap list for them.
-            zeros = np.zeros_like(latency)
+            zeros = np.zeros_like(self.latency_s)
             table = (zeros, zeros, zeros)
-            self._gap_tables[component] = table
-            return table
-
-        gap_s = np.where(has_gap, idle / bursts, 0.0)
-        num_per_invocation = np.where(has_gap, bursts, 0.0)
-        num_total = num_per_invocation * self.count
-        table = (gap_s, num_per_invocation, num_total)
+        else:
+            gap_s, num_per_invocation = family
+            table = (gap_s, num_per_invocation, num_per_invocation * self.count)
         self._gap_tables[component] = table
         return table
 
@@ -321,51 +359,6 @@ class ProfileTable:
 # ---------------------------------------------------------------------- #
 # Batch simulation (vectorized timing + tiling + dynamic energy)
 # ---------------------------------------------------------------------- #
-def batch_sram_demands(
-    operators: list,
-    chip: NPUChipSpec,
-    tiling: TilingPass | None = None,
-) -> np.ndarray:
-    """Vectorized ``TilingPass.tile(op).sram_demand_bytes`` for a list.
-
-    Used by the fusion pass to size all fusion candidates in one batch
-    instead of tiling operators one by one; mirrors the scalar tiling
-    expressions bit-for-bit (same contract as :func:`batch_simulate`).
-    """
-    tiling = tiling or TilingPass(chip)
-    streaming_demand = tiling.streaming_demand_bytes()
-    width = chip.sa_width
-    dims = [op.dims for op in operators]
-    dims_m = _as_float_array([d.m if d is not None else 1 for d in dims])
-    dims_k = _as_float_array([d.k if d is not None else 1 for d in dims])
-    dims_n = _as_float_array([d.n if d is not None else 1 for d in dims])
-    has_dims = np.asarray([d is not None for d in dims], dtype=bool)
-    uses_sa = np.asarray([op.kind.uses_sa for op in operators], dtype=bool)
-    is_collective = np.asarray(
-        [op.kind.is_collective for op in operators], dtype=bool
-    )
-    dtype_bytes = _as_float_array([op.dtype_bytes for op in operators])
-    hbm_read = _as_float_array([op.hbm_read_bytes for op in operators])
-
-    matmul_mask = uses_sa & has_dims
-    factor = 2.0 if tiling.double_buffer else 1.0
-    weights = dims_k * dims_n * dtype_bytes
-    panel_rows = np.minimum(dims_m, 4 * width)
-    activations = panel_rows * dims_k * dtype_bytes
-    outputs = panel_rows * dims_n * dtype_bytes
-    matmul_demand = np.maximum(
-        weights + factor * (activations + outputs), streaming_demand
-    )
-    collective_demand = np.maximum(
-        np.minimum(hbm_read, 8 * streaming_demand), streaming_demand
-    )
-    return np.where(
-        matmul_mask,
-        matmul_demand,
-        np.where(is_collective, collective_demand, streaming_demand),
-    )
-
-
 class BatchSimulation:
     """Raw arrays of one batch simulation plus the derived ProfileTable.
 
@@ -399,57 +392,38 @@ class BatchSimulation:
         self.tile_n = tile_n
 
 
-def batch_simulate(
-    graph: OperatorGraph,
+def batch_simulate_table(
+    table: GraphTable,
     chip: NPUChipSpec,
     dynamic_model: DynamicEnergyModel | None = None,
     tiling: TilingPass | None = None,
+    sram_demand: np.ndarray | None = None,
 ) -> BatchSimulation:
-    """Simulate every operator of ``graph`` in one vectorized batch.
+    """Simulate every operator of a :class:`GraphTable` in one batch.
 
     Produces, for each operator, exactly the values
     ``OperatorTimingModel.times`` + ``TilingPass.tile`` +
     ``NPUSimulator._dynamic_energy`` compute one at a time — the scalar
     expression structure is mirrored operation-for-operation so the
-    results are bit-identical doubles.
+    results are bit-identical doubles.  This is the core of the
+    columnar compiler frontend: the input arrays come straight from the
+    workload builders (or :meth:`GraphTable.from_graph`), so no
+    per-operator Python object is ever touched.
     """
     dyn = dynamic_model or DynamicEnergyModel(chip)
     tiling = tiling or TilingPass(chip)
-    ops = graph.operators
     width = chip.sa_width
-    ptp_kinds = (CollectiveKind.ALL_TO_ALL, CollectiveKind.SEND_RECV)
 
-    # One pass over the operators, one C-level array conversion.
-    raw = np.array(
-        [
-            (
-                op.count,
-                op.sa_flops,
-                op.vu_flops,
-                op.hbm_read_bytes,
-                op.hbm_read_bytes + op.hbm_write_bytes,
-                op.ici_bytes,
-                op.dtype_bytes,
-                op.kind.uses_sa,
-                op.kind is OpKind.COLLECTIVE,
-                op.collective in ptp_kinds,
-                op.dims is not None,
-                1 if op.dims is None else op.dims.m,
-                1 if op.dims is None else op.dims.k,
-                1 if op.dims is None else op.dims.n,
-            )
-            for op in ops
-        ],
-        dtype=np.float64,
-    ).reshape(len(ops), 14)
-    (
-        count, sa_flops, vu_flops, hbm_read, hbm_bytes, ici_bytes, dtype_bytes,
-    ) = raw[:, :7].T
-    uses_sa = raw[:, 7] != 0.0
-    is_collective = raw[:, 8] != 0.0
-    is_ptp = raw[:, 9] != 0.0
-    has_dims = raw[:, 10] != 0.0
-    dims_m, dims_k, dims_n = raw[:, 11:14].T
+    count = table.count
+    sa_flops = table.sa_flops
+    vu_flops = table.vu_flops
+    hbm_bytes = table.hbm_bytes
+    ici_bytes = table.ici_bytes
+    dtype_bytes = table.dtype_bytes
+    uses_sa = table.uses_sa
+    is_ptp = table.is_ptp
+    has_dims = table.has_dims
+    dims_m, dims_k, dims_n = table.dims_m, table.dims_k, table.dims_n
 
     # -- timing (OperatorTimingModel) ----------------------------------- #
     sa_mapped = uses_sa & has_dims & (sa_flops > 0.0) & (dims_m >= SA_MAPPING_MIN_M)
@@ -497,48 +471,8 @@ def batch_simulate(
         Component.OTHER: latency,
     }
 
-    # -- tiling (TilingPass) -------------------------------------------- #
-    streaming_demand = tiling.streaming_demand_bytes()
-    buffer_factor = 2.0 if tiling.double_buffer else 1.0
-    matmul_mask = uses_sa & has_dims
-
-    weights = dims_k * dims_n * dtype_bytes
-    panel_rows = np.minimum(dims_m, 4 * width)
-    activations = panel_rows * dims_k * dtype_bytes
-    outputs = panel_rows * dims_n * dtype_bytes
-    matmul_demand = np.maximum(
-        weights + buffer_factor * (activations + outputs), streaming_demand
-    )
-    ceil_k = np.ceil(dims_k / width)
-    ceil_m = np.ceil(dims_m / width)
-    ceil_n = np.ceil(dims_n / width)
-    matmul_weight_tiles = ceil_k * ceil_n
-    matmul_output_tiles = np.maximum(1.0, ceil_m) * ceil_n
-    matmul_dma = np.maximum(1.0, ceil_n)
-
-    collective_demand = np.maximum(
-        np.minimum(hbm_read, 8 * streaming_demand), streaming_demand
-    )
-    collective_dma = np.maximum(1.0, ici_bytes // _DMA_BURST_BYTES)
-
-    stream_dma = np.maximum(1.0, hbm_bytes // _DMA_BURST_BYTES)
-    stream_vu_tiles = np.maximum(1.0, vu_flops // (chip.vu_alus * 64))
-
-    demand = np.where(
-        matmul_mask,
-        matmul_demand,
-        np.where(is_collective, collective_demand, streaming_demand),
-    )
-    num_weight_tiles = np.where(matmul_mask, matmul_weight_tiles, 0.0)
-    num_output_tiles = np.where(
-        matmul_mask, matmul_output_tiles, np.where(is_collective, 0.0, stream_vu_tiles)
-    )
-    num_dma_bursts = np.where(
-        matmul_mask, matmul_dma, np.where(is_collective, collective_dma, stream_dma)
-    )
-    tile_m = np.where(matmul_mask, np.minimum(dims_m, width), 0.0)
-    tile_k = np.where(matmul_mask, np.minimum(dims_k, width), 0.0)
-    tile_n = np.where(matmul_mask, np.minimum(dims_n, width), 0.0)
+    # -- tiling (TilingPass, vectorized) --------------------------------- #
+    tiles = tiling.tile_table(table, demand=sram_demand)
 
     # -- dynamic energy (NPUSimulator._dynamic_energy) ------------------- #
     dyn_sa_flops = np.where(sa_mapped, sa_flops, 0.0)
@@ -565,40 +499,59 @@ def batch_simulate(
         Component.OTHER: e_other,
     }
 
-    table = ProfileTable(
+    profile_table = ProfileTable(
         count=count,
         latency_s=latency,
         sa_mapped=sa_mapped,
         sa_spatial_util=sa_util,
         active=active,
         dynamic=dynamic,
-        sram_demand_bytes=demand,
-        num_weight_tiles=num_weight_tiles,
-        num_output_tiles=num_output_tiles,
-        num_dma_bursts=num_dma_bursts,
+        sram_demand_bytes=tiles.sram_demand_bytes,
+        num_weight_tiles=tiles.num_weight_tiles,
+        num_output_tiles=tiles.num_output_tiles,
+        num_dma_bursts=tiles.num_dma_bursts,
         dims_m=dims_m,
         dims_k=dims_k,
         dims_n=dims_n,
         has_dims=has_dims,
     )
     return BatchSimulation(
-        table=table,
+        table=profile_table,
         sa_s=sa_s,
         vu_s=vu_s,
         hbm_s=hbm_s,
         ici_s=ici_s,
         overhead_s=overhead_s,
-        tile_m=tile_m,
-        tile_k=tile_k,
-        tile_n=tile_n,
+        tile_m=tiles.tile_m,
+        tile_k=tiles.tile_k,
+        tile_n=tiles.tile_n,
     )
+
+
+def batch_simulate(
+    graph: OperatorGraph | GraphTable,
+    chip: NPUChipSpec,
+    dynamic_model: DynamicEnergyModel | None = None,
+    tiling: TilingPass | None = None,
+) -> BatchSimulation:
+    """Vectorized whole-graph simulation (object-graph compatibility API).
+
+    Accepts either IR: an :class:`OperatorGraph` is converted to its
+    columnar form once (one C-level pass over the operator list) and
+    handed to :func:`batch_simulate_table`.
+    """
+    if not isinstance(graph, GraphTable):
+        graph = GraphTable.from_graph(graph)
+    return batch_simulate_table(graph, chip, dynamic_model, tiling)
 
 
 __all__ = [
     "BatchSimulation",
     "ProfileTable",
     "batch_simulate",
+    "batch_simulate_table",
     "fast_path_enabled",
+    "gap_arrays",
     "seq_sum",
     "set_fast_path",
     "use_fast_path",

@@ -26,6 +26,7 @@ from repro.simulator import columnar
 from repro.simulator.columnar import BatchSimulation, ProfileTable
 from repro.simulator.timing import ComponentTimes, OperatorTimingModel
 from repro.workloads.base import Operator, OperatorGraph, OpKind
+from repro.workloads.table import GraphTable, LazyList
 
 _LOG = logging.getLogger(__name__)
 
@@ -144,7 +145,7 @@ class OperatorProfile:
         return gaps
 
 
-class _LazyOperatorProfiles(list):
+class _LazyOperatorProfiles(LazyList):
     """Operator-profile list materialized from a batch on first access.
 
     A cold columnar simulation produces its aggregates from the
@@ -155,39 +156,7 @@ class _LazyOperatorProfiles(list):
     yields exactly the objects the eager path would have built.
     """
 
-    __slots__ = ("_builder",)
-
-    def __init__(self, builder=None):
-        super().__init__()
-        self._builder = builder
-
-    @property
-    def pending(self) -> bool:
-        """Whether the list is still an unmaterialized placeholder."""
-        return self._builder is not None
-
-    def _materialize(self) -> None:
-        builder, self._builder = self._builder, None
-        if builder is not None:
-            super().extend(builder())
-
-    def _make_accessor(name):  # noqa: N805 - class-body helper
-        def accessor(self, *args, **kwargs):
-            self._materialize()
-            return getattr(super(_LazyOperatorProfiles, self), name)(*args, **kwargs)
-
-        accessor.__name__ = name
-        return accessor
-
-    for _name in (
-        "__len__", "__iter__", "__getitem__", "__setitem__", "__delitem__",
-        "__contains__", "__reversed__", "__eq__", "__ne__", "__add__",
-        "__iadd__", "__mul__", "__imul__", "__repr__", "append", "extend",
-        "insert", "remove", "pop", "clear", "index", "count", "copy",
-        "sort", "reverse",
-    ):
-        locals()[_name] = _make_accessor(_name)
-    del _name, _make_accessor
+    __slots__ = ()
 
 
 @dataclass
@@ -424,32 +393,52 @@ class NPUSimulator:
             dynamic_energy_j=self._dynamic_energy(op, times),
         )
 
-    def simulate(self, graph: OperatorGraph) -> WorkloadProfile:
+    def simulate(self, graph: OperatorGraph | GraphTable) -> WorkloadProfile:
         """Simulate one iteration of a workload graph.
 
-        On the columnar fast path the whole graph is simulated in one
-        vectorized batch and the per-operator objects are materialized
-        from the resulting arrays; the per-operator loop below is the
-        reference oracle (``columnar.use_fast_path(False)``).  Both
-        produce bit-identical profiles.
+        Accepts either IR.  On the columnar fast path the graph runs
+        through the array-native frontend end to end — vectorized
+        fusion, tiling, timing and dynamic energy over a
+        :class:`~repro.workloads.table.GraphTable` — and the fused
+        :class:`OperatorGraph` plus the per-operator profile objects are
+        only materialized when somebody walks them.  The per-operator
+        loop below is the reference oracle
+        (``columnar.use_fast_path(False)``).  Both produce bit-identical
+        profiles.
         """
         NPUSimulator.simulate_calls += 1
-        graph.validate()
-        if self.apply_fusion:
-            graph, _groups = FusionPass(self.chip).run(graph)
         if columnar.fast_path_enabled():
-            batch = columnar.batch_simulate(
-                graph, self.chip, self.power_model.dynamic, self.tiling
+            table = graph if isinstance(graph, GraphTable) else GraphTable.from_graph(graph)
+            table.validate()
+            demand = None
+            if self.apply_fusion:
+                fusion = FusionPass(self.chip).run_table(table)
+                table = fusion.table
+                # Fusion never changes an input of the demand expressions,
+                # so its fuse-decision demands are reusable — but only when
+                # the simulator's tiling matches the fusion pass's default
+                # (double-buffered) configuration.
+                if self.tiling.double_buffer:
+                    demand = fusion.demands
+            batch = columnar.batch_simulate_table(
+                table, self.chip, self.power_model.dynamic, self.tiling,
+                sram_demand=demand,
             )
+            fused_graph = table.lazy_graph()
             profile = WorkloadProfile(
-                graph=graph,
+                graph=fused_graph,
                 chip=self.chip,
                 profiles=_LazyOperatorProfiles(
-                    lambda: self._materialize(graph, batch)
+                    lambda: self._materialize(fused_graph, batch)
                 ),
             )
             profile._attach_table(batch.table)
             return profile
+        if isinstance(graph, GraphTable):
+            graph = graph.to_graph()
+        graph.validate()
+        if self.apply_fusion:
+            graph, _groups = FusionPass(self.chip).run(graph)
         profile = WorkloadProfile(graph=graph, chip=self.chip)
         for op in graph.operators:
             profile.profiles.append(self.simulate_operator(op))

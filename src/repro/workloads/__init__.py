@@ -18,9 +18,12 @@ from repro.workloads.base import (
     WorkloadPhase,
 )
 from repro.workloads.registry import WorkloadSpec, get_workload, list_workloads
+from repro.workloads.table import GraphTable, GraphTableBuilder
 
 __all__ = [
     "CollectiveKind",
+    "GraphTable",
+    "GraphTableBuilder",
     "MatmulDims",
     "Operator",
     "OperatorGraph",

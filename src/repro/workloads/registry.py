@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.workloads import dlrm, diffusion, llm
 from repro.workloads.base import OperatorGraph, ParallelismConfig, WorkloadPhase
+from repro.workloads.table import GraphTable
 
 
 def llm_parallelism(
@@ -86,6 +87,7 @@ class WorkloadSpec:
         repr=False, default=None
     )
     memory_fn: Callable[[ParallelismConfig, int], float] = field(repr=False, default=None)
+    table_builder: Callable[..., GraphTable] = field(repr=False, default=None)
 
     def parallelism_for(self, num_chips: int, hbm_capacity_bytes: float) -> ParallelismConfig:
         """Pick a parallelism layout for this workload on ``num_chips``."""
@@ -105,6 +107,23 @@ class WorkloadSpec:
         parallelism = parallelism or ParallelismConfig()
         return self.builder(batch, parallelism)
 
+    def build_table(
+        self,
+        batch_size: int | None = None,
+        parallelism: ParallelismConfig | None = None,
+    ) -> GraphTable:
+        """Build the per-chip graph in columnar (:class:`GraphTable`) form.
+
+        Uses the workload family's array-native builder when one is
+        registered (bit-identical to the object builder by contract);
+        otherwise falls back to extracting the object graph's columns.
+        """
+        batch = batch_size if batch_size is not None else self.default_batch_size
+        parallelism = parallelism or ParallelismConfig()
+        if self.table_builder is not None:
+            return self.table_builder(batch, parallelism)
+        return GraphTable.from_graph(self.builder(batch, parallelism))
+
 
 def _llm_spec(model: str, phase: WorkloadPhase, batch: int, chips: int) -> WorkloadSpec:
     cfg = llm.get_llama_config(model)
@@ -115,6 +134,13 @@ def _llm_spec(model: str, phase: WorkloadPhase, batch: int, chips: int) -> Workl
         if phase is WorkloadPhase.PREFILL:
             return llm.build_prefill_graph(cfg, batch_size, 4096, parallelism)
         return llm.build_decode_graph(cfg, batch_size, 4096, 512, parallelism)
+
+    def build_table(batch_size: int, parallelism: ParallelismConfig) -> GraphTable:
+        if phase is WorkloadPhase.TRAINING:
+            return llm.build_training_table(cfg, batch_size, 4096, parallelism)
+        if phase is WorkloadPhase.PREFILL:
+            return llm.build_prefill_table(cfg, batch_size, 4096, parallelism)
+        return llm.build_decode_table(cfg, batch_size, 4096, 512, parallelism)
 
     def memory(parallelism: ParallelismConfig, batch_size: int) -> float:
         return llm.memory_per_chip_bytes(cfg, phase, parallelism, batch_size, 4096)
@@ -132,6 +158,7 @@ def _llm_spec(model: str, phase: WorkloadPhase, batch: int, chips: int) -> Workl
         builder=build,
         parallelism_fn=pick,
         memory_fn=memory,
+        table_builder=build_table,
     )
 
 
@@ -140,6 +167,9 @@ def _dlrm_spec(model: str, batch: int, chips: int) -> WorkloadSpec:
 
     def build(batch_size: int, parallelism: ParallelismConfig) -> OperatorGraph:
         return dlrm.build_dlrm_graph(cfg, batch_size, parallelism)
+
+    def build_table(batch_size: int, parallelism: ParallelismConfig) -> GraphTable:
+        return dlrm.build_dlrm_table(cfg, batch_size, parallelism)
 
     def memory(parallelism: ParallelismConfig, batch_size: int) -> float:
         return dlrm.memory_per_chip_bytes(cfg, parallelism, batch_size)
@@ -157,6 +187,7 @@ def _dlrm_spec(model: str, batch: int, chips: int) -> WorkloadSpec:
         builder=build,
         parallelism_fn=pick,
         memory_fn=memory,
+        table_builder=build_table,
     )
 
 
@@ -164,9 +195,15 @@ def _diffusion_spec(model: str, batch: int, chips: int) -> WorkloadSpec:
     if model == "dit-xl":
         def build(batch_size: int, parallelism: ParallelismConfig) -> OperatorGraph:
             return diffusion.build_dit_graph(batch_size, parallelism)
+
+        def build_table(batch_size: int, parallelism: ParallelismConfig) -> GraphTable:
+            return diffusion.build_dit_table(batch_size, parallelism)
     else:
         def build(batch_size: int, parallelism: ParallelismConfig) -> OperatorGraph:
             return diffusion.build_gligen_graph(batch_size, parallelism)
+
+        def build_table(batch_size: int, parallelism: ParallelismConfig) -> GraphTable:
+            return diffusion.build_gligen_table(batch_size, parallelism)
 
     def memory(parallelism: ParallelismConfig, batch_size: int) -> float:
         # Diffusion models have small weights (< 4 GB); activations per
@@ -187,6 +224,7 @@ def _diffusion_spec(model: str, batch: int, chips: int) -> WorkloadSpec:
         builder=build,
         parallelism_fn=pick,
         memory_fn=memory,
+        table_builder=build_table,
     )
 
 

@@ -18,8 +18,10 @@ from repro.cli import main
 from repro.experiments import SimulationCache, SweepSpec, run_sweep
 
 EXPECTED_BENCHMARKS = {
+    "graph_construction",
     "cold_simulate",
     "policy_evaluation",
+    "batch_policy_evaluation",
     "sensitivity_sweep",
     "idle_detector",
     "cold_sweep",
@@ -38,8 +40,12 @@ class TestPerfSuite:
             assert entry["object_s"] > 0
             assert entry["columnar_s"] > 0
             assert entry["speedup"] > 0
+            # Min-of-repeats is what the speedup uses; the mean rides
+            # along and can never undercut the min.
+            assert entry["object_mean_s"] >= entry["object_s"]
+            assert entry["columnar_mean_s"] >= entry["columnar_s"]
         assert tiny_payload["grid"] == "tiny"
-        assert tiny_payload["schema"] == 1
+        assert tiny_payload["schema"] == 2
 
     def test_grids_pick_largest_graphs(self):
         spec = perf_sweep_spec("tiny")
