@@ -142,6 +142,66 @@ def test_perf_batch_policy_evaluation_object(benchmark, fleet_profiles):
     _bench(benchmark, run, fast=False)
 
 
+# -- grid-batched sensitivity evaluation ---------------------------------- #
+@pytest.fixture(scope="module")
+def sensitivity_profiles():
+    from repro.analysis.sensitivity import SENSITIVITY_WORKLOADS
+
+    config = SimulationConfig(chip=PERF_CHIP)
+    chip = config.resolve_chip()
+    profiles = []
+    with columnar.use_fast_path(True):
+        for name in SENSITIVITY_WORKLOADS:
+            workload = get_workload(name)
+            _chip, batch, parallelism = resolve_execution(workload, config)
+            table = workload.build_table(batch_size=batch, parallelism=parallelism)
+            profiles.append(NPUSimulator(chip).simulate(table))
+    return profiles, chip
+
+
+def test_perf_sensitivity_grid_batched(benchmark, sensitivity_profiles):
+    """One grid_evaluate per policy across profiles × 25 parameter points."""
+    from repro.analysis.perf import SENSITIVITY_GRID_PARAMETERS
+    from repro.gating.bet import ParameterTable
+    from repro.gating.policies import PackedProfiles
+
+    profiles, chip = sensitivity_profiles
+    config = SimulationConfig(chip=PERF_CHIP)
+    power_model = ChipPowerModel.for_chip(chip)
+
+    def run():
+        for profile in profiles:
+            profile.table.reset_caches()
+        packed = PackedProfiles.pack(profiles)
+        ptable = ParameterTable(SENSITIVITY_GRID_PARAMETERS)
+        for policy_name in config.policies:
+            get_policy(policy_name).grid_evaluate(packed, ptable, power_model)
+
+    _bench(benchmark, run, fast=True)
+
+
+def test_perf_sensitivity_grid_per_point(benchmark, sensitivity_profiles):
+    """The per-point path the grid kernel replaced (also fast-path)."""
+    from repro.analysis.perf import SENSITIVITY_GRID_PARAMETERS
+    from repro.gating.policies import PackedProfiles
+
+    profiles, chip = sensitivity_profiles
+    config = SimulationConfig(chip=PERF_CHIP)
+    power_model = ChipPowerModel.for_chip(chip)
+
+    def run():
+        for profile in profiles:
+            profile.table.reset_caches()
+        packed = PackedProfiles.pack(profiles)
+        for policy_name in config.policies:
+            for parameters in SENSITIVITY_GRID_PARAMETERS:
+                get_policy(policy_name, parameters).batch_evaluate(
+                    packed, power_model
+                )
+
+    _bench(benchmark, run, fast=True)
+
+
 # -- policy evaluation --------------------------------------------------- #
 def test_perf_policy_evaluation_columnar(benchmark, perf_graph):
     _bench(benchmark, lambda: _evaluate_policies(perf_graph), fast=True)

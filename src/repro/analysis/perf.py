@@ -19,6 +19,15 @@ recorded.  The measured pairs are:
   object-path loop; the serving-style deployment benchmark);
 * **sensitivity_sweep** — a Figure-22 style delay sweep (one profile,
   many gating-parameter points) through :mod:`repro.analysis.sensitivity`;
+* **sensitivity_grid** — the grid-batched policy kernel
+  (:meth:`~repro.gating.policies.PowerGatingPolicy.grid_evaluate`) vs
+  the per-point path it replaced: every policy priced across the
+  sensitivity workloads × a 25-point Figure 21 × Figure 22 parameter
+  grid.  Both sides run on the columnar fast path — the pair isolates
+  the grid kernel itself;
+* **multi_chip_sweep** — a cold multi-chip × gating-parameter sweep
+  through the runner (chip-major packed batches, one grid call per
+  policy) vs the object-path oracle;
 * **idle_detector** — the run-length-encoded detection-window state
   machine vs the stepwise :class:`~repro.gating.idle_detection.IdleDetector`;
 * **cold_sweep** — a cold multi-workload × multi-chip grid through the
@@ -46,10 +55,16 @@ from typing import Any, Callable
 import numpy as np
 
 from repro import __version__
-from repro.analysis.sensitivity import delay_sensitivity
+from repro.analysis.sensitivity import SENSITIVITY_WORKLOADS, delay_sensitivity
 from repro.core.config import SimulationConfig
 from repro.core.regate import resolve_execution
 from repro.experiments import SimulationCache, SweepRunner, SweepSpec
+from repro.gating.bet import (
+    DEFAULT_PARAMETERS,
+    FIGURE21_LEAKAGE_POINTS,
+    FIGURE22_DELAY_MULTIPLIERS,
+    ParameterTable,
+)
 from repro.gating.idle_detection import IdleDetector, run_length_idle_stats
 from repro.gating.policies import get_policy
 from repro.hardware.power import ChipPowerModel
@@ -286,6 +301,140 @@ def bench_sensitivity_sweep(repeat: int) -> PerfResult:
     )
 
 
+#: Gating-parameter grid of the ``sensitivity_grid`` benchmark: the
+#: Figure 21 leakage points crossed with the Figure 22 delay
+#: multipliers (25 points — the 3-figure sensitivity suite's axes).
+SENSITIVITY_GRID_PARAMETERS = tuple(
+    DEFAULT_PARAMETERS.with_leakage(*leakage).with_delay_multiplier(multiplier)
+    for leakage in FIGURE21_LEAKAGE_POINTS
+    for multiplier in FIGURE22_DELAY_MULTIPLIERS
+)
+
+
+def bench_sensitivity_grid(repeat: int) -> PerfResult:
+    """Grid-batched policy kernel vs the per-point path it replaced.
+
+    Unlike the other pairs, *both* sides run on the columnar fast path:
+    the "object" side is the per-point path a sensitivity sweep used
+    before the grid kernel (one ``batch_evaluate`` per gating-parameter
+    point), the "columnar" side one
+    :meth:`~repro.gating.policies.PowerGatingPolicy.grid_evaluate` per
+    policy over the same packed profiles — so the pair isolates the
+    speedup of the grid kernel itself.  Derived table/pack caches are
+    dropped before every run (cold, like a fresh sweep), and the two
+    sides are asserted report-identical before timing.
+    """
+    from repro.gating.policies import PackedProfiles
+
+    config = SimulationConfig(chip=PERF_CHIP)
+    chip = config.resolve_chip()
+    power_model = ChipPowerModel.for_chip(chip)
+    grid = SENSITIVITY_GRID_PARAMETERS
+    with columnar.use_fast_path(True):
+        profiles = []
+        for name in SENSITIVITY_WORKLOADS:
+            workload_spec = get_workload(name)
+            _chip, batch, parallelism = resolve_execution(workload_spec, config)
+            table = workload_spec.build_table(
+                batch_size=batch, parallelism=parallelism
+            )
+            profiles.append(NPUSimulator(chip).simulate(table))
+
+        def reset() -> "PackedProfiles":
+            for profile in profiles:
+                profile.table.reset_caches()
+            return PackedProfiles.pack(profiles)
+
+        def per_point() -> None:
+            packed = reset()
+            for policy_name in config.policies:
+                for parameters in grid:
+                    get_policy(policy_name, parameters).batch_evaluate(
+                        packed, power_model
+                    )
+
+        def grid_batched() -> None:
+            packed = reset()
+            ptable = ParameterTable(grid)
+            for policy_name in config.policies:
+                get_policy(policy_name).grid_evaluate(packed, ptable, power_model)
+
+        # The benchmark doubles as an equivalence check: every grid cell
+        # must reproduce the per-point report bit-for-bit.
+        packed = reset()
+        ptable = ParameterTable(grid)
+        for policy_name in config.policies:
+            observed = get_policy(policy_name).grid_evaluate(
+                packed, ptable, power_model
+            )
+            for index, parameters in enumerate(grid):
+                expected = get_policy(policy_name, parameters).batch_evaluate(
+                    packed, power_model
+                )
+                if observed.reports(index) != expected:  # pragma: no cover
+                    raise AssertionError("sensitivity grid paths disagree")
+
+        per_point()
+        object_s, object_mean_s = _timeit(per_point, repeat)
+        grid_batched()
+        columnar_s, columnar_mean_s = _timeit(grid_batched, repeat)
+    return PerfResult(
+        "sensitivity_grid",
+        object_s=object_s,
+        columnar_s=columnar_s,
+        object_mean_s=object_mean_s,
+        columnar_mean_s=columnar_mean_s,
+    )
+
+
+#: Chip fleet of the ``multi_chip_sweep`` benchmark.
+MULTI_CHIP_SWEEP_CHIPS = ("NPU-A", "NPU-B", "NPU-C", "NPU-D")
+
+
+def multi_chip_sweep_spec() -> SweepSpec:
+    """The multi-chip × delay-multiplier grid of ``multi_chip_sweep``."""
+    base = perf_sweep_spec("small")
+    return SweepSpec(
+        workloads=base.workloads[:2],
+        chips=MULTI_CHIP_SWEEP_CHIPS,
+        gating_parameters=tuple(
+            (f"{multiplier}x", DEFAULT_PARAMETERS.with_delay_multiplier(multiplier))
+            for multiplier in FIGURE22_DELAY_MULTIPLIERS
+        ),
+    )
+
+
+def bench_multi_chip_sweep(repeat: int) -> PerfResult:
+    """A cold multi-chip × gating-parameter sweep through the runner.
+
+    End-to-end counterpart of :func:`bench_sensitivity_grid`: the
+    columnar side packs the whole chip fleet chip-major once per policy
+    and prices the full (profile × parameter) grid per kernel call; the
+    object side is the per-profile object-path oracle.  Both sides must
+    produce byte-identical sweep tables.
+    """
+    spec = multi_chip_sweep_spec()
+
+    def run_cold():
+        return SweepRunner(spec, cache=None).run()
+
+    with columnar.use_fast_path(False):
+        object_table = run_cold()
+        object_s, object_mean_s = _timeit(run_cold, repeat)
+    with columnar.use_fast_path(True):
+        columnar_table = run_cold()
+        columnar_s, columnar_mean_s = _timeit(run_cold, repeat)
+    if columnar_table.to_csv() != object_table.to_csv():  # pragma: no cover
+        raise AssertionError("multi-chip sweep paths disagree (not byte-identical)")
+    return PerfResult(
+        "multi_chip_sweep",
+        object_s=object_s,
+        columnar_s=columnar_s,
+        object_mean_s=object_mean_s,
+        columnar_mean_s=columnar_mean_s,
+    )
+
+
 def bench_idle_detector(repeat: int) -> PerfResult:
     trace = _DETECTOR_PATTERN * _DETECTOR_REPEATS
 
@@ -348,11 +497,13 @@ def run_perf_suite(grid: str = "full", repeat: int = 3) -> dict[str, Any]:
         bench_policy_evaluation(repeat),
         bench_batch_policy_evaluation(repeat),
         bench_sensitivity_sweep(repeat),
+        bench_sensitivity_grid(repeat),
+        bench_multi_chip_sweep(max(1, repeat - 1)),
         bench_idle_detector(repeat),
         bench_cold_sweep(grid, max(1, repeat - 1)),
     ]
     return {
-        "schema": 2,
+        "schema": 3,
         "version": __version__,
         "grid": grid,
         "grid_points": spec.num_points,
@@ -404,6 +555,54 @@ def check_regression(
     return failures
 
 
+def compare_payloads(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    tolerance: float = 0.25,
+) -> tuple[str, list[str]]:
+    """Per-benchmark speedup deltas between two ``BENCH_perf`` payloads.
+
+    Returns ``(report, failures)``: a human-readable table of old/new
+    speedups with their relative delta, and the
+    :func:`check_regression` failures of ``new`` against ``old`` (empty
+    when nothing regressed beyond ``tolerance``).  Replaces eyeballing
+    two JSON files — ``repro perf --compare OLD.json NEW.json`` prints
+    the table and exits nonzero on regression.
+    """
+    from repro.analysis.tables import format_table
+
+    old_benchmarks = old.get("benchmarks", {})
+    new_benchmarks = new.get("benchmarks", {})
+    names = list(old_benchmarks) + [
+        name for name in new_benchmarks if name not in old_benchmarks
+    ]
+    rows = []
+    for name in names:
+        old_speedup = old_benchmarks.get(name, {}).get("speedup")
+        new_speedup = new_benchmarks.get(name, {}).get("speedup")
+        if old_speedup and new_speedup:
+            delta = f"{new_speedup / old_speedup - 1.0:+.1%}"
+        else:
+            delta = "-"
+        rows.append(
+            [
+                name,
+                "-" if old_speedup is None else f"{old_speedup:.2f}x",
+                "-" if new_speedup is None else f"{new_speedup:.2f}x",
+                delta,
+            ]
+        )
+    report = format_table(
+        ["benchmark", "old speedup", "new speedup", "delta"],
+        rows,
+        title=(
+            f"BENCH_perf comparison (old schema {old.get('schema')}, "
+            f"new schema {new.get('schema')})"
+        ),
+    )
+    return report, check_regression(new, old, tolerance=tolerance)
+
+
 def format_report(payload: dict[str, Any]) -> str:
     """Human-readable table of one perf payload."""
     from repro.analysis.tables import format_table
@@ -439,18 +638,24 @@ def format_report(payload: dict[str, Any]) -> str:
 
 __all__ = [
     "BATCH_EVAL_FLEET",
+    "MULTI_CHIP_SWEEP_CHIPS",
     "PERF_GRIDS",
     "PERF_WORKLOAD",
     "PerfResult",
+    "SENSITIVITY_GRID_PARAMETERS",
     "bench_batch_policy_evaluation",
     "bench_cold_simulate",
     "bench_cold_sweep",
     "bench_graph_construction",
     "bench_idle_detector",
+    "bench_multi_chip_sweep",
     "bench_policy_evaluation",
+    "bench_sensitivity_grid",
     "bench_sensitivity_sweep",
     "check_regression",
+    "compare_payloads",
     "format_report",
+    "multi_chip_sweep_spec",
     "perf_sweep_spec",
     "run_perf_suite",
     "write_payload",

@@ -12,11 +12,22 @@ simulation, so a shared :class:`~repro.experiments.SimulationCache`
 simulates each (workload, chip) profile once and re-evaluates it at
 every sweep point; callers may pass their own cache to share profiles
 across analyses as well.
+
+On the columnar fast path the runner prices each figure's grid through
+the grid-batched policy kernel
+(:meth:`~repro.gating.policies.PowerGatingPolicy.grid_evaluate`): per
+policy, a single vectorized call covers every (workload profile ×
+gating-parameter point) cell — the figures' sweeps no longer re-enter
+the evaluator once per parameter point.  ``workload`` may be a single
+name or a sequence; passing all of :data:`SENSITIVITY_WORKLOADS` at
+once (or using :func:`sensitivity_suite`) hands the kernel the widest
+profile batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.experiments import SimulationCache, SweepRunner, SweepSpec
 from repro.gating.bet import (
@@ -79,18 +90,24 @@ def _run(
     ]
 
 
+def _as_workloads(workload: "str | Sequence[str]") -> tuple[str, ...]:
+    if isinstance(workload, str):
+        return (workload,)
+    return tuple(workload)
+
+
 # ---------------------------------------------------------------------- #
 # Figure 21: leakage-ratio sweep
 # ---------------------------------------------------------------------- #
 def leakage_sensitivity(
-    workload: str,
+    workload: "str | Sequence[str]",
     chip: str = "NPU-D",
     points: tuple[tuple[float, float, float], ...] = FIGURE21_LEAKAGE_POINTS,
     cache: SimulationCache | None = None,
 ) -> list[SensitivityPoint]:
     """Energy savings for each (logic-off, SRAM-sleep, SRAM-off) leakage point."""
     spec = SweepSpec(
-        workloads=(workload,),
+        workloads=_as_workloads(workload),
         chips=(chip,),
         policies=GATING_POLICIES,
         gating_parameters=tuple(
@@ -108,14 +125,14 @@ def leakage_sensitivity(
 # Figure 22: wake-up delay sweep
 # ---------------------------------------------------------------------- #
 def delay_sensitivity(
-    workload: str,
+    workload: "str | Sequence[str]",
     chip: str = "NPU-D",
     multipliers: tuple[float, ...] = FIGURE22_DELAY_MULTIPLIERS,
     cache: SimulationCache | None = None,
 ) -> list[SensitivityPoint]:
     """Energy savings and overhead for scaled power-gate/wake-up delays."""
     spec = SweepSpec(
-        workloads=(workload,),
+        workloads=_as_workloads(workload),
         chips=(chip,),
         policies=GATING_POLICIES,
         gating_parameters=tuple(
@@ -130,14 +147,40 @@ def delay_sensitivity(
 # Figure 23: NPU generations (including the projected NPU-E)
 # ---------------------------------------------------------------------- #
 def generation_sensitivity(
-    workload: str,
+    workload: "str | Sequence[str]",
     chips: tuple[str, ...] = ("NPU-A", "NPU-B", "NPU-C", "NPU-D", "NPU-E"),
     cache: SimulationCache | None = None,
 ) -> list[SensitivityPoint]:
     """Energy savings of each design on every NPU generation (Figure 23)."""
     policies = (*GATING_POLICIES, PolicyName.IDEAL)
-    spec = SweepSpec(workloads=(workload,), chips=chips, policies=policies)
+    spec = SweepSpec(
+        workloads=_as_workloads(workload), chips=chips, policies=policies
+    )
     return _run(spec, policies, "chip", cache)
+
+
+# ---------------------------------------------------------------------- #
+# The full 3-figure suite
+# ---------------------------------------------------------------------- #
+def sensitivity_suite(
+    workloads: Sequence[str] = SENSITIVITY_WORKLOADS,
+    chip: str = "NPU-D",
+    cache: SimulationCache | None = None,
+) -> dict[str, list[SensitivityPoint]]:
+    """Run Figures 21, 22 and 23 for all workloads with one shared cache.
+
+    Each figure is a single multi-workload sweep, so per policy the
+    runner prices the whole (workload-profile × parameter-point) grid in
+    one grid-kernel call; the shared cache simulates every (workload,
+    chip) profile exactly once across the three figures.
+    """
+    cache = cache if cache is not None else SimulationCache()
+    workloads = tuple(workloads)
+    return {
+        "figure21": leakage_sensitivity(workloads, chip=chip, cache=cache),
+        "figure22": delay_sensitivity(workloads, chip=chip, cache=cache),
+        "figure23": generation_sensitivity(workloads, cache=cache),
+    }
 
 
 __all__ = [
@@ -147,4 +190,5 @@ __all__ = [
     "delay_sensitivity",
     "generation_sensitivity",
     "leakage_sensitivity",
+    "sensitivity_suite",
 ]

@@ -184,10 +184,29 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 def _cmd_perf(args: argparse.Namespace) -> str:
     from repro.analysis.perf import (
         check_regression,
+        compare_payloads,
         format_report,
         run_perf_suite,
         write_payload,
     )
+
+    if args.compare:
+        import json as _json
+        from pathlib import Path as _Path
+
+        old_path, new_path = args.compare
+        old = _json.loads(_Path(old_path).read_text())
+        new = _json.loads(_Path(new_path).read_text())
+        report, failures = compare_payloads(old, new, tolerance=args.tolerance)
+        if failures:
+            print(report)
+            raise SystemExit(
+                f"performance regression vs {old_path}:\n  " + "\n  ".join(failures)
+            )
+        return (
+            report
+            + f"\nregression    : ok (within {args.tolerance:.0%} of {old_path})"
+        )
 
     try:
         payload = run_perf_suite(grid=args.grid, repeat=args.repeat)
@@ -300,8 +319,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail if any speedup regresses vs this committed baseline payload",
     )
     perf.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"),
+        help="compare two existing BENCH_perf payloads (per-benchmark speedup "
+             "deltas; exits nonzero on regression beyond --tolerance) instead "
+             "of running the suite",
+    )
+    perf.add_argument(
         "--tolerance", type=float, default=0.25, metavar="FRACTION",
-        help="allowed fractional speedup regression for --check (default 0.25)",
+        help="allowed fractional speedup regression for --check/--compare "
+             "(default 0.25)",
     )
     perf.set_defaults(handler=_cmd_perf)
     return parser

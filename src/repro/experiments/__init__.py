@@ -19,29 +19,49 @@ See ``docs/experiments.md`` for a guide and the cache-invalidation rules.
 
 from repro.experiments.cache import (
     JsonFileStore,
+    PackedRows,
     SimulationCache,
+    pack_rows,
     simulate_cached,
+    simulate_cached_many,
+    unpack_rows,
 )
 from repro.experiments.keys import canonical, point_key, profile_key, report_key, stable_hash
 from repro.experiments.result import SweepResult
-from repro.experiments.runner import SweepRunner, run_point, run_sweep, rows_from_result
+from repro.experiments.runner import (
+    ROW_COLUMNS,
+    SweepRunner,
+    assemble_packed_rows,
+    rows_from_result,
+    run_point,
+    run_points,
+    run_points_packed,
+    run_sweep,
+)
 from repro.experiments.spec import DEFAULT_GATING_LABEL, SweepPoint, SweepSpec
 
 __all__ = [
     "DEFAULT_GATING_LABEL",
     "JsonFileStore",
+    "PackedRows",
+    "ROW_COLUMNS",
     "SimulationCache",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "assemble_packed_rows",
     "canonical",
+    "pack_rows",
     "point_key",
     "profile_key",
     "report_key",
     "rows_from_result",
     "run_point",
+    "run_points",
+    "run_points_packed",
     "run_sweep",
     "simulate_cached",
-    "stable_hash",
+    "simulate_cached_many",
+    "unpack_rows",
 ]

@@ -10,8 +10,10 @@ Three artifact classes are cached, each under a stable key from
   JSON-serializable, kept in memory and optionally on disk.
 * **Sweep rows** — the flat tables produced by
   :class:`~repro.experiments.runner.SweepRunner`; JSON-serializable,
-  kept in memory and optionally on disk.  A warm row cache lets a
-  repeated sweep complete without a single simulator call.
+  kept in memory and optionally on disk in *packed* form (one shared
+  column tuple plus one value tuple per row — see :data:`PackedRows`).
+  A warm row cache lets a repeated sweep complete without a single
+  simulator call.  Legacy dict-list disk entries are still readable.
 
 :func:`simulate_cached` is a drop-in replacement for
 :func:`repro.core.regate.simulate_workload` that consults a
@@ -37,8 +39,8 @@ from repro.core.regate import (
     simulate_workload,
 )
 from repro.core.results import SimulationResult
-from repro.gating.bet import parameters_token
-from repro.gating.policies import PackedProfiles, get_policy
+from repro.gating.bet import GatingParameters, parameters_token
+from repro.gating.policies import ChipMajorPacks, PackedProfiles, get_policy
 from repro.gating.report import EnergyReport, PolicyName
 from repro.hardware.components import Component
 from repro.hardware.power import ChipPowerModel
@@ -46,6 +48,30 @@ from repro.simulator.engine import NPUSimulator, WorkloadProfile
 from repro.workloads.registry import WorkloadSpec, get_workload
 
 from repro.experiments.keys import profile_key, report_key
+
+
+# ---------------------------------------------------------------------- #
+# Packed sweep rows
+# ---------------------------------------------------------------------- #
+#: Compact row format shared by the cache, the runner and the process
+#: pool: one column tuple plus one value tuple per row, instead of
+#: repeating every column name in every row dict (~40 string keys per
+#: row otherwise).
+PackedRows = tuple[tuple[str, ...], list[tuple[Any, ...]]]
+
+
+def pack_rows(rows: list[dict[str, Any]]) -> PackedRows:
+    """Pack row dicts into (columns, value-tuples)."""
+    if not rows:
+        return ((), [])
+    columns = tuple(rows[0])
+    return columns, [tuple(row[column] for column in columns) for row in rows]
+
+
+def unpack_rows(packed: PackedRows) -> list[dict[str, Any]]:
+    """Inverse of :func:`pack_rows`."""
+    columns, values = packed
+    return [dict(zip(columns, row)) for row in values]
 
 
 # ---------------------------------------------------------------------- #
@@ -162,7 +188,7 @@ class SimulationCache:
     def __init__(self, path: str | Path | None = None):
         self._profiles: dict[str, WorkloadProfile] = {}
         self._reports: dict[str, EnergyReport] = {}
-        self._rows: dict[str, list[dict[str, Any]]] = {}
+        self._rows: dict[str, PackedRows] = {}
         self._store = JsonFileStore(path) if path is not None else None
         self.hits = 0
         self.misses = 0
@@ -212,27 +238,57 @@ class SimulationCache:
             self._store.put("report:" + key, report_to_dict(report))
 
     # -- sweep rows ---------------------------------------------------- #
-    # Rows are copied on the way in and out (cells are scalars, so a
-    # per-row dict copy is a full copy): a caller mutating a returned
-    # SweepResult must not poison the cache or the on-disk store.
-    def get_rows(self, key: str) -> list[dict[str, Any]] | None:
-        rows = self._rows.get(key)
-        if rows is None and self._store is not None:
-            rows = self._store.get("rows:" + key)
-            if rows is not None:
-                self._rows[key] = rows
-        self._count(rows is not None)
-        if rows is None:
+    # Rows live in the cache in *packed* form: one shared column tuple
+    # plus one immutable value tuple per row.  The packed entries make
+    # both layers cheap — no ~40-key dict per row in memory or in the
+    # JSON store — and copying on the way out reduces to copying the
+    # outer list, so a caller mutating a returned SweepResult still
+    # cannot poison the cache.
+    @staticmethod
+    def _freeze_packed(packed: PackedRows) -> PackedRows:
+        columns, values = packed
+        return tuple(columns), [tuple(row) for row in values]
+
+    def get_rows_packed(self, key: str) -> PackedRows | None:
+        packed = self._rows.get(key)
+        if packed is None and self._store is not None:
+            payload = self._store.get("rows:" + key)
+            if payload is not None:
+                packed = self._freeze_packed(self._decode_rows(payload))
+                self._rows[key] = packed
+        self._count(packed is not None)
+        if packed is None:
             self.row_misses += 1
             return None
         self.row_hits += 1
-        return [dict(row) for row in rows]
+        columns, values = packed
+        return columns, list(values)
+
+    def put_rows_packed(self, key: str, packed: PackedRows) -> None:
+        packed = self._freeze_packed(packed)
+        self._rows[key] = packed
+        if self._store is not None:
+            columns, values = packed
+            self._store.put(
+                "rows:" + key, {"columns": list(columns), "values": values}
+            )
+
+    @staticmethod
+    def _decode_rows(payload: Any) -> PackedRows:
+        """Decode a disk row entry (packed dict, or a legacy dict list)."""
+        if isinstance(payload, dict):
+            return tuple(payload["columns"]), payload["values"]
+        return pack_rows(list(payload))
+
+    def get_rows(self, key: str) -> list[dict[str, Any]] | None:
+        """Row dicts of one sweep point (compatibility view)."""
+        packed = self.get_rows_packed(key)
+        if packed is None:
+            return None
+        return unpack_rows(packed)
 
     def put_rows(self, key: str, rows: list[dict[str, Any]]) -> None:
-        rows = [dict(row) for row in rows]
-        self._rows[key] = rows
-        if self._store is not None:
-            self._store.put("rows:" + key, rows)
+        self.put_rows_packed(key, pack_rows(rows))
 
     # ------------------------------------------------------------------ #
     def flush(self) -> None:
@@ -346,6 +402,62 @@ def simulate_cached(
     return result
 
 
+class _ReportGroup:
+    """Missing (profile, gating-parameter) report cells of one policy.
+
+    Collects the distinct profiles (by profile key, insertion order) and
+    distinct parameter points (by token) of a batch's cache misses, then
+    evaluates the whole grid at once.  A sweep grid is a full cartesian
+    product by construction, so the product of the distinct axes is
+    exactly the missing cell set on a cold run; on a partially warm
+    cache the kernel may price a few already-cached cells again — extra
+    vectorized work, never a different result.
+    """
+
+    def __init__(self) -> None:
+        self.profiles: dict[str, WorkloadProfile] = {}
+        self.parameters: dict[int, GatingParameters] = {}
+        self.members: dict[str, tuple[str, int]] = {}
+
+    def add(
+        self,
+        rkey: str,
+        pkey: str,
+        profile: WorkloadProfile,
+        parameters: GatingParameters,
+    ) -> None:
+        token = parameters_token(parameters)
+        self.profiles.setdefault(pkey, profile)
+        self.parameters.setdefault(token, parameters)
+        self.members[rkey] = (pkey, token)
+
+    def evaluate(self, policy_name: PolicyName):
+        """Yield ``(rkey, report)`` for every missing cell of the group."""
+        profile_index = {pkey: i for i, pkey in enumerate(self.profiles)}
+        profiles = list(self.profiles.values())
+        parameters = list(self.parameters.values())
+        policy = get_policy(policy_name, parameters[0])
+        if len(parameters) == 1:
+            if len(profiles) == 1:
+                power_model = ChipPowerModel.for_chip(profiles[0].chip)
+                reports = [policy.evaluate(profiles[0], power_model)]
+            else:
+                packed = ChipMajorPacks.pack(profiles)
+                reports = policy.batch_evaluate(
+                    packed if packed is not None else profiles
+                )
+            for rkey, (pkey, _token) in self.members.items():
+                yield rkey, reports[profile_index[pkey]]
+            return
+        token_index = {token: i for i, token in enumerate(self.parameters)}
+        packed = ChipMajorPacks.pack(profiles)
+        grid = policy.grid_evaluate(
+            packed if packed is not None else profiles, parameters
+        )
+        for rkey, (pkey, token) in self.members.items():
+            yield rkey, grid.report(token_index[token], profile_index[pkey])
+
+
 def simulate_cached_many(
     items: list[tuple[str | WorkloadSpec, SimulationConfig | None]],
     cache: SimulationCache | None = None,
@@ -353,12 +465,14 @@ def simulate_cached_many(
     """Batched :func:`simulate_cached` over many (workload, config) pairs.
 
     Profiles are resolved exactly like the per-item path (same cache
-    keys, same probe order); the *report* phase is then batched: missing
-    (profile, policy) reports are grouped by (policy, chip, gating
-    parameters) and each group is evaluated in one
-    :meth:`~repro.gating.policies.PowerGatingPolicy.batch_evaluate`
-    call over the packed profiles.  Reports are bit-identical to the
-    per-item path, so a sweep's rows (and CSV bytes) do not change.
+    keys, same probe order); the *report* phase is then grid-batched:
+    missing (profile, policy, gating-parameter) reports are grouped per
+    policy and each group — its distinct profiles chip-major packed, its
+    distinct parameter points as one
+    :class:`~repro.gating.bet.ParameterTable` axis — is evaluated in one
+    :meth:`~repro.gating.policies.PowerGatingPolicy.grid_evaluate`
+    call.  Reports are bit-identical to the per-item path, so a sweep's
+    rows (and CSV bytes) do not change.
     """
     if cache is None:
         return [simulate_workload(workload, config) for workload, config in items]
@@ -381,9 +495,16 @@ def simulate_cached_many(
         prepared.append((spec, config, chip, parallelism, pkey, profile))
 
     # Report phase: probe the cache once per (item, policy) like the
-    # per-item path, then batch-evaluate the misses per policy group.
+    # per-item path, then evaluate the misses one policy at a time: the
+    # group's distinct profiles (chip-major packed) × distinct gating
+    # parameters form one grid that a single
+    # :meth:`~repro.gating.policies.PowerGatingPolicy.grid_evaluate`
+    # call prices — the sensitivity-sweep hot path.  With one parameter
+    # point the grid degenerates to one `batch_evaluate` over the
+    # chip-major pack.  Reports are bit-identical to the per-item path
+    # either way, so a sweep's rows (and CSV bytes) do not change.
     fetched: dict[str, EnergyReport] = {}
-    groups: dict[tuple, dict[str, tuple]] = {}
+    groups: dict[PolicyName, _ReportGroup] = {}
     for entry in prepared:
         if entry is None:
             continue
@@ -396,30 +517,10 @@ def simulate_cached_many(
             if report is not None:
                 fetched[rkey] = report
                 continue
-            group_key = (
-                policy_name,
-                id(chip),
-                parameters_token(config.gating_parameters),
-            )
-            groups.setdefault(group_key, {})[rkey] = (
-                profile,
-                chip,
-                config.gating_parameters,
-            )
-    for (policy_name, _, _), members in groups.items():
-        rkeys = list(members)
-        first_profile, chip, parameters = members[rkeys[0]]
-        policy = get_policy(policy_name, parameters)
-        power_model = ChipPowerModel.for_chip(chip)
-        profiles = [members[rkey][0] for rkey in rkeys]
-        if len(profiles) == 1:
-            reports = [policy.evaluate(profiles[0], power_model)]
-        else:
-            packed = PackedProfiles.pack(profiles)
-            reports = policy.batch_evaluate(
-                packed if packed is not None else profiles, power_model
-            )
-        for rkey, report in zip(rkeys, reports):
+            group = groups.setdefault(policy_name, _ReportGroup())
+            group.add(rkey, pkey, profile, config.gating_parameters)
+    for policy_name, group in groups.items():
+        for rkey, report in group.evaluate(policy_name):
             cache.put_report(rkey, report)
             fetched[rkey] = report
 
@@ -437,9 +538,12 @@ def simulate_cached_many(
 
 __all__ = [
     "JsonFileStore",
+    "PackedRows",
     "SimulationCache",
+    "pack_rows",
     "report_from_dict",
     "report_to_dict",
     "simulate_cached",
     "simulate_cached_many",
+    "unpack_rows",
 ]

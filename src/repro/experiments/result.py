@@ -1,11 +1,19 @@
 """Tabular results of a parameter sweep.
 
-A :class:`SweepResult` is a small, dependency-free data frame: an
-ordered list of flat row dictionaries with a fixed column order, plus
-the export (CSV/JSON) and reshaping (filter/group-by/pivot) helpers the
-benchmarks and analyses need.  Floats are exported with ``repr`` so a
-CSV written by a parallel run is byte-identical to one written by a
-serial run of the same sweep.
+A :class:`SweepResult` is a small, dependency-free data frame with a
+fixed column order and two interchangeable backing stores:
+
+* a **packed store** — one value tuple per row (the runner's
+  array-native assembly and the row cache feed this directly), with the
+  row *dicts* of the legacy API materialized lazily on first access;
+* a **row-dict store** — the original ordered list of flat dictionaries
+  (:meth:`from_rows`, and what ``filter``/``group_by`` hand back).
+
+Either way the export (CSV/JSON) and reshaping (filter/group-by/pivot)
+helpers behave identically; :meth:`iter_csv` streams straight off the
+packed store without ever building a dict per row.  Floats are exported
+with ``repr`` so a CSV written by a parallel run is byte-identical to
+one written by a serial run of the same sweep.
 """
 
 from __future__ import annotations
@@ -13,9 +21,10 @@ from __future__ import annotations
 import csv
 import io
 import json
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
 
 
 def _cell(value: Any) -> Any:
@@ -24,13 +33,29 @@ def _cell(value: Any) -> Any:
     return value
 
 
-@dataclass
 class SweepResult:
     """An ordered table of sweep rows (one row per point x policy)."""
 
-    columns: tuple[str, ...]
-    rows: list[dict[str, Any]] = field(default_factory=list)
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: "Sequence[dict[str, Any]] | None" = None,
+        *,
+        values: "Sequence[tuple[Any, ...]] | None" = None,
+    ):
+        if rows is not None and values is not None:
+            raise TypeError("pass either rows or values, not both")
+        self.columns: tuple[str, ...] = tuple(columns)
+        self._values: list[tuple[Any, ...]] | None = (
+            list(values) if values is not None else None
+        )
+        self._rows: list[dict[str, Any]] | None = (
+            list(rows) if rows is not None else None
+        )
+        if self._values is None and self._rows is None:
+            self._rows = []
 
+    # -- constructors --------------------------------------------------- #
     @classmethod
     def from_rows(cls, rows: Sequence[dict[str, Any]]) -> "SweepResult":
         """Build a result from row dicts (columns from the first row)."""
@@ -38,15 +63,71 @@ class SweepResult:
         columns: tuple[str, ...] = tuple(rows[0].keys()) if rows else ()
         return cls(columns=columns, rows=rows)
 
-    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_packed(
+        cls, columns: Sequence[str], values: Sequence[Sequence[Any]]
+    ) -> "SweepResult":
+        """Build a result from packed (columns, value-tuples) rows."""
+        return cls(columns=columns, values=[tuple(row) for row in values])
+
+    @classmethod
+    def from_columns(cls, columns: "Mapping[str, Any]") -> "SweepResult":
+        """Build a result from column arrays (one array/list per column).
+
+        NumPy arrays are converted with ``tolist`` so every cell is a
+        plain Python scalar (``repr`` of a ``np.float64`` would not
+        round-trip the CSV identically).
+        """
+        names = tuple(columns)
+        series = [
+            column.tolist() if isinstance(column, np.ndarray) else list(column)
+            for column in columns.values()
+        ]
+        if series and len({len(s) for s in series}) > 1:
+            raise ValueError("all columns must have the same length")
+        values = list(zip(*series)) if series else []
+        return cls(columns=names, values=values)
+
+    # -- row access ----------------------------------------------------- #
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """The row dicts, materialized from the packed store on demand.
+
+        Once materialized (or when the table was built from dicts), the
+        dict list is the source of truth — mutations are visible to
+        every helper and export.
+        """
+        if self._rows is None:
+            columns = self.columns
+            self._rows = [dict(zip(columns, row)) for row in self._values]
+            self._values = None
+        return self._rows
+
     def __len__(self) -> int:
-        return len(self.rows)
+        store = self._rows if self._rows is not None else self._values
+        return len(store)
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return iter(self.rows)
 
     def __getitem__(self, index: int) -> dict[str, Any]:
         return self.rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SweepResult):
+            return NotImplemented
+        if self.columns != other.columns:
+            return False
+        if self._values is not None and other._values is not None:
+            # Both packed with identical column order: compare the value
+            # tuples directly, keeping both packed stores intact.
+            return self._values == other._values
+        return self.rows == other.rows
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepResult({len(self)} rows x {len(self.columns)} columns)"
+        )
 
     def _check_columns(self, *names: str) -> None:
         """Fail fast on misspelled column names (empty tables check nothing)."""
@@ -57,9 +138,12 @@ class SweepResult:
             raise KeyError(f"unknown column(s) {unknown}; have {list(self.columns)}")
 
     def column(self, name: str) -> list[Any]:
-        """All values of one column, in row order."""
+        """All values of one column, in row order (no dict materialization)."""
         self._check_columns(name)
-        return [row[name] for row in self.rows]
+        if self._rows is None:
+            index = self.columns.index(name)
+            return [row[index] for row in self._values]
+        return [row[name] for row in self._rows]
 
     # ------------------------------------------------------------------ #
     def filter(self, **equals: Any) -> "SweepResult":
@@ -114,7 +198,9 @@ class SweepResult:
 
         The generator renders one row at a time, so consumers that
         stream the lines to a file or socket never hold more than one
-        rendered row in memory regardless of the grid size.
+        rendered row in memory regardless of the grid size.  On the
+        packed store the cells are read positionally — no row dict is
+        ever materialized (zero-copy with respect to the dict API).
         """
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
@@ -127,7 +213,11 @@ class SweepResult:
             return line
 
         yield render(self.columns)
-        for row in self.rows:
+        if self._rows is None:
+            for row in self._values:
+                yield render([_cell(value) for value in row])
+            return
+        for row in self._rows:
             yield render([_cell(row.get(column)) for column in self.columns])
 
     def write_csv(self, path: str | Path) -> int:

@@ -4,10 +4,22 @@ The runner guarantees **bit-identical results in either mode**: every
 row is a pure function of its :class:`SweepPoint`, points are evaluated
 in deterministic grid order (``ProcessPoolExecutor.map`` preserves input
 order), and floats are never re-derived from formatted strings.  Worker
-processes keep a per-process :class:`SimulationCache` so the expensive
-workload profiles are shared between the points each worker handles; in
-serial mode the runner's own cache plays that role and additionally
-memoizes finished rows, making a warm re-run free of simulator calls.
+processes receive chunk-sized *lists* of points so the packed
+batch/grid evaluation path (:func:`run_points_packed`, backed by
+:func:`~repro.experiments.cache.simulate_cached_many` and the
+grid-batched policy kernel) runs inside the pool too, with a
+per-process :class:`SimulationCache` sharing the expensive workload
+profiles between a worker's points; in serial mode the runner's own
+cache plays that role and additionally memoizes finished rows, making a
+warm re-run free of simulator calls.
+
+Row assembly is **array-native**: :func:`assemble_packed_rows` builds
+one column array per result column (vectorizing the derived-cell
+arithmetic of :func:`rows_from_result` operation-for-operation, so the
+cells are bit-identical doubles) and hands the runner packed
+``(columns, value-tuples)`` rows — no ~40-key dict per row is ever
+built on the sweep path.  :func:`rows_from_result` remains the
+per-point object-path oracle the equivalence tests compare against.
 """
 
 from __future__ import annotations
@@ -18,15 +30,21 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
+import numpy as np
+
 from repro.core.results import SimulationResult
+from repro.gating.policies import STATIC_ENERGY_ORDER
 from repro.gating.report import PolicyName
 from repro.hardware.components import Component
 from repro.simulator import columnar
 
 from repro.experiments.cache import (
+    PackedRows,
     SimulationCache,
+    pack_rows,
     simulate_cached,
     simulate_cached_many,
+    unpack_rows,
 )
 from repro.experiments.result import SweepResult
 from repro.experiments.spec import SweepPoint, SweepSpec
@@ -47,6 +65,46 @@ _ENERGY_COLUMNS = tuple(
     for component in Component.all()
 )
 
+#: Per-report static-energy insertion order, imported from the single
+#: definition next to the report producers: the vectorized
+#: ``sum(values())`` replications below must accumulate in exactly this
+#: order to stay bit-identical to the scalar oracle.
+_STATIC_SUM_ORDER = STATIC_ENERGY_ORDER
+
+#: The full result-row schema, in column order.
+ROW_COLUMNS: tuple[str, ...] = (
+    (
+        "workload",
+        "chip",
+        "num_chips",
+        "batch_size",
+        "parallelism",
+        "gating_label",
+        "policy",
+        "time_s",
+        "overhead_time_s",
+        "total_energy_j",
+        "static_energy_j",
+        "dynamic_energy_j",
+        "static_fraction",
+        "average_power_w",
+        "peak_power_w",
+        "savings_vs_nopg",
+        "overhead_vs_nopg",
+        "pod_energy_j",
+        "energy_per_work_j",
+        "work_per_iteration",
+        "iteration_unit",
+    )
+    + tuple(
+        name
+        for _, energy_column, static_column in _ENERGY_COLUMNS
+        for name in (energy_column, static_column)
+    )
+    + tuple(column for column, _ in _UTILIZATION_COLUMNS)
+    + ("sa_spatial_util",)
+)
+
 
 def rows_from_result(point: SweepPoint, result: SimulationResult) -> list[dict[str, Any]]:
     """Flatten one simulation into rows (one per evaluated policy).
@@ -55,6 +113,9 @@ def rows_from_result(point: SweepPoint, result: SimulationResult) -> list[dict[s
     :class:`SimulationResult` property chains with each report's energy
     totals computed once — same float operations, same results, without
     re-summing the per-component dicts for every derived column.
+
+    This is the per-point oracle of the sweep path; the runner itself
+    assembles the same cells column-wise (:func:`assemble_packed_rows`).
     """
     rows: list[dict[str, Any]] = []
     utilization = {
@@ -112,63 +173,213 @@ def rows_from_result(point: SweepPoint, result: SimulationResult) -> list[dict[s
     return rows
 
 
+def assemble_packed_rows(
+    points: list[SweepPoint], results: list[SimulationResult]
+) -> list[PackedRows]:
+    """Assemble result rows column-wise: one array per column, no dicts.
+
+    Gathers the base report scalars of every (point, policy) row into
+    ``float64`` column arrays, then computes every derived column with
+    vectorized elementwise operations mirroring the scalar chains of
+    :func:`rows_from_result` (same operations, same order — the cells
+    are bit-identical doubles).  Returns one packed row block per point
+    (the cache granularity); the per-component accumulations follow the
+    reports' dict insertion order, which every report producer in the
+    tree shares.
+    """
+    n_rows = sum(len(result.reports) for result in results)
+    baseline = np.empty(n_rows)
+    overhead = np.empty(n_rows)
+    peak = np.empty(n_rows)
+    num_chips_f = np.empty(n_rows)
+    work = np.empty(n_rows)
+    static_c = {component: np.empty(n_rows) for component in Component.all()}
+    dynamic_c = {component: np.empty(n_rows) for component in Component.all()}
+    nopg_row = np.empty(n_rows, dtype=np.intp)
+
+    workload_rows: list[str] = []
+    chip_rows: list[str] = []
+    num_chips_rows: list[int] = []
+    batch_rows: list[int] = []
+    parallelism_rows: list[str] = []
+    label_rows: list[str] = []
+    policy_rows: list[str] = []
+    unit_rows: list[str] = []
+    util_rows: dict[str, list[float]] = {
+        column: [] for column, _ in _UTILIZATION_COLUMNS
+    }
+    spatial_rows: list[float] = []
+
+    index = 0
+    for point, result in zip(points, results):
+        start = index
+        n_policies = len(result.reports)
+        utilization = [
+            result.temporal_utilization(component)
+            for _, component in _UTILIZATION_COLUMNS
+        ]
+        sa_spatial = result.sa_spatial_utilization()
+        chip_name = result.chip.name
+        parallelism = result.parallelism.describe()
+        nopg_index: int | None = None
+        for policy, report in result.reports.items():
+            if policy is PolicyName.NOPG:
+                nopg_index = index
+            baseline[index] = report.baseline_time_s
+            overhead[index] = report.overhead_time_s
+            peak[index] = report.peak_power_w
+            num_chips_f[index] = result.num_chips
+            work[index] = result.work_per_iteration
+            static_energy = report.static_energy_j
+            dynamic_energy = report.dynamic_energy_j
+            for component in Component.all():
+                static_c[component][index] = static_energy.get(component, 0.0)
+                dynamic_c[component][index] = dynamic_energy.get(component, 0.0)
+            policy_rows.append(policy.value)
+            index += 1
+        if nopg_index is None:
+            # Same failure mode as the oracle's result.report(NOPG).
+            raise KeyError(
+                f"policy {PolicyName.NOPG} was not evaluated for {result.workload}"
+            )
+        nopg_row[start:index] = nopg_index
+        workload_rows.extend([result.workload] * n_policies)
+        chip_rows.extend([chip_name] * n_policies)
+        num_chips_rows.extend([result.num_chips] * n_policies)
+        batch_rows.extend([result.batch_size] * n_policies)
+        parallelism_rows.extend([parallelism] * n_policies)
+        label_rows.extend([point.gating_label] * n_policies)
+        unit_rows.extend([result.iteration_unit] * n_policies)
+        for (column, _), value in zip(_UTILIZATION_COLUMNS, utilization):
+            util_rows[column].extend([value] * n_policies)
+        spatial_rows.extend([sa_spatial] * n_policies)
+
+    # Derived columns: the scalar chains of rows_from_result, vectorized.
+    static_j = static_c[_STATIC_SUM_ORDER[0]]
+    for component in _STATIC_SUM_ORDER[1:]:
+        static_j = static_j + static_c[component]
+    dynamic_j = dynamic_c[Component.all()[0]]
+    for component in Component.all()[1:]:
+        dynamic_j = dynamic_j + dynamic_c[component]
+    total_j = static_j + dynamic_j
+    time_s = baseline + overhead
+    pod_j = total_j * num_chips_f
+    energy_per_work = pod_j / work
+    static_fraction = np.where(
+        total_j <= 0.0, 0.0, static_j / np.where(total_j > 0.0, total_j, 1.0)
+    )
+    average_power = np.where(
+        time_s <= 0.0, 0.0, total_j / np.where(time_s > 0.0, time_s, 1.0)
+    )
+    nopg_total = total_j[nopg_row]
+    nopg_time = time_s[nopg_row]
+    savings = np.where(
+        nopg_total <= 0.0,
+        0.0,
+        1.0 - total_j / np.where(nopg_total > 0.0, nopg_total, 1.0),
+    )
+    overhead_vs = np.where(
+        nopg_time <= 0.0,
+        0.0,
+        time_s / np.where(nopg_time > 0.0, nopg_time, 1.0) - 1.0,
+    )
+
+    columns: dict[str, Any] = {
+        "workload": workload_rows,
+        "chip": chip_rows,
+        "num_chips": num_chips_rows,
+        "batch_size": batch_rows,
+        "parallelism": parallelism_rows,
+        "gating_label": label_rows,
+        "policy": policy_rows,
+        "time_s": time_s,
+        "overhead_time_s": overhead,
+        "total_energy_j": total_j,
+        "static_energy_j": static_j,
+        "dynamic_energy_j": dynamic_j,
+        "static_fraction": static_fraction,
+        "average_power_w": average_power,
+        "peak_power_w": peak,
+        "savings_vs_nopg": savings,
+        "overhead_vs_nopg": overhead_vs,
+        "pod_energy_j": pod_j,
+        "energy_per_work_j": energy_per_work,
+        "work_per_iteration": work,
+        "iteration_unit": unit_rows,
+    }
+    for component, energy_column, static_column in _ENERGY_COLUMNS:
+        columns[energy_column] = static_c[component] + dynamic_c[component]
+        columns[static_column] = static_c[component]
+    for column, _ in _UTILIZATION_COLUMNS:
+        columns[column] = util_rows[column]
+    columns["sa_spatial_util"] = spatial_rows
+    assert tuple(columns) == ROW_COLUMNS
+
+    series = [
+        column.tolist() if isinstance(column, np.ndarray) else column
+        for column in columns.values()
+    ]
+    all_values: list[tuple[Any, ...]] = list(zip(*series)) if n_rows else []
+    packed: list[PackedRows] = []
+    offset = 0
+    for result in results:
+        end = offset + len(result.reports)
+        packed.append((ROW_COLUMNS, all_values[offset:end]))
+        offset = end
+    return packed
+
+
 def run_point(point: SweepPoint, cache: SimulationCache | None = None) -> list[dict[str, Any]]:
     """Evaluate one sweep point into its result rows."""
     result = simulate_cached(point.workload, point.config, cache)
     return rows_from_result(point, result)
 
 
-def run_points(
+def run_points_packed(
     points: list[SweepPoint], cache: SimulationCache | None = None
-) -> list[list[dict[str, Any]]]:
-    """Evaluate many sweep points, batching the policy accounting.
+) -> list[PackedRows]:
+    """Evaluate many sweep points into packed rows, batching everything.
 
     On the columnar fast path the grid's missing energy reports are
-    evaluated per policy across the whole batch of profiles
-    (:func:`~repro.experiments.cache.simulate_cached_many`), producing
-    bit-identical rows to the per-point loop that remains the
-    object-path oracle.
+    evaluated through the grid-batched policy kernel — one
+    :meth:`~repro.gating.policies.PowerGatingPolicy.grid_evaluate` per
+    policy over (chip-major packed profiles × gating-parameter points)
+    via :func:`~repro.experiments.cache.simulate_cached_many` — and the
+    rows are assembled column-wise.  Bit-identical to the per-point
+    loop that remains the object-path oracle.
     """
     if cache is not None and columnar.fast_path_enabled():
         results = simulate_cached_many(
             [(point.workload, point.config) for point in points], cache
         )
-        return [
-            rows_from_result(point, result)
-            for point, result in zip(points, results)
-        ]
-    return [run_point(point, cache) for point in points]
+        return assemble_packed_rows(points, results)
+    return [pack_rows(run_point(point, cache)) for point in points]
+
+
+def run_points(
+    points: list[SweepPoint], cache: SimulationCache | None = None
+) -> list[list[dict[str, Any]]]:
+    """Evaluate many sweep points into row dicts (compatibility view)."""
+    return [unpack_rows(packed) for packed in run_points_packed(points, cache)]
 
 
 # Per-worker-process cache: shares workload profiles between the points a
 # worker handles without any cross-process communication.
 _WORKER_CACHE: SimulationCache | None = None
 
-#: Compact wire format for rows crossing the process pool: one shared
-#: column tuple plus one value tuple per row, instead of repeating every
-#: column name in every row dict (~40 string keys per row otherwise).
-PackedRows = tuple[tuple[str, ...], list[tuple[Any, ...]]]
 
+def _run_points_in_worker(points: list[SweepPoint]) -> list[PackedRows]:
+    """Worker entry point: one chunk-sized point list per task.
 
-def pack_rows(rows: list[dict[str, Any]]) -> PackedRows:
-    """Pack row dicts into (columns, value-tuples) for cheap pickling."""
-    if not rows:
-        return ((), [])
-    columns = tuple(rows[0])
-    return columns, [tuple(row[column] for column in columns) for row in rows]
-
-
-def unpack_rows(packed: PackedRows) -> list[dict[str, Any]]:
-    """Inverse of :func:`pack_rows`."""
-    columns, values = packed
-    return [dict(zip(columns, row)) for row in values]
-
-
-def _run_point_in_worker(point: SweepPoint) -> PackedRows:
+    Dispatching *lists* keeps the packed batch/grid evaluation path hot
+    inside the pool: each worker prices its whole chunk through
+    :func:`run_points_packed` and its process-local cache instead of
+    re-entering the per-point path once per grid point.
+    """
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
         _WORKER_CACHE = SimulationCache()
-    return pack_rows(run_point(point, _WORKER_CACHE))
+    return run_points_packed(points, _WORKER_CACHE)
 
 
 class SweepRunner:
@@ -210,12 +421,12 @@ class SweepRunner:
         # retained between runs.
         cache = self.cache if self.cache is not None else SimulationCache()
         points = self.spec.points()
-        rows_by_index: dict[int, list[dict[str, Any]]] = {}
+        packed_by_index: dict[int, PackedRows] = {}
         pending: list[SweepPoint] = []
         for point in points:
-            cached = cache.get_rows(point.cache_key)
+            cached = cache.get_rows_packed(point.cache_key)
             if cached is not None:
-                rows_by_index[point.index] = cached
+                packed_by_index[point.index] = cached
             else:
                 pending.append(point)
 
@@ -223,54 +434,73 @@ class SweepRunner:
             if self.max_workers is not None and self.max_workers >= 2:
                 computed = self._run_parallel(pending, cache)
             else:
-                computed = run_points(pending, cache)
-            for point, rows in zip(pending, computed):
-                rows_by_index[point.index] = rows
-                cache.put_rows(point.cache_key, rows)
+                computed = run_points_packed(pending, cache)
+            for point, packed in zip(pending, computed):
+                packed_by_index[point.index] = packed
+                cache.put_rows_packed(point.cache_key, packed)
         cache.flush()
-
-        all_rows = [
-            row for index in sorted(rows_by_index) for row in rows_by_index[index]
-        ]
-        return SweepResult.from_rows(all_rows)
+        return _combine_packed(
+            [packed_by_index[index] for index in sorted(packed_by_index)]
+        )
 
     # ------------------------------------------------------------------ #
     def _run_parallel(
         self, pending: list[SweepPoint], cache: SimulationCache
-    ) -> list[list[dict[str, Any]]]:
+    ) -> list[PackedRows]:
         # Only pool-infrastructure failures fall back to the serial path;
         # a point-level error (e.g. an unknown workload) propagates as-is
         # rather than re-simulating the whole grid to rediscover it.
-        def _fallback(error: BaseException) -> list[list[dict[str, Any]]]:
+        def _fallback(error: BaseException) -> list[PackedRows]:
             _LOG.warning(
                 "parallel sweep execution failed (%s: %s); falling back to serial",
                 type(error).__name__,
                 error,
             )
-            return [run_point(point, cache) for point in pending]
+            return run_points_packed(pending, cache)
 
         # Points arrive in grid order with gating parameters innermost, so
-        # variants sharing one workload profile are consecutive; a large
-        # chunksize keeps them on one worker, preserving the per-process
-        # profile-cache sharing the serial path gets for free.
+        # variants sharing one workload profile are consecutive; dispatching
+        # one chunk-sized point *list* per worker keeps them together and
+        # runs the packed batch/grid path inside the pool — the same
+        # batching the serial path gets for free.
         chunksize = max(1, -(-len(pending) // self.max_workers))
+        chunks = [
+            pending[offset : offset + chunksize]
+            for offset in range(0, len(pending), chunksize)
+        ]
         try:
             executor = ProcessPoolExecutor(max_workers=self.max_workers)
         except OSError as error:  # pool creation only: sandboxes, no sem support
             return _fallback(error)
         try:
             with executor:
-                return [
-                    unpack_rows(packed)
-                    for packed in executor.map(
-                        _run_point_in_worker, pending, chunksize=chunksize
-                    )
-                ]
+                computed: list[PackedRows] = []
+                for chunk in executor.map(_run_points_in_worker, chunks):
+                    computed.extend(chunk)
+                return computed
         except (BrokenProcessPool, pickle.PicklingError) as error:
             # executor.map re-raises worker exceptions with their original
             # type, so a point-level error (even an OSError from a builder)
             # propagates as-is instead of triggering a serial re-run.
             return _fallback(error)
+
+
+def _combine_packed(blocks: list[PackedRows]) -> SweepResult:
+    """Concatenate per-point packed rows into one columnar result."""
+    columns: tuple[str, ...] | None = None
+    for block_columns, values in blocks:
+        if values:
+            columns = tuple(block_columns)
+            break
+    if columns is None:
+        return SweepResult.from_rows([])
+    if any(tuple(c) != columns for c, values in blocks if values):
+        # Heterogeneous schemas (e.g. rows cached by a different code
+        # path) — fall back to dict assembly, never mis-zip cells.
+        rows = [row for block in blocks for row in unpack_rows(block)]
+        return SweepResult.from_rows(rows)
+    all_values = [row for _, values in blocks for row in values]
+    return SweepResult.from_packed(columns, all_values)
 
 
 def run_sweep(
@@ -283,11 +513,14 @@ def run_sweep(
 
 
 __all__ = [
+    "ROW_COLUMNS",
     "SweepRunner",
+    "assemble_packed_rows",
     "pack_rows",
     "rows_from_result",
     "run_point",
     "run_points",
+    "run_points_packed",
     "run_sweep",
     "unpack_rows",
 ]

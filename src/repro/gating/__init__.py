@@ -1,8 +1,16 @@
 """Power-gating mechanisms and policies (ReGate's core contribution)."""
 
-from repro.gating.bet import ComponentTiming, GatingParameters, DEFAULT_PARAMETERS
+from repro.gating.bet import (
+    ComponentTiming,
+    DEFAULT_PARAMETERS,
+    GatingParameters,
+    ParameterTable,
+)
 from repro.gating.idle_detection import IdleDetector, run_length_idle_stats
 from repro.gating.policies import (
+    ChipMajorPacks,
+    GridEnergyReports,
+    PackedProfiles,
     PolicyName,
     PowerGatingPolicy,
     get_policy,
@@ -12,10 +20,14 @@ from repro.gating.sa_gating import SpatialGatingModel, spatial_utilization
 from repro.gating.sram_gating import SramGatingModel
 
 __all__ = [
+    "ChipMajorPacks",
     "ComponentTiming",
     "DEFAULT_PARAMETERS",
     "GatingParameters",
+    "GridEnergyReports",
     "IdleDetector",
+    "PackedProfiles",
+    "ParameterTable",
     "PolicyName",
     "PowerGatingPolicy",
     "SpatialGatingModel",

@@ -15,6 +15,9 @@ from __future__ import annotations
 import itertools
 import weakref
 from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.hardware.chips import NPUChipSpec
 from repro.hardware.components import Component
@@ -258,6 +261,156 @@ def idle_gating_coefficients(
     )
 
 
+@dataclass(frozen=True)
+class IdleCoefficientColumns:
+    """Aligned per-parameter-point columns of :class:`IdleGatingCoefficients`.
+
+    One entry per gating-parameter point, shaped ``(n_points, 1)`` so the
+    grid kernel can broadcast them against a packed per-operator axis.
+    The columns are built from per-point scalar coefficient instances
+    (the exact objects the per-point oracle consumes), so the grid path
+    uses bit-identical scalars by construction.
+    """
+
+    window_s: np.ndarray
+    threshold_s: np.ndarray
+    off_leakage: np.ndarray
+    transition_j: np.ndarray
+    delay_cycles: np.ndarray
+    software: bool  # policy/component property: uniform across points
+
+    @classmethod
+    def from_coefficients(
+        cls, coefficients: Sequence[IdleGatingCoefficients]
+    ) -> "IdleCoefficientColumns":
+        softwares = {coeff.software for coeff in coefficients}
+        if len(softwares) != 1:
+            raise ValueError(
+                "idle coefficients of one (policy, component) must agree on "
+                "software management across parameter points"
+            )
+
+        def column(values: Iterable[float]) -> np.ndarray:
+            return np.asarray(list(values), dtype=np.float64)[:, None]
+
+        return cls(
+            window_s=column(c.window_s for c in coefficients),
+            threshold_s=column(c.threshold_s for c in coefficients),
+            off_leakage=column(c.off_leakage for c in coefficients),
+            transition_j=column(c.transition_j for c in coefficients),
+            delay_cycles=column(c.delay_cycles for c in coefficients),
+            software=softwares.pop(),
+        )
+
+
+class ParameterTable:
+    """A grid of :class:`GatingParameters` in struct-of-arrays form.
+
+    The input of the grid-batched policy evaluation
+    (:meth:`repro.gating.policies.PowerGatingPolicy.grid_evaluate`): the
+    leakage ratios, the per-timing-key delay/BET cycle counts and the
+    remaining tunables of every point are held as aligned ``float64``
+    arrays (one entry per point), alongside the original parameter
+    instances, which stay the source of truth for derived per-point
+    scalars.  Derived coefficient columns are memoized in :attr:`memo`
+    and shared by every policy evaluated on the table.
+    """
+
+    def __init__(self, parameters: "Sequence[GatingParameters]"):
+        points = tuple(parameters)
+        if not points:
+            raise ValueError("ParameterTable needs at least one parameter point")
+        for point in points:
+            if not isinstance(point, GatingParameters):
+                raise TypeError(
+                    f"ParameterTable entries must be GatingParameters, got {point!r}"
+                )
+        self.parameters = points
+        self.n_points = len(points)
+        #: Per-point identity tokens (stable memoization handles).
+        self.tokens = tuple(parameters_token(point) for point in points)
+        column = self._column
+        self.logic_off = column(p.leakage.logic_off for p in points)
+        self.sram_sleep = column(p.leakage.sram_sleep for p in points)
+        self.sram_off = column(p.leakage.sram_off for p in points)
+        self.pe_weight_register_share = column(
+            p.pe_weight_register_share for p in points
+        )
+        #: Cross-policy scratchpad for derived per-point columns
+        #: (e.g. :class:`IdleCoefficientColumns` per component).
+        self.memo: dict = {}
+
+    @staticmethod
+    def _column(values: Iterable[float]) -> np.ndarray:
+        return np.asarray(list(values), dtype=np.float64)
+
+    # -- timing columns (lazy: the grid kernel derives its coefficients
+    # -- from the parameter instances, so these are API surface for
+    # -- analyses and tests, not hot-path work) ------------------------- #
+    @property
+    def detection_window_bet_fraction(self) -> np.ndarray:
+        cached = self.memo.get("detection_window_bet_fraction")
+        if cached is None:
+            cached = self._column(
+                p.detection_window_bet_fraction for p in self.parameters
+            )
+            self.memo["detection_window_bet_fraction"] = cached
+        return cached
+
+    @property
+    def timing_keys(self) -> tuple[str, ...]:
+        cached = self.memo.get("timing_keys")
+        if cached is None:
+            cached = tuple(self.parameters[0].timings)
+            for point in self.parameters[1:]:
+                if tuple(point.timings) != cached:
+                    raise ValueError(
+                        "all parameter points of a ParameterTable must share "
+                        "one timing-key set"
+                    )
+            self.memo["timing_keys"] = cached
+        return cached
+
+    @property
+    def delay_cycles(self) -> dict[str, np.ndarray]:
+        cached = self.memo.get("delay_cycles")
+        if cached is None:
+            cached = {
+                key: self._column(
+                    p.timings[key].delay_cycles for p in self.parameters
+                )
+                for key in self.timing_keys
+            }
+            self.memo["delay_cycles"] = cached
+        return cached
+
+    @property
+    def bet_cycles(self) -> dict[str, np.ndarray]:
+        cached = self.memo.get("bet_cycles")
+        if cached is None:
+            cached = {
+                key: self._column(p.timings[key].bet_cycles for p in self.parameters)
+                for key in self.timing_keys
+            }
+            self.memo["bet_cycles"] = cached
+        return cached
+
+    @classmethod
+    def of(
+        cls, grid: "ParameterTable | Sequence[GatingParameters]"
+    ) -> "ParameterTable":
+        """Coerce a parameter sequence into a table (tables pass through)."""
+        if isinstance(grid, ParameterTable):
+            return grid
+        return cls(grid)
+
+    def __len__(self) -> int:
+        return self.n_points
+
+    def __iter__(self):
+        return iter(self.parameters)
+
+
 DEFAULT_PARAMETERS = GatingParameters()
 
 # Leakage sweep points of Figure 21 (logic off / SRAM sleep / SRAM off).
@@ -279,8 +432,10 @@ __all__ = [
     "FIGURE21_LEAKAGE_POINTS",
     "FIGURE22_DELAY_MULTIPLIERS",
     "GatingParameters",
+    "IdleCoefficientColumns",
     "IdleGatingCoefficients",
     "LeakageRatios",
+    "ParameterTable",
     "TABLE3_TIMINGS",
     "idle_gating_coefficients",
     "parameters_token",

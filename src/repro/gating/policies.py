@@ -21,6 +21,7 @@ energy of power-state transitions, and the exposed wake-up delays:
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
 
@@ -29,7 +30,9 @@ import numpy as np
 from repro.gating.bet import (
     DEFAULT_PARAMETERS,
     GatingParameters,
+    IdleCoefficientColumns,
     IdleGatingCoefficients,
+    ParameterTable,
     idle_gating_coefficients,
     parameters_token,
 )
@@ -57,7 +60,7 @@ class _IdleAccounting:
 
 
 def _idle_gap_values(
-    coeff: IdleGatingCoefficients,
+    coeff: "IdleGatingCoefficients | IdleCoefficientColumns",
     static_power_w: float,
     gap_s: np.ndarray,
     num_gaps: np.ndarray,
@@ -65,9 +68,13 @@ def _idle_gap_values(
     """Per-gap ``(energy_j, gated-mask)`` arrays of the idle accounting.
 
     The single definition of the gated-gap energy expressions, shared by
-    the per-profile columnar path and the packed multi-profile path so
-    the two can never drift apart; only the reduction differs between
-    them.
+    the per-profile columnar path, the packed multi-profile path and the
+    grid path so they can never drift apart; only the reduction differs
+    between them.  ``coeff`` is either one scalar
+    :class:`IdleGatingCoefficients` or, on the grid path, an
+    :class:`~repro.gating.bet.IdleCoefficientColumns` whose
+    ``(n_points, 1)`` columns broadcast against the per-operator axis —
+    elementwise, every point sees exactly the scalar expressions.
     """
     valid = (gap_s > 0.0) & (num_gaps > 0.0)
     below = gap_s <= coeff.threshold_s
@@ -82,6 +89,45 @@ def _idle_gap_values(
         valid, np.where(below, ungated_j, per_gap * num_gaps), 0.0
     )
     return energy_values, valid & ~below
+
+
+def _safe_latency(store) -> np.ndarray:
+    """Memoized division-safe latency array of a table/pack ``store``."""
+    safe = store.memo.get("safe_latency")
+    if safe is None:
+        safe = np.where(store.latency_s > 0.0, store.latency_s, 1.0)
+        store.memo["safe_latency"] = safe
+    return safe
+
+
+def _peak_dynamic_w(store) -> np.ndarray:
+    """Memoized per-operator dynamic power array (peak-power accounting)."""
+    dynamic_w = store.memo.get("peak_dynamic_w")
+    if dynamic_w is None:
+        dynamic = store.dynamic
+        # Mirrors sum(op.dynamic_energy_j.values()) over the
+        # insertion order SA, VU, SRAM, HBM, ICI, OTHER.
+        dynamic_j = (
+            dynamic[Component.SA]
+            + dynamic[Component.VU]
+            + dynamic[Component.SRAM]
+            + dynamic[Component.HBM]
+            + dynamic[Component.ICI]
+            + dynamic[Component.OTHER]
+        )
+        dynamic_w = dynamic_j / _safe_latency(store)
+        store.memo["peak_dynamic_w"] = dynamic_w
+    return dynamic_w
+
+
+def _peak_active_fraction(store, component: Component) -> np.ndarray:
+    """Memoized per-operator active-time fraction of one component."""
+    key = ("active_fraction", component)
+    fraction = store.memo.get(key)
+    if fraction is None:
+        fraction = np.minimum(1.0, store.active[component] / _safe_latency(store))
+        store.memo[key] = fraction
+    return fraction
 
 
 # Object-path accounting hooks and their columnar counterparts.  A
@@ -108,6 +154,16 @@ _HOOK_FAMILIES = (
     ("_peak_power", "_peak_power_columnar", "_peak_power_packed"),
 )
 _PACKED_DISPATCH_SAFE: dict[type, bool] = {}
+
+# The grid (profiles × gating-parameter points) accounting mirrors each
+# family once more as a ``*_grid`` variant; `grid_evaluate` additionally
+# requires a stock ``__init__`` because the kernel derives per-point
+# coefficients through fresh ``type(self)(parameters)`` instances (the
+# same construction the per-point oracle uses).
+_GRID_HOOK_FAMILIES = tuple(
+    family + (family[0] + "_grid",) for family in _HOOK_FAMILIES
+)
+_GRID_DISPATCH_SAFE: dict[type, bool] = {}
 
 
 def _first_definer(cls: type, name: str) -> type | None:
@@ -136,6 +192,21 @@ def _packed_dispatch_safe(cls: type) -> bool:
             for family in _HOOK_FAMILIES
         )
         _PACKED_DISPATCH_SAFE[cls] = cached
+    return cached
+
+
+def _grid_dispatch_safe(cls: type) -> bool:
+    cached = _GRID_DISPATCH_SAFE.get(cls)
+    if cached is None:
+        cached = (
+            _first_definer(cls, "evaluate") is PowerGatingPolicy
+            and _first_definer(cls, "__init__") is PowerGatingPolicy
+            and all(
+                len({_first_definer(cls, name) for name in family}) == 1
+                for family in _GRID_HOOK_FAMILIES
+            )
+        )
+        _GRID_DISPATCH_SAFE[cls] = cached
     return cached
 
 
@@ -225,8 +296,17 @@ class PackedProfiles:
         row reduces bit-identically to :func:`seq_sum`, with one NumPy
         call per profile instead of one per (row, profile).
         """
-        stacked = np.vstack(rows)
-        out = np.empty((len(rows), self.n_profiles), dtype=np.float64)
+        return self.seg_sums_matrix(np.vstack(rows))
+
+    def seg_sums_matrix(self, stacked: np.ndarray) -> np.ndarray:
+        """Per-profile sequential sums of every row of a ``(R, n_ops)`` matrix.
+
+        The workhorse behind :meth:`seg_sums_multi`; the grid kernel
+        feeds it ``(n_points * quantities, n_ops)`` matrices so a whole
+        policy × gating-parameter grid reduces with one NumPy call per
+        profile (the parameter axis rides along as extra rows).
+        """
+        out = np.empty((stacked.shape[0], self.n_profiles), dtype=np.float64)
         starts = self.starts.tolist()
         ends = self.ends.tolist()
         for index in range(self.n_profiles):
@@ -235,6 +315,17 @@ class PackedProfiles:
                 out[:, index] = stacked[:, start:end].cumsum(axis=1)[:, -1]
             else:
                 out[:, index] = 0.0
+        return out
+
+    def seg_max_matrix(self, values: np.ndarray) -> np.ndarray:
+        """Per-profile row-wise max of a ``(R, n_ops)`` matrix (0 floor)."""
+        out = np.empty((values.shape[0], self.n_profiles), dtype=np.float64)
+        starts = self.starts.tolist()
+        ends = self.ends.tolist()
+        for index in range(self.n_profiles):
+            out[:, index] = np.max(
+                values[:, starts[index]:ends[index]], axis=1, initial=0.0
+            )
         return out
 
     def base_totals(self) -> None:
@@ -355,6 +446,209 @@ class PackedProfiles:
             table = (gap_s, num_per_invocation * self.count)
         self.memo[key] = table
         return table
+
+
+class ChipMajorPacks:
+    """A chip-heterogeneous profile batch packed chip-major.
+
+    :class:`PackedProfiles` segments are single-chip (every per-gap
+    coefficient is a per-chip scalar); a multi-chip sweep therefore
+    packs its profiles *chip-major*: one contiguous
+    :class:`PackedProfiles` per distinct chip, in first-appearance
+    order, plus the index map back to the caller's profile order.  The
+    whole batch is packed once per sweep and shared by every policy and
+    every gating-parameter point evaluated on it.
+    """
+
+    def __init__(
+        self,
+        profiles: list[WorkloadProfile],
+        packs: list[PackedProfiles],
+        index_map: list[tuple[int, int]],
+    ):
+        self.profiles = profiles
+        self.packs = packs
+        #: Original profile index -> (pack index, position within pack).
+        self.index_map = index_map
+        self.n_profiles = len(profiles)
+        #: Per pack, the original indices of its profiles (pack order).
+        self.pack_indices: list[list[int]] = [[] for _ in packs]
+        for original, (pack_index, position) in enumerate(index_map):
+            columns = self.pack_indices[pack_index]
+            assert position == len(columns)
+            columns.append(original)
+
+    @property
+    def chips(self) -> list:
+        """Distinct chips, in first-appearance (chip-major) order."""
+        return [pack.chip for pack in self.packs]
+
+    @classmethod
+    def pack(cls, profiles: list[WorkloadProfile]) -> "ChipMajorPacks | None":
+        """Pack a (possibly multi-chip) batch, or ``None`` off the fast path."""
+        profiles = list(profiles)
+        if not columnar.fast_path_enabled() or not profiles:
+            return None
+        groups: dict[int, list[int]] = {}
+        for index, profile in enumerate(profiles):
+            groups.setdefault(id(profile.chip), []).append(index)
+        packs: list[PackedProfiles] = []
+        index_map: list[tuple[int, int] | None] = [None] * len(profiles)
+        for pack_index, indices in enumerate(groups.values()):
+            packed = PackedProfiles.pack([profiles[i] for i in indices])
+            if packed is None:
+                return None
+            packs.append(packed)
+            for position, original in enumerate(indices):
+                index_map[original] = (pack_index, position)
+        return cls(profiles, packs, index_map)
+
+
+#: Static-energy insertion order of one report (mirrors ``evaluate``).
+#: Shared single definition: the runner's vectorized
+#: ``sum(static_energy_j.values())`` replication imports this order —
+#: reordering it here reorders the bit-exact accumulation everywhere.
+STATIC_ENERGY_ORDER = (
+    Component.OTHER,
+    Component.SA,
+    Component.VU,
+    Component.HBM,
+    Component.ICI,
+    Component.SRAM,
+)
+#: Gating-event insertion order of one report (mirrors ``evaluate``).
+GATING_EVENT_ORDER = (
+    Component.SA,
+    Component.VU,
+    Component.HBM,
+    Component.ICI,
+    Component.SRAM,
+)
+
+
+class GridEnergyReports:
+    """Array-native energy reports of one policy over a points × profiles grid.
+
+    The output of :meth:`PowerGatingPolicy.grid_evaluate`: every report
+    quantity is one ``(n_points, n_profiles)`` ``float64`` array (the
+    gating-parameter axis first), so a sweep can assemble its result
+    columns without materializing per-report dictionaries.
+    :meth:`report` lazily materializes a single
+    :class:`~repro.gating.report.EnergyReport` — bit-identical to what
+    per-point :meth:`~PowerGatingPolicy.batch_evaluate` returns — for
+    consumers of the object API (e.g. the report cache).
+    """
+
+    def __init__(
+        self,
+        policy: PolicyName,
+        *,
+        baseline_time_s: np.ndarray,
+        overhead_time_s: np.ndarray,
+        static_energy_j: dict[Component, np.ndarray],
+        dynamic_energy_j: dict[Component, np.ndarray],
+        gating_events: dict[Component, np.ndarray],
+        peak_power_w: np.ndarray,
+    ):
+        self.policy = policy
+        self.baseline_time_s = baseline_time_s
+        self.overhead_time_s = overhead_time_s
+        self.static_energy_j = static_energy_j
+        self.dynamic_energy_j = dynamic_energy_j
+        self.gating_events = gating_events
+        self.peak_power_w = peak_power_w
+        self.n_points, self.n_profiles = overhead_time_s.shape
+        # Oracle-built reports (fallback path) returned verbatim.
+        self._reports: list[list[EnergyReport]] | None = None
+
+    # ------------------------------------------------------------------ #
+    def report(self, point: int, profile: int) -> EnergyReport:
+        """Materialize the report of one (parameter point, profile) cell."""
+        if self._reports is not None:
+            return self._reports[point][profile]
+        report = EnergyReport(
+            policy=self.policy,
+            baseline_time_s=float(self.baseline_time_s[point, profile]),
+            overhead_time_s=float(self.overhead_time_s[point, profile]),
+        )
+        for component in Component.all():
+            report.dynamic_energy_j[component] = float(
+                self.dynamic_energy_j[component][point, profile]
+            )
+        for component in STATIC_ENERGY_ORDER:
+            report.static_energy_j[component] = float(
+                self.static_energy_j[component][point, profile]
+            )
+        for component in GATING_EVENT_ORDER:
+            report.gating_events[component] = float(
+                self.gating_events[component][point, profile]
+            )
+        report.peak_power_w = float(self.peak_power_w[point, profile])
+        return report
+
+    def reports(self, point: int) -> list[EnergyReport]:
+        """All profile reports of one parameter point (oracle order)."""
+        if self._reports is not None:
+            return list(self._reports[point])
+        return [self.report(point, profile) for profile in range(self.n_profiles)]
+
+    #: Array attributes gathered lazily on the oracle-backed fallback.
+    _ARRAY_FIELDS = frozenset(
+        {
+            "baseline_time_s",
+            "overhead_time_s",
+            "static_energy_j",
+            "dynamic_energy_j",
+            "gating_events",
+            "peak_power_w",
+        }
+    )
+
+    @classmethod
+    def from_reports(
+        cls, policy: PolicyName, reports_per_point: list[list[EnergyReport]]
+    ) -> "GridEnergyReports":
+        """Wrap oracle-built per-point report lists in the grid API.
+
+        :meth:`report` hands back the original objects; the column
+        arrays are gathered from their scalars — lazily, on first
+        attribute access, since the fallback path's consumers usually
+        only want the reports — so array-native consumers see the same
+        values either way.
+        """
+        grid = cls.__new__(cls)
+        grid.policy = policy
+        grid._reports = [list(row) for row in reports_per_point]
+        grid.n_points = len(grid._reports)
+        grid.n_profiles = len(grid._reports[0]) if grid._reports else 0
+        return grid
+
+    def __getattr__(self, name: str):
+        # Only fires for attributes never set: the lazily-gathered array
+        # fields of a from_reports-built instance.
+        if name in GridEnergyReports._ARRAY_FIELDS:
+            reports = self.__dict__.get("_reports")
+            if reports is not None:
+                value = self._gather_field(name)
+                self.__dict__[name] = value
+                return value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def _gather_field(self, name: str):
+        def gather(read) -> np.ndarray:
+            return np.asarray(
+                [[read(report) for report in row] for row in self._reports],
+                dtype=np.float64,
+            )
+
+        if name in ("baseline_time_s", "overhead_time_s", "peak_power_w"):
+            return gather(lambda report: getattr(report, name))
+        return {
+            c: gather(lambda report, c=c: getattr(report, name).get(c, 0.0))
+            for c in Component.all()
+        }
 
 
 class PowerGatingPolicy:
@@ -838,36 +1132,11 @@ class PowerGatingPolicy:
         """
         latency = store.latency_s
         mask = latency > 0.0
-        safe_latency = store.memo.get("safe_latency")
-        if safe_latency is None:
-            safe_latency = np.where(mask, latency, 1.0)
-            store.memo["safe_latency"] = safe_latency
-
         off_leak = self.parameters.leakage.logic_off
-
-        dynamic_w = store.memo.get("peak_dynamic_w")
-        if dynamic_w is None:
-            dynamic = store.dynamic
-            # Mirrors sum(op.dynamic_energy_j.values()) over the
-            # insertion order SA, VU, SRAM, HBM, ICI, OTHER.
-            dynamic_j = (
-                dynamic[Component.SA]
-                + dynamic[Component.VU]
-                + dynamic[Component.SRAM]
-                + dynamic[Component.HBM]
-                + dynamic[Component.ICI]
-                + dynamic[Component.OTHER]
-            )
-            dynamic_w = dynamic_j / safe_latency
-            store.memo["peak_dynamic_w"] = dynamic_w
+        dynamic_w = _peak_dynamic_w(store)
 
         def active_fraction(component: Component) -> np.ndarray:
-            key = ("active_fraction", component)
-            fraction = store.memo.get(key)
-            if fraction is None:
-                fraction = np.minimum(1.0, store.active[component] / safe_latency)
-                store.memo[key] = fraction
-            return fraction
+            return _peak_active_fraction(store, component)
 
         token = parameters_token(self.parameters)
 
@@ -912,7 +1181,7 @@ class PowerGatingPolicy:
     # ------------------------------------------------------------------ #
     def batch_evaluate(
         self,
-        profiles: "list[WorkloadProfile] | PackedProfiles",
+        profiles: "list[WorkloadProfile] | PackedProfiles | ChipMajorPacks",
         power_model: ChipPowerModel | None = None,
     ) -> list[EnergyReport]:
         """Evaluate this policy across a batch of profiles at once.
@@ -937,6 +1206,18 @@ class PowerGatingPolicy:
                 ]
             model = power_model or ChipPowerModel.for_chip(profiles.chip)
             return self._evaluate_packed(profiles, model)
+        if isinstance(profiles, ChipMajorPacks):
+            if not _packed_dispatch_safe(type(self)):
+                return [
+                    self.evaluate(profile, power_model)
+                    for profile in profiles.profiles
+                ]
+            reports: list[EnergyReport | None] = [None] * profiles.n_profiles
+            for pack, columns in zip(profiles.packs, profiles.pack_indices):
+                model = power_model or ChipPowerModel.for_chip(pack.chip)
+                for index, report in zip(columns, self._evaluate_packed(pack, model)):
+                    reports[index] = report
+            return reports
         profiles = list(profiles)
         if not _packed_dispatch_safe(type(self)) or not columnar.fast_path_enabled():
             return [self.evaluate(profile, power_model) for profile in profiles]
@@ -1100,6 +1381,406 @@ class PowerGatingPolicy:
         values = self._peak_power_values(pack, pack.chip, power_model)
         return pack.seg_max(values)
 
+    # ------------------------------------------------------------------ #
+    # Grid-batched evaluation (profiles × gating-parameter points)
+    # ------------------------------------------------------------------ #
+    def grid_evaluate(
+        self,
+        profiles: "list[WorkloadProfile] | PackedProfiles | ChipMajorPacks",
+        parameter_grid: "ParameterTable | list[GatingParameters]",
+        power_model: ChipPowerModel | None = None,
+    ) -> GridEnergyReports:
+        """Evaluate this policy over all profiles × all parameter points.
+
+        The sensitivity-sweep kernel: one call prices a whole (profile
+        batch × gating-parameter grid) in a handful of vectorized NumPy
+        operations, with the parameter axis riding along as extra rows
+        of the packed segment reductions.  Bit-identical to the
+        per-point oracle ::
+
+            [type(self)(parameters).batch_evaluate(profiles, power_model)
+             for parameters in parameter_grid]
+
+        ``self.parameters`` never influences the result — every point's
+        coefficients come from the grid.  Accepts a pre-built
+        :class:`PackedProfiles` (single chip), a :class:`ChipMajorPacks`
+        (chip-heterogeneous batch) or a plain profile list, so one
+        packing can be shared by every policy of a sweep.  Falls back to
+        looping ``batch_evaluate`` per point when the fast path is off
+        or a subclass customizes the accounting hooks, ``evaluate`` or
+        ``__init__`` (the per-point policies are then shallow copies of
+        ``self`` with ``parameters`` swapped, so a custom constructor
+        signature can never mis-bind a grid point's parameters).
+        """
+        ptable = ParameterTable.of(parameter_grid)
+        cls = type(self)
+        packs: list[PackedProfiles] | None = None
+        pack_columns: list[list[int]] | None = None
+        if isinstance(profiles, PackedProfiles):
+            if _grid_dispatch_safe(cls):
+                packs = [profiles]
+                pack_columns = [list(range(profiles.n_profiles))]
+        elif isinstance(profiles, ChipMajorPacks):
+            if _grid_dispatch_safe(cls):
+                packs = profiles.packs
+                pack_columns = profiles.pack_indices
+        else:
+            profiles = list(profiles)
+            if _grid_dispatch_safe(cls):
+                multi = ChipMajorPacks.pack(profiles)
+                if multi is not None:
+                    packs = multi.packs
+                    pack_columns = multi.pack_indices
+        if packs is None:
+            per_point = [
+                self._policy_for_point(parameters).batch_evaluate(
+                    profiles, power_model
+                )
+                for parameters in ptable.parameters
+            ]
+            return GridEnergyReports.from_reports(self.name, per_point)
+
+        parts = [
+            self._evaluate_grid_pack(
+                pack,
+                ptable,
+                power_model or ChipPowerModel.for_chip(pack.chip),
+            )
+            for pack in packs
+        ]
+        if len(parts) == 1:
+            return parts[0]
+        return self._merge_grid_parts(parts, pack_columns, ptable)
+
+    def _policy_for_point(self, parameters: GatingParameters) -> "PowerGatingPolicy":
+        """This policy re-parameterized for one grid point.
+
+        Stock constructors get a fresh ``type(self)(parameters)`` — the
+        documented oracle.  A subclass with a customized ``__init__``
+        (unknown signature; its first positional may not be
+        ``parameters``) gets a shallow copy of ``self`` with only
+        ``parameters`` swapped, so subclass state carries over and a
+        grid point's parameters can never bind to the wrong argument.
+        """
+        if _first_definer(type(self), "__init__") is PowerGatingPolicy:
+            return type(self)(parameters)
+        clone = copy.copy(self)
+        clone.parameters = parameters
+        return clone
+
+    def _merge_grid_parts(
+        self,
+        parts: list[GridEnergyReports],
+        pack_columns: list[list[int]],
+        ptable: ParameterTable,
+    ) -> GridEnergyReports:
+        """Reassemble per-chip grid reports into the caller's profile order."""
+        n_profiles = sum(len(columns) for columns in pack_columns)
+        shape = (ptable.n_points, n_profiles)
+
+        def merge(read) -> np.ndarray:
+            out = np.empty(shape, dtype=np.float64)
+            for part, columns in zip(parts, pack_columns):
+                out[:, columns] = read(part)
+            return out
+
+        return GridEnergyReports(
+            self.name,
+            baseline_time_s=merge(lambda part: part.baseline_time_s),
+            overhead_time_s=merge(lambda part: part.overhead_time_s),
+            static_energy_j={
+                c: merge(lambda part, c=c: part.static_energy_j[c])
+                for c in STATIC_ENERGY_ORDER
+            },
+            dynamic_energy_j={
+                c: merge(lambda part, c=c: part.dynamic_energy_j[c])
+                for c in Component.all()
+            },
+            gating_events={
+                c: merge(lambda part, c=c: part.gating_events[c])
+                for c in GATING_EVENT_ORDER
+            },
+            peak_power_w=merge(lambda part: part.peak_power_w),
+        )
+
+    def _evaluate_grid_pack(
+        self, pack: PackedProfiles, ptable: ParameterTable, power_model: ChipPowerModel
+    ) -> GridEnergyReports:
+        """Grid counterpart of :meth:`_evaluate_packed` (array assembly).
+
+        Every scalar assembly step of the packed path reappears here as
+        one elementwise operation over ``(n_points, n_profiles)`` arrays
+        — same operations, same order, bit-identical doubles.
+        """
+        chip = pack.chip
+        static = power_model.static_power_by_component()
+        shape = (ptable.n_points, pack.n_profiles)
+        pack.base_totals()
+        total_time = pack.total_time_s()
+
+        sa_idle = self._idle_energy_grid(
+            Component.SA, pack, ptable, static[Component.SA], chip
+        )
+        vu_idle = self._idle_energy_grid(
+            Component.VU, pack, ptable, static[Component.VU], chip
+        )
+        hbm_idle = self._idle_energy_grid(
+            Component.HBM, pack, ptable, static[Component.HBM], chip
+        )
+        ici_idle = self._idle_energy_grid(
+            Component.ICI, pack, ptable, static[Component.ICI], chip
+        )
+        sa_active_j = self._sa_active_energy_grid(pack, ptable, static[Component.SA])
+        sram_j = self._sram_energy_grid(pack, ptable, static[Component.SRAM])
+        peak_w = self._peak_power_grid(pack, ptable, power_model)
+
+        # exposed_cycles = 0.0 + SA + VU, as in the scalar assembly.
+        exposed_cycles = sa_idle[2] + vu_idle[2]
+        overhead_time_s = chip.cycles_to_seconds(exposed_cycles)
+        overhead_time_s = np.broadcast_to(overhead_time_s, shape)
+
+        other_j = static[Component.OTHER] * total_time
+        total_static_power = sum(static.values())
+        extra_j = total_static_power * overhead_time_s
+        static_energy = {
+            Component.OTHER: np.where(
+                overhead_time_s > 0.0,
+                other_j + extra_j,
+                np.broadcast_to(other_j, shape),
+            ),
+            Component.SA: sa_active_j + sa_idle[0],
+            Component.VU: (
+                static[Component.VU] * pack.active_total_s(Component.VU)
+                + vu_idle[0]
+            ),
+            Component.HBM: (
+                static[Component.HBM] * pack.active_total_s(Component.HBM)
+                + hbm_idle[0]
+            ),
+            Component.ICI: (
+                static[Component.ICI] * pack.active_total_s(Component.ICI)
+                + ici_idle[0]
+            ),
+            Component.SRAM: np.broadcast_to(sram_j, shape),
+        }
+        gating_events = {
+            Component.SA: np.broadcast_to(sa_idle[1], shape),
+            Component.VU: np.broadcast_to(vu_idle[1], shape),
+            Component.HBM: np.broadcast_to(hbm_idle[1], shape),
+            Component.ICI: np.broadcast_to(ici_idle[1], shape),
+            Component.SRAM: np.broadcast_to(pack.n_ops, shape),
+        }
+        return GridEnergyReports(
+            self.name,
+            baseline_time_s=np.broadcast_to(total_time, shape),
+            overhead_time_s=overhead_time_s,
+            static_energy_j={
+                c: np.broadcast_to(static_energy[c], shape) for c in STATIC_ENERGY_ORDER
+            },
+            dynamic_energy_j={
+                c: np.broadcast_to(pack.dynamic_total_j(c), shape)
+                for c in Component.all()
+            },
+            gating_events=gating_events,
+            peak_power_w=np.broadcast_to(peak_w, shape),
+        )
+
+    def _idle_coefficient_columns(
+        self,
+        component: Component,
+        ptable: ParameterTable,
+        static_power_w: float,
+        chip,
+    ) -> IdleCoefficientColumns:
+        """Per-point idle coefficients as aligned ``(n_points, 1)`` columns.
+
+        Each point's scalars are derived through a fresh per-point
+        policy instance — exactly the objects the per-point oracle
+        consumes — and memoized on the parameter table per (policy
+        class, component, static power, chip).  The chip spec itself
+        (frozen, hashable) is part of the key — an ``id()`` key could
+        alias a recycled address to stale chip-frequency-dependent
+        coefficients.
+        """
+        key = ("idle_coeffs", type(self), component, static_power_w, chip)
+        cached = ptable.memo.get(key)
+        if cached is None:
+            cls = type(self)
+            cached = IdleCoefficientColumns.from_coefficients(
+                [
+                    cls(parameters)._idle_coefficients(
+                        component, static_power_w, chip
+                    )
+                    for parameters in ptable.parameters
+                ]
+            )
+            ptable.memo[key] = cached
+        return cached
+
+    def _idle_energy_grid(
+        self,
+        component: Component,
+        pack: PackedProfiles,
+        ptable: ParameterTable,
+        static_power_w: float,
+        chip,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Grid :meth:`_idle_energy_packed`: ``(n_points, n_profiles)``
+        arrays of ``(energy_j, gated_gaps, exposed_wake_cycles)``."""
+        gap_s, num_gaps = pack.gap_table(component)
+        n_points = ptable.n_points
+        shape = (n_points, pack.n_profiles)
+        zeros = np.zeros(shape)
+        if not self.gating_enabled:
+            energy = static_power_w * pack.seg_sums(gap_s * num_gaps)
+            return np.broadcast_to(energy, shape), zeros, zeros
+        coeffs = self._idle_coefficient_columns(
+            component, ptable, static_power_w, chip
+        )
+        # The shared per-gap expressions, with the coefficient columns
+        # broadcasting along the parameter axis.
+        energy_values, gated_mask = _idle_gap_values(
+            coeffs, static_power_w, gap_s, num_gaps
+        )
+        gated_values = np.where(gated_mask, num_gaps, 0.0)
+        if coeffs.software:
+            sums = pack.seg_sums_matrix(np.vstack((energy_values, gated_values)))
+            return sums[:n_points], sums[n_points:], zeros
+        exposed_values = np.where(gated_mask, coeffs.delay_cycles * num_gaps, 0.0)
+        sums = pack.seg_sums_matrix(
+            np.vstack((energy_values, gated_values, exposed_values))
+        )
+        return (
+            sums[:n_points],
+            sums[n_points : 2 * n_points],
+            sums[2 * n_points :],
+        )
+
+    def _spatial_factor_grid(
+        self, pack: PackedProfiles, ptable: ParameterTable
+    ) -> np.ndarray:
+        """Grid :meth:`_spatial_factor_array`: ``(n_points, n_ops)``.
+
+        The PE-share split is parameter-independent (it only depends on
+        the matmul shapes and the SA width), so it is computed once per
+        pack; each point then applies its own leakage scalars — the same
+        left-to-right expression as the scalar factor.
+        """
+        key = ("spatial_factor_grid", ptable.tokens)
+        cached = pack.memo.get(key)
+        if cached is None:
+            shares = pack.memo.get("spatial_shares")
+            if shares is None:
+                model = SpatialGatingModel(pack.chip.sa_width, self.parameters)
+                shares = model.shares_arrays(
+                    pack.dims_m, pack.dims_k, pack.dims_n, pack.has_dims
+                )
+                pack.memo["spatial_shares"] = shares
+            active, weight_only, off = shares
+            off_leak = ptable.logic_off[:, None]
+            weight_share = ptable.pe_weight_register_share[:, None]
+            w_on_leak = weight_share + (1.0 - weight_share) * off_leak
+            cached = active + weight_only * w_on_leak + off * off_leak
+            pack.memo[key] = cached
+        return cached
+
+    def _sram_factor_grid(
+        self, pack: PackedProfiles, ptable: ParameterTable
+    ) -> np.ndarray:
+        """Grid :meth:`_sram_factor_array`: ``(n_points, n_ops)``."""
+        key = ("sram_factor_grid", self.software_managed, ptable.tokens)
+        cached = pack.memo.get(key)
+        if cached is None:
+            fractions = pack.memo.get("sram_used_fraction")
+            if fractions is None:
+                capacity = pack.chip.sram_bytes
+                used = np.minimum(
+                    1.0, np.maximum(0.0, pack.sram_demand_bytes / capacity)
+                )
+                fractions = (used, 1.0 - used)
+                pack.memo["sram_used_fraction"] = fractions
+            used, unused = fractions
+            leak = ptable.sram_off if self.software_managed else ptable.sram_sleep
+            cached = used + unused * leak[:, None]
+            pack.memo[key] = cached
+        return cached
+
+    def _sa_active_energy_grid(
+        self, pack: PackedProfiles, ptable: ParameterTable, static_power_w: float
+    ) -> np.ndarray:
+        """Grid :meth:`_sa_active_energy_packed` (points × profiles)."""
+        shape = (ptable.n_points, pack.n_profiles)
+        if not self.spatial_sa_gating:
+            energy = static_power_w * pack.active_total_s(Component.SA)
+            return np.broadcast_to(energy, shape)
+        active = pack.weighted_active(Component.SA)
+        factor = self._spatial_factor_grid(pack, ptable)
+        return pack.seg_sums_matrix(
+            np.where(active > 0.0, static_power_w * active * factor, 0.0)
+        )
+
+    def _sram_energy_grid(
+        self, pack: PackedProfiles, ptable: ParameterTable, static_power_w: float
+    ) -> np.ndarray:
+        """Grid :meth:`_sram_energy_packed` (points × profiles)."""
+        shape = (ptable.n_points, pack.n_profiles)
+        if not self.gating_enabled:
+            return np.broadcast_to(static_power_w * pack.total_time_s(), shape)
+        duration = pack.weighted_latency()
+        factor = self._sram_factor_grid(pack, ptable)
+        return pack.seg_sums_matrix(static_power_w * duration * factor)
+
+    def _peak_power_grid(
+        self, pack: PackedProfiles, ptable: ParameterTable, power_model: ChipPowerModel
+    ) -> np.ndarray:
+        """Grid :meth:`_peak_power_packed` (points × profiles)."""
+        latency = pack.latency_s
+        mask = latency > 0.0
+        dynamic_w = _peak_dynamic_w(pack)
+        off_leak = ptable.logic_off[:, None]
+        ideal = self.name is PolicyName.IDEAL
+
+        def contribution(component: Component) -> np.ndarray | float:
+            base = power_model.static_power_w(component)
+            if not self.gating_enabled or component is Component.OTHER:
+                return base
+            if component is Component.SRAM:
+                key = ("peak_sram_grid", base, self.software_managed, ptable.tokens)
+                value = pack.memo.get(key)
+                if value is None:
+                    value = base * self._sram_factor_grid(pack, ptable)
+                    pack.memo[key] = value
+                return value
+            if component is Component.SA and self.spatial_sa_gating:
+                key = ("peak_sa_spatial_grid", base, ptable.tokens)
+                value = pack.memo.get(key)
+                if value is None:
+                    factor = self._spatial_factor_grid(pack, ptable)
+                    fraction = _peak_active_fraction(pack, component)
+                    value = base * (
+                        fraction * factor + (1 - fraction) * off_leak
+                    )
+                    pack.memo[key] = value
+                return value
+            idle_leak = 0.0 if ideal else off_leak
+            key = ("peak_temporal_grid", component, base, ideal, ptable.tokens)
+            value = pack.memo.get(key)
+            if value is None:
+                fraction = _peak_active_fraction(pack, component)
+                value = base * (fraction + (1 - fraction) * idle_leak)
+                pack.memo[key] = value
+            return value
+
+        static_w: np.ndarray = np.zeros_like(latency)
+        for component in Component.all():
+            static_w = static_w + contribution(component)
+        values = np.where(mask, dynamic_w + static_w, 0.0)
+        if values.ndim == 1:
+            # Every contribution was parameter-independent (e.g. NoPG).
+            maxes = pack.seg_max_matrix(values[None, :])[0]
+            return np.broadcast_to(maxes, (ptable.n_points, pack.n_profiles))
+        return pack.seg_max_matrix(values)
+
 
 class NoPGPolicy(PowerGatingPolicy):
     """No power gating: the baseline the paper normalizes against."""
@@ -1249,6 +1930,36 @@ class IdealPolicy(PowerGatingPolicy):
         used = np.minimum(1.0, pack.sram_demand_bytes / capacity)
         return pack.seg_sums(static_power_w * duration * used)
 
+    # -- grid (profiles × parameter points) counterparts ------------------ #
+    # The Ideal roofline's idle/SA/SRAM accounting is independent of the
+    # gating parameters, so each grid hook computes its per-profile
+    # values once and broadcasts them along the parameter axis — exactly
+    # the values the per-point packed hooks produce at every point.
+    def _idle_energy_grid(
+        self, component, pack: PackedProfiles, ptable, static_power_w: float, chip
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        _, num_gaps = pack.gap_table(component)
+        shape = (ptable.n_points, pack.n_profiles)
+        zeros = np.zeros(shape)
+        key = ("ideal_gated_gaps", component)
+        gated = pack.memo.get(key)
+        if gated is None:
+            gated = pack.seg_sums(num_gaps)
+            pack.memo[key] = gated
+        return zeros, np.broadcast_to(gated, shape), zeros
+
+    def _sa_active_energy_grid(
+        self, pack: PackedProfiles, ptable, static_power_w: float
+    ) -> np.ndarray:
+        energy = self._sa_active_energy_packed(pack, static_power_w)
+        return np.broadcast_to(energy, (ptable.n_points, pack.n_profiles))
+
+    def _sram_energy_grid(
+        self, pack: PackedProfiles, ptable, static_power_w: float
+    ) -> np.ndarray:
+        energy = self._sram_energy_packed(pack, static_power_w)
+        return np.broadcast_to(energy, (ptable.n_points, pack.n_profiles))
+
 
 _POLICIES: dict[PolicyName, type[PowerGatingPolicy]] = {
     PolicyName.NOPG: NoPGPolicy,
@@ -1272,9 +1983,12 @@ def get_policy(
 
 
 __all__ = [
+    "ChipMajorPacks",
+    "GridEnergyReports",
     "IdealPolicy",
     "NoPGPolicy",
     "PackedProfiles",
+    "ParameterTable",
     "PolicyName",
     "PowerGatingPolicy",
     "ReGateBasePolicy",

@@ -31,6 +31,7 @@ the reference oracle for the equivalence tests and the perf harness.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Any, Iterator
 
@@ -52,7 +53,10 @@ from repro.workloads.table import GraphTable
 # ---------------------------------------------------------------------- #
 # Fast-path switch
 # ---------------------------------------------------------------------- #
-_FAST_PATH_ENABLED = True
+# ``REPRO_FAST_PATH=0`` starts the process on the object-path oracle
+# (CI's equivalence job uses it); :func:`set_fast_path` /
+# :func:`use_fast_path` still override it at runtime.
+_FAST_PATH_ENABLED = os.environ.get("REPRO_FAST_PATH", "1") != "0"
 
 
 def fast_path_enabled() -> bool:

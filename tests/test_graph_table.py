@@ -230,19 +230,24 @@ def fleet():
 
 
 def test_batch_evaluate_equals_per_profile_evaluate(fleet):
-    for policy_name in list_policies():
-        expected = [get_policy(policy_name).evaluate(p) for p in fleet]
-        observed = get_policy(policy_name).batch_evaluate(fleet)
-        assert observed == expected, policy_name
+    # Pinned fast path: the packed batch path must actually run (and be
+    # compared against per-profile evaluate) even when the process
+    # started with REPRO_FAST_PATH=0.
+    with use_fast_path(True):
+        for policy_name in list_policies():
+            expected = [get_policy(policy_name).evaluate(p) for p in fleet]
+            observed = get_policy(policy_name).batch_evaluate(fleet)
+            assert observed == expected, policy_name
 
 
 def test_batch_evaluate_shares_one_packing(fleet):
-    single_chip = [p for p in fleet if p.chip.name == "NPU-D"]
-    packed = PackedProfiles.pack(single_chip)
-    assert packed is not None
-    for policy_name in list_policies():
-        expected = [get_policy(policy_name).evaluate(p) for p in single_chip]
-        assert get_policy(policy_name).batch_evaluate(packed) == expected
+    with use_fast_path(True):
+        single_chip = [p for p in fleet if p.chip.name == "NPU-D"]
+        packed = PackedProfiles.pack(single_chip)
+        assert packed is not None
+        for policy_name in list_policies():
+            expected = [get_policy(policy_name).evaluate(p) for p in single_chip]
+            assert get_policy(policy_name).batch_evaluate(packed) == expected
 
 
 def test_packed_profiles_reject_mixed_chips(fleet):
@@ -258,8 +263,9 @@ def test_batch_evaluate_falls_back_for_custom_subclasses(fleet):
             return accounting
 
     single = fleet[:3]
-    expected = [DoubledIdle().evaluate(p) for p in single]
-    assert DoubledIdle().batch_evaluate(single) == expected
+    with use_fast_path(True):
+        expected = [DoubledIdle().evaluate(p) for p in single]
+        assert DoubledIdle().batch_evaluate(single) == expected
 
 
 def test_batch_evaluate_off_fast_path(fleet):

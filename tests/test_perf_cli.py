@@ -23,6 +23,8 @@ EXPECTED_BENCHMARKS = {
     "policy_evaluation",
     "batch_policy_evaluation",
     "sensitivity_sweep",
+    "sensitivity_grid",
+    "multi_chip_sweep",
     "idle_detector",
     "cold_sweep",
 }
@@ -45,7 +47,7 @@ class TestPerfSuite:
             assert entry["object_mean_s"] >= entry["object_s"]
             assert entry["columnar_mean_s"] >= entry["columnar_s"]
         assert tiny_payload["grid"] == "tiny"
-        assert tiny_payload["schema"] == 2
+        assert tiny_payload["schema"] == 3
 
     def test_grids_pick_largest_graphs(self):
         spec = perf_sweep_spec("tiny")
@@ -60,6 +62,17 @@ class TestPerfSuite:
         assert set(loaded["benchmarks"]) == EXPECTED_BENCHMARKS
         report = format_report(tiny_payload)
         assert "cold_sweep" in report and "speedup" in report
+
+    def test_compare_payloads(self, tiny_payload):
+        from repro.analysis.perf import compare_payloads
+
+        report, failures = compare_payloads(tiny_payload, tiny_payload)
+        assert failures == []
+        assert "cold_sweep" in report and "+0.0%" in report
+        inflated = json.loads(json.dumps(tiny_payload))
+        inflated["benchmarks"]["cold_sweep"]["speedup"] *= 1000
+        report, failures = compare_payloads(inflated, tiny_payload, tolerance=0.25)
+        assert failures and "cold_sweep" in failures[0]
 
     def test_regression_check(self, tiny_payload):
         assert check_regression(tiny_payload, tiny_payload) == []
@@ -83,6 +96,23 @@ class TestPerfCli:
         payload = json.loads(output.read_text())
         assert set(payload["benchmarks"]) == EXPECTED_BENCHMARKS
         assert "speedup" in capsys.readouterr().out
+
+    def test_perf_compare_flag(self, tmp_path, capsys):
+        payload = run_perf_suite(grid="tiny", repeat=1)
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        old_path.write_text(json.dumps(payload))
+        new_path.write_text(json.dumps(payload))
+        code = main(["perf", "--compare", str(old_path), str(new_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "old speedup" in out and "regression    : ok" in out
+        # A regressed NEW payload exits nonzero with the failing pairs.
+        regressed = json.loads(json.dumps(payload))
+        regressed["benchmarks"]["sensitivity_grid"]["speedup"] /= 1000
+        new_path.write_text(json.dumps(regressed))
+        with pytest.raises(SystemExit, match="sensitivity_grid"):
+            main(["perf", "--compare", str(old_path), str(new_path)])
 
     def test_perf_check_failure_exits_nonzero(self, tmp_path):
         baseline = run_perf_suite(grid="tiny", repeat=1)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import (
+    ROW_COLUMNS,
     SimulationCache,
     SweepRunner,
     SweepSpec,
@@ -187,6 +188,188 @@ class TestSweepResultHelpers:
         header = text.splitlines()[0].split(",")
         assert header[: len(table.columns)] == list(table.columns)
         assert len(text.splitlines()) == len(table) + 1
+
+
+class TestParallelFallback:
+    """Pool-infrastructure failures must fall back to bit-identical serial."""
+
+    def _assert_falls_back(self, small_spec, monkeypatch, caplog, factory):
+        import logging
+
+        from repro.experiments import runner as runner_module
+
+        clean = run_sweep(small_spec)
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", factory)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.runner"):
+            fallen_back = run_sweep(small_spec, max_workers=2)
+        assert [m for m in caplog.messages if "falling back to serial" in m]
+        assert fallen_back.to_csv() == clean.to_csv()
+        assert fallen_back.to_json() == clean.to_json()
+
+    def test_pool_creation_oserror_falls_back_serial(
+        self, small_spec, monkeypatch, caplog
+    ):
+        def broken_factory(*args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        self._assert_falls_back(small_spec, monkeypatch, caplog, broken_factory)
+
+    def test_broken_process_pool_falls_back_serial(
+        self, small_spec, monkeypatch, caplog
+    ):
+        from concurrent.futures.process import BrokenProcessPool
+
+        class BrokenExecutor:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, *iterables, **kwargs):
+                raise BrokenProcessPool("worker died")
+
+        self._assert_falls_back(small_spec, monkeypatch, caplog, BrokenExecutor)
+
+
+class TestWorkerBatching:
+    def test_parallel_dispatches_chunked_point_lists(self, small_spec, monkeypatch):
+        """Workers receive chunk-sized point *lists*, not single points,
+        so the packed batch/grid path runs inside the pool too."""
+        from repro.experiments import runner as runner_module
+
+        dispatched: list[list] = []
+
+        class InProcessExecutor:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, chunks, **kwargs):
+                for chunk in chunks:
+                    dispatched.append(list(chunk))
+                    yield fn(chunk)
+
+        serial = run_sweep(small_spec)
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", InProcessExecutor)
+        parallel = run_sweep(small_spec, max_workers=2)
+        assert parallel.to_csv() == serial.to_csv()
+        # 4 pending points across 2 workers -> 2 chunks of 2 points.
+        assert [len(chunk) for chunk in dispatched] == [2, 2]
+        assert all(
+            hasattr(point, "cache_key") for chunk in dispatched for point in chunk
+        )
+
+
+class TestPackedRowPipeline:
+    def test_row_schema_matches_oracle(self, small_spec):
+        """ROW_COLUMNS (the columnar assembly order) == the oracle's keys."""
+        from repro.experiments import rows_from_result, simulate_cached
+
+        point = small_spec.points()[0]
+        result = simulate_cached(point.workload, point.config, SimulationCache())
+        rows = rows_from_result(point, result)
+        assert tuple(rows[0]) == ROW_COLUMNS
+
+    def test_assembled_rows_equal_oracle_rows(self, small_spec):
+        """Column-wise assembly is cell-for-cell identical to the oracle."""
+        from repro.experiments import (
+            rows_from_result,
+            run_points_packed,
+            simulate_cached,
+            unpack_rows,
+        )
+
+        points = small_spec.points()
+        packed = run_points_packed(points, SimulationCache())
+        oracle_cache = SimulationCache()
+        for point, block in zip(points, packed):
+            oracle = rows_from_result(
+                point, simulate_cached(point.workload, point.config, oracle_cache)
+            )
+            assert unpack_rows(block) == oracle
+
+    def test_disk_cache_stores_packed_rows(self, small_spec, tmp_path):
+        import json
+
+        path = tmp_path / "cache.json"
+        run_sweep(small_spec, cache=SimulationCache(path))
+        payload = json.loads(path.read_text())
+        row_entries = [
+            value for key, value in payload.items() if key.startswith("rows:")
+        ]
+        assert row_entries
+        for entry in row_entries:
+            assert set(entry) == {"columns", "values"}
+            assert entry["columns"] == list(ROW_COLUMNS)
+            assert all(len(row) == len(ROW_COLUMNS) for row in entry["values"])
+
+    def test_legacy_dict_row_entries_still_readable(self, small_spec, tmp_path):
+        """A disk cache written by the previous (dict-per-row) format."""
+        import json
+
+        path = tmp_path / "cache.json"
+        cache = SimulationCache(path)
+        cold = run_sweep(small_spec, cache=cache)
+        payload = json.loads(path.read_text())
+        for key, value in list(payload.items()):
+            if key.startswith("rows:"):
+                payload[key] = [
+                    dict(zip(value["columns"], row)) for row in value["values"]
+                ]
+        path.write_text(json.dumps(payload))
+        NPUSimulator.reset_simulate_calls()
+        warm = run_sweep(small_spec, cache=SimulationCache(path))
+        assert NPUSimulator.simulate_calls == 0
+        assert warm.to_csv() == cold.to_csv()
+
+
+class TestColumnarSweepResult:
+    def test_from_columns_and_lazy_rows(self):
+        from repro.experiments import SweepResult
+
+        table = SweepResult.from_columns(
+            {"name": ["a", "b"], "value": [1.0, 2.5]}
+        )
+        assert table.columns == ("name", "value")
+        assert len(table) == 2
+        # column() reads the packed store without building dicts.
+        assert table.column("value") == [1.0, 2.5]
+        assert table._rows is None
+        # iter_csv streams without materializing row dicts either.
+        text = "".join(table.iter_csv())
+        assert table._rows is None
+        assert text.splitlines()[1] == "a,1.0"
+        # The dict API materializes lazily and stays mutable.
+        assert table[0] == {"name": "a", "value": 1.0}
+        table.rows[0]["value"] = 9.0
+        assert "9.0" in table.to_csv()
+
+    def test_from_columns_accepts_ndarrays(self):
+        import numpy as np
+
+        from repro.experiments import SweepResult
+
+        table = SweepResult.from_columns({"x": np.asarray([0.1, 0.2])})
+        # Cells are plain Python floats (repr round-trips in CSV).
+        assert all(type(row["x"]) is float for row in table.rows)
+
+    def test_packed_and_dict_backed_tables_export_identically(self, small_spec):
+        table = run_sweep(small_spec, cache=SimulationCache())
+        from repro.experiments import SweepResult
+
+        clone = SweepResult.from_rows([dict(row) for row in table.rows])
+        assert clone.to_csv() == table.to_csv()
+        assert clone.to_json() == table.to_json()
+        assert clone == table
 
 
 class TestSavingsConsistency:
