@@ -28,6 +28,11 @@ recorded.  The measured pairs are:
 * **multi_chip_sweep** — a cold multi-chip × gating-parameter sweep
   through the runner (chip-major packed batches, one grid call per
   policy) vs the object-path oracle;
+* **multi_machine_shard** — the same grid executed as independent
+  shards (``repro sweep --shard``) with the multi-machine wall clock
+  modelled as ``max(shard times) + merge time``, vs the monolithic
+  run; measures how close sharding gets to ideal N-way scale-out
+  after partition imbalance and artifact/merge overhead;
 * **idle_detector** — the run-length-encoded detection-window state
   machine vs the stepwise :class:`~repro.gating.idle_detection.IdleDetector`;
 * **cold_sweep** — a cold multi-workload × multi-chip grid through the
@@ -435,6 +440,82 @@ def bench_multi_chip_sweep(repeat: int) -> PerfResult:
     )
 
 
+#: Simulated machine count of the ``multi_machine_shard`` pair.
+MULTI_MACHINE_SHARDS = 2
+
+
+def multi_machine_shard_spec() -> SweepSpec:
+    """The sharding benchmark's grid: multi-chip × the 25-point
+    sensitivity parameter grid (200 points, 1000 result rows) — large
+    enough that shard compute dominates the fixed artifact/merge tail
+    (sharding a tiny grid is all overhead, and not the use case)."""
+    base = multi_chip_sweep_spec()
+    return SweepSpec(
+        workloads=base.workloads,
+        chips=base.chips,
+        gating_parameters=tuple(
+            (f"g{index}", parameters)
+            for index, parameters in enumerate(SENSITIVITY_GRID_PARAMETERS)
+        ),
+    )
+
+
+def bench_multi_machine_shard(repeat: int) -> PerfResult:
+    """Sharded execution modelled as parallel machines vs one monolith.
+
+    The object side is the monolithic cold sweep of the
+    :func:`multi_machine_shard_spec` grid; the "columnar" side runs the
+    same grid as :data:`MULTI_MACHINE_SHARDS` shards
+    (:class:`~repro.experiments.ShardRunner`, each with a fresh
+    run-scoped cache and its artifact written to disk) and models the
+    multi-machine wall clock as ``max(shard times) + merge time`` —
+    shards are independent, so N machines run them concurrently and
+    the merge is the only serial tail.  The speedup therefore measures
+    how close sharding gets to the ideal N-way scale-out after
+    partition imbalance and artifact/merge overhead.  The merged table
+    is asserted byte-identical to the monolithic run before timing.
+    """
+    import tempfile
+
+    from repro.experiments import ShardRunner, SweepResult
+
+    spec = multi_machine_shard_spec()
+    shards = MULTI_MACHINE_SHARDS
+
+    def monolithic():
+        return SweepRunner(spec, cache=None).run()
+
+    def sharded_wall() -> tuple[float, SweepResult]:
+        """(modelled wall-clock seconds, merged table) of one sharded run."""
+        with tempfile.TemporaryDirectory() as tmp:
+            shard_times: list[float] = []
+            paths = []
+            for index in range(shards):
+                start = time.perf_counter()
+                runner = ShardRunner(spec, shards, cache=None)
+                paths.append(runner.write(index, tmp))
+                shard_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            merged = SweepResult.merge_shards(paths)
+            merge_s = time.perf_counter() - start
+            return max(shard_times) + merge_s, merged
+
+    with columnar.use_fast_path(True):
+        object_table = monolithic()
+        object_s, object_mean_s = _timeit(monolithic, repeat)
+        wall, merged = sharded_wall()  # warm-up; doubles as equivalence check
+        if merged.to_csv() != object_table.to_csv():  # pragma: no cover
+            raise AssertionError("sharded sweep is not byte-identical")
+        samples = [wall] + [sharded_wall()[0] for _ in range(max(0, repeat - 1))]
+    return PerfResult(
+        "multi_machine_shard",
+        object_s=object_s,
+        columnar_s=min(samples),
+        object_mean_s=object_mean_s,
+        columnar_mean_s=sum(samples) / len(samples),
+    )
+
+
 def bench_idle_detector(repeat: int) -> PerfResult:
     trace = _DETECTOR_PATTERN * _DETECTOR_REPEATS
 
@@ -499,11 +580,12 @@ def run_perf_suite(grid: str = "full", repeat: int = 3) -> dict[str, Any]:
         bench_sensitivity_sweep(repeat),
         bench_sensitivity_grid(repeat),
         bench_multi_chip_sweep(max(1, repeat - 1)),
+        bench_multi_machine_shard(max(1, repeat - 1)),
         bench_idle_detector(repeat),
         bench_cold_sweep(grid, max(1, repeat - 1)),
     ]
     return {
-        "schema": 3,
+        "schema": 4,
         "version": __version__,
         "grid": grid,
         "grid_points": spec.num_points,
@@ -523,6 +605,15 @@ def write_payload(payload: dict[str, Any], path: str | Path) -> Path:
     return path
 
 
+#: Benchmarks excluded from the regression gate (still recorded and
+#: shown by ``--compare``): ``multi_machine_shard``'s speedup is a
+#: near-unity scale-out ratio (~1.2-1.3x at N=2) that includes real
+#: artifact/merge filesystem I/O, so the 25% tolerance that gives the
+#: 10x+ columnar pairs ample headroom would leave it a flaky ~0.9x
+#: break-even floor on noisy shared CI runners.
+UNGATED_BENCHMARKS = frozenset({"multi_machine_shard"})
+
+
 def check_regression(
     payload: dict[str, Any],
     baseline: dict[str, Any],
@@ -534,21 +625,32 @@ def check_regression(
     regressed by more than ``tolerance`` (fractional) against the
     baseline's speedup.  Absolute times are machine-dependent, so only
     the object/columnar ratio is compared.
+    :data:`UNGATED_BENCHMARKS` are informational and never fail.
     """
     failures: list[str] = []
     current = payload.get("benchmarks", {})
     for name, entry in baseline.get("benchmarks", {}).items():
-        baseline_speedup = entry.get("speedup", 0.0)
+        if name in UNGATED_BENCHMARKS:
+            continue
+        baseline_speedup = entry.get("speedup", 0.0) if isinstance(entry, dict) else 0.0
         if baseline_speedup <= 0:
             continue
         observed = current.get(name)
         if observed is None:
             failures.append(f"{name}: missing from current run")
             continue
+        observed_speedup = (
+            observed.get("speedup") if isinstance(observed, dict) else None
+        )
+        if observed_speedup is None:
+            # Schema drift (an entry without a speedup field) is reported
+            # per-name like a missing benchmark, never a KeyError.
+            failures.append(f"{name}: no speedup in current payload (schema drift?)")
+            continue
         floor = baseline_speedup * (1.0 - tolerance)
-        if observed["speedup"] < floor:
+        if observed_speedup < floor:
             failures.append(
-                f"{name}: speedup {observed['speedup']:.2f}x fell below "
+                f"{name}: speedup {observed_speedup:.2f}x fell below "
                 f"{floor:.2f}x ({(1.0 - tolerance):.0%} of the baseline "
                 f"{baseline_speedup:.2f}x)"
             )
@@ -576,12 +678,27 @@ def compare_payloads(
     names = list(old_benchmarks) + [
         name for name in new_benchmarks if name not in old_benchmarks
     ]
+
+    def _speedup(benchmarks: dict[str, Any], name: str) -> float | None:
+        # Payloads from drifted schemas may lack entries, hold non-dict
+        # entries or miss the speedup field; all of those render as "no
+        # value" per-name instead of raising.
+        entry = benchmarks.get(name)
+        if not isinstance(entry, dict):
+            return None
+        speedup = entry.get("speedup")
+        return speedup if isinstance(speedup, (int, float)) else None
+
     rows = []
     for name in names:
-        old_speedup = old_benchmarks.get(name, {}).get("speedup")
-        new_speedup = new_benchmarks.get(name, {}).get("speedup")
+        old_speedup = _speedup(old_benchmarks, name)
+        new_speedup = _speedup(new_benchmarks, name)
         if old_speedup and new_speedup:
             delta = f"{new_speedup / old_speedup - 1.0:+.1%}"
+        elif name not in old_benchmarks:
+            delta = "benchmark missing from OLD payload"
+        elif name not in new_benchmarks:
+            delta = "benchmark missing from NEW payload"
         else:
             delta = "-"
         rows.append(
@@ -639,16 +756,19 @@ def format_report(payload: dict[str, Any]) -> str:
 __all__ = [
     "BATCH_EVAL_FLEET",
     "MULTI_CHIP_SWEEP_CHIPS",
+    "MULTI_MACHINE_SHARDS",
     "PERF_GRIDS",
     "PERF_WORKLOAD",
     "PerfResult",
     "SENSITIVITY_GRID_PARAMETERS",
+    "UNGATED_BENCHMARKS",
     "bench_batch_policy_evaluation",
     "bench_cold_simulate",
     "bench_cold_sweep",
     "bench_graph_construction",
     "bench_idle_detector",
     "bench_multi_chip_sweep",
+    "bench_multi_machine_shard",
     "bench_policy_evaluation",
     "bench_sensitivity_grid",
     "bench_sensitivity_sweep",
@@ -656,6 +776,7 @@ __all__ = [
     "compare_payloads",
     "format_report",
     "multi_chip_sweep_spec",
+    "multi_machine_shard_spec",
     "perf_sweep_spec",
     "run_perf_suite",
     "write_payload",

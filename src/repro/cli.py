@@ -123,8 +123,22 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``--shard I/N`` (0-based: shards of a 3-way plan are 0/3..2/3)."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(f"--shard expects I/N (e.g. 0/3), got {text!r}")
+    if count < 1 or not 0 <= index < count:
+        raise SystemExit(
+            f"--shard index must satisfy 0 <= I < N, got {index}/{count}"
+        )
+    return index, count
+
+
 def _cmd_sweep(args: argparse.Namespace) -> str:
-    from repro.experiments import SimulationCache, SweepRunner, SweepSpec
+    from repro.experiments import ShardRunner, SimulationCache, SweepRunner, SweepSpec
 
     spec_kwargs = dict(
         workloads=tuple(args.workload),
@@ -140,16 +154,41 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     except KeyError as error:
         # Same message/exit behavior as `simulate` with an unknown policy.
         raise SystemExit(error.args[0])
-    cache = SimulationCache(args.cache) if args.cache else None
-    runner = SweepRunner(spec, cache=cache, max_workers=args.parallel)
-    result = runner.run()
-
-    lines = [f"sweep grid    : {spec.describe()}", f"result rows   : {len(result)}"]
+    cache = (
+        SimulationCache(args.cache, shared_dir=args.shared_cache)
+        if args.cache or args.shared_cache
+        else None
+    )
+    lines = [f"sweep grid    : {spec.describe()}"]
+    if args.shard_dir and not args.shard:
+        raise SystemExit("--shard-dir requires --shard I/N")
+    if args.shard:
+        index, count = _parse_shard(args.shard)
+        if not args.shard_dir:
+            raise SystemExit("--shard requires --shard-dir PATH")
+        runner = ShardRunner(spec, count, cache=cache, max_workers=args.parallel)
+        artifact = runner.run(index)
+        path = artifact.write(args.shard_dir)
+        result = artifact.result()
+        lines += [
+            f"shard         : {index}/{count} "
+            f"({len(runner.plan[index].point_indices)} of "
+            f"{spec.num_points} points; plan {runner.plan.digest})",
+            f"shard written : {path}",
+            f"result rows   : {len(result)}",
+        ]
+    else:
+        runner = SweepRunner(spec, cache=cache, max_workers=args.parallel)
+        result = runner.run()
+        lines.append(f"result rows   : {len(result)}")
     if cache is not None:
         stats = cache.stats()
+        store = ", ".join(
+            text for text in (args.cache, args.shared_cache) if text
+        )
         lines.append(
             f"cache         : {stats['row_hits']} hits / {stats['row_misses']} misses "
-            f"(sweep points; {args.cache})"
+            f"(sweep points; {store})"
         )
     if args.csv:
         # Streamed row by row: very large grids export in O(1) memory.
@@ -178,6 +217,48 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             rows,
         )
     )
+    return "\n".join(lines)
+
+
+def _cmd_merge_shards(args: argparse.Namespace) -> str:
+    from repro.experiments.sharding import (
+        ShardArtifact,
+        ShardError,
+        merge_artifacts,
+        merge_shard_paths,
+        resolve_artifact_paths,
+    )
+
+    try:
+        if args.output:
+            # Partial merges are allowed when writing an artifact: the
+            # combined artifact merges again later with the rest.
+            artifacts = [
+                ShardArtifact.read(path)
+                for path in resolve_artifact_paths(args.paths)
+            ]
+            merged = merge_artifacts(artifacts)
+            path = merged.write(args.output)
+        else:
+            merged = merge_shard_paths(args.paths)
+            path = None
+    except ShardError as error:
+        raise SystemExit(f"error: {error}")
+    result = merged.result()
+    covered = len(merged.shard_indices)
+    lines = [
+        f"spec digest   : {merged.spec_digest}",
+        f"shards merged : {covered}/{merged.shard_count}",
+        f"result rows   : {len(result)} ({len(merged.points)} points)",
+    ]
+    if path is not None:
+        lines.append(f"shard written : {path}")
+    if args.csv:
+        result.write_csv(args.csv)
+        lines.append(f"csv written   : {args.csv}")
+    if args.json:
+        result.to_json(args.json)
+        lines.append(f"json written  : {args.json}")
     return "\n".join(lines)
 
 
@@ -294,9 +375,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", metavar="PATH",
         help="JSON cache file; a warm cache skips all simulation",
     )
+    sweep.add_argument(
+        "--shared-cache", metavar="DIR",
+        help="cross-run shared cache directory (one file per entry, atomic "
+             "renames); shards on a shared filesystem reuse each other's "
+             "simulated profiles",
+    )
+    sweep.add_argument(
+        "--shard", metavar="I/N",
+        help="run only shard I of an N-way deterministic partition of the "
+             "grid (0-based, e.g. 0/3) and write a .repro-shard artifact; "
+             "merge with `repro merge-shards`",
+    )
+    sweep.add_argument(
+        "--shard-dir", metavar="PATH",
+        help="directory the shard artifact is written into (with --shard)",
+    )
     sweep.add_argument("--csv", metavar="PATH", help="write the full table as CSV")
     sweep.add_argument("--json", metavar="PATH", help="write the full table as JSON")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    merge = subparsers.add_parser(
+        "merge-shards",
+        help="merge .repro-shard artifacts into one result (byte-identical "
+             "to the monolithic sweep)",
+    )
+    merge.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="shard artifacts (or directories containing *.repro-shard)",
+    )
+    merge.add_argument(
+        "--output", metavar="PATH",
+        help="write a combined .repro-shard artifact instead of requiring "
+             "full coverage (partial merges merge again later)",
+    )
+    merge.add_argument("--csv", metavar="PATH", help="write the merged table as CSV")
+    merge.add_argument("--json", metavar="PATH", help="write the merged table as JSON")
+    merge.set_defaults(handler=_cmd_merge_shards)
 
     perf = subparsers.add_parser(
         "perf",

@@ -20,13 +20,22 @@ See ``docs/experiments.md`` for a guide and the cache-invalidation rules.
 from repro.experiments.cache import (
     JsonFileStore,
     PackedRows,
+    SharedCacheDir,
     SimulationCache,
     pack_rows,
+    portable_profile,
     simulate_cached,
     simulate_cached_many,
     unpack_rows,
 )
-from repro.experiments.keys import canonical, point_key, profile_key, report_key, stable_hash
+from repro.experiments.keys import (
+    canonical,
+    point_key,
+    profile_key,
+    report_key,
+    shard_key,
+    stable_hash,
+)
 from repro.experiments.result import SweepResult
 from repro.experiments.runner import (
     ROW_COLUMNS,
@@ -38,6 +47,16 @@ from repro.experiments.runner import (
     run_points_packed,
     run_sweep,
 )
+from repro.experiments.sharding import (
+    Shard,
+    ShardArtifact,
+    ShardError,
+    ShardPlan,
+    ShardRunner,
+    merge_artifacts,
+    merge_shard_paths,
+    spec_digest,
+)
 from repro.experiments.spec import DEFAULT_GATING_LABEL, SweepPoint, SweepSpec
 
 __all__ = [
@@ -45,6 +64,12 @@ __all__ = [
     "JsonFileStore",
     "PackedRows",
     "ROW_COLUMNS",
+    "Shard",
+    "ShardArtifact",
+    "ShardError",
+    "ShardPlan",
+    "ShardRunner",
+    "SharedCacheDir",
     "SimulationCache",
     "SweepPoint",
     "SweepResult",
@@ -52,8 +77,11 @@ __all__ = [
     "SweepSpec",
     "assemble_packed_rows",
     "canonical",
+    "merge_artifacts",
+    "merge_shard_paths",
     "pack_rows",
     "point_key",
+    "portable_profile",
     "profile_key",
     "report_key",
     "rows_from_result",
@@ -61,7 +89,9 @@ __all__ = [
     "run_points",
     "run_points_packed",
     "run_sweep",
+    "shard_key",
     "simulate_cached",
     "simulate_cached_many",
+    "spec_digest",
     "unpack_rows",
 ]

@@ -5,7 +5,10 @@ Three artifact classes are cached, each under a stable key from
 
 * **Workload profiles** — the output of ``NPUSimulator.simulate``; the
   most expensive artifact.  Profiles hold live operator graphs, so they
-  are memoized in memory only.
+  are memoized in memory — and, when a :class:`SharedCacheDir` is
+  attached, additionally pickled (in portable form) to a one-file-per-
+  entry store on a shared filesystem so concurrent shard runs reuse
+  each other's simulate misses.
 * **Energy reports** — one per (profile, policy, gating parameters);
   JSON-serializable, kept in memory and optionally on disk.
 * **Sweep rows** — the flat tables produced by
@@ -27,6 +30,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import pickle
 import tempfile
 from pathlib import Path
 from typing import Any
@@ -106,6 +110,27 @@ def report_from_dict(payload: dict[str, Any]) -> EnergyReport:
 # ---------------------------------------------------------------------- #
 # Disk store
 # ---------------------------------------------------------------------- #
+def atomic_replace(path: str | Path, writer) -> None:
+    """Write a file via temp name + ``os.replace`` (atomic publish).
+
+    ``writer`` receives a binary file handle.  The single definition of
+    the crash-consistent write used by every on-disk store in the tree
+    (:class:`JsonFileStore`, :class:`SharedCacheDir`, the shard-artifact
+    writer): readers racing a writer see either the complete old file or
+    the complete new one, never interleaved bytes, and a crashed writer
+    leaves only a ``*.tmp`` ghost behind.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer(handle)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
 class JsonFileStore:
     """A ``{key: JSON value}`` mapping persisted to one JSON file.
 
@@ -159,17 +184,103 @@ class JsonFileStore:
                     self._data = {**on_disk, **self._data}
             except (OSError, json.JSONDecodeError):
                 pass
-        fd, tmp = tempfile.mkstemp(
-            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        atomic_replace(
+            self.path,
+            lambda handle: handle.write(json.dumps(self._data).encode("utf-8")),
         )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(self._data, handle)
-            os.replace(tmp, self.path)
-        finally:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
         self._dirty = False
+
+
+# ---------------------------------------------------------------------- #
+# Cross-run shared cache directory
+# ---------------------------------------------------------------------- #
+def portable_profile(profile: WorkloadProfile) -> WorkloadProfile:
+    """A picklable deep-equivalent of ``profile``.
+
+    The fast path leaves lazy, closure-backed surfaces on a freshly
+    simulated profile (``LazyList`` operator/profile lists) and memoizes
+    derived tables keyed by process-local object ids.  Pickling the
+    profile directly would either fail or ship stale-id tokens, so the
+    shared store pickles a *fresh* :class:`WorkloadProfile` shell around
+    the same graph and profile list: ``LazyList.__reduce__`` materializes
+    the lazy surfaces into exactly the objects the eager path builds,
+    and the receiving process re-derives its columnar table from them —
+    a rebuild the fast-path contract guarantees is bit-identical.
+    """
+    return WorkloadProfile(
+        graph=profile.graph, chip=profile.chip, profiles=profile.profiles
+    )
+
+
+class SharedCacheDir:
+    """A cross-run, cross-process cache directory on a shared filesystem.
+
+    One file per entry, grouped by layer::
+
+        <root>/profiles/<key>.pkl   # pickled portable WorkloadProfiles
+        <root>/reports/<key>.json   # EnergyReport payloads
+        <root>/rows/<key>.json      # packed sweep-row payloads
+
+    Every write goes to a temp file in the destination directory and is
+    published with ``os.replace`` — atomic on POSIX and NTFS — so
+    concurrent writers can never interleave bytes: a reader sees either
+    a complete old entry or a complete new one (entries are
+    content-addressed, so racing writers produce identical content and
+    "last writer wins" is indistinguishable from "first writer wins").
+    Any unreadable entry — missing, truncated by a crashed writer's
+    filesystem, or corrupted — degrades to a cache miss, never an error.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _path(self, layer: str, key: str, suffix: str) -> Path:
+        return self.root / layer / f"{key}{suffix}"
+
+    def _publish(self, path: Path, writer) -> None:
+        """Atomic-rename write into a layer dir created on demand."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_replace(path, writer)
+
+    # -- JSON entries (reports, rows) ---------------------------------- #
+    def get_json(self, layer: str, key: str) -> Any:
+        try:
+            text = self._path(layer, key, ".json").read_text()
+            return json.loads(text)
+        except (OSError, ValueError):
+            return None
+
+    def put_json(self, layer: str, key: str, value: Any) -> None:
+        payload = json.dumps(value).encode("utf-8")
+        try:
+            self._publish(
+                self._path(layer, key, ".json"), lambda h: h.write(payload)
+            )
+        except OSError:
+            pass  # a read-only or full share degrades to "no sharing"
+
+    # -- profile entries ------------------------------------------------ #
+    def get_profile(self, key: str) -> WorkloadProfile | None:
+        try:
+            blob = self._path("profiles", key, ".pkl").read_bytes()
+            profile = pickle.loads(blob)
+        except Exception:
+            # Truncated/corrupt pickles raise a zoo of exception types
+            # (EOFError, UnpicklingError, AttributeError, ...); all of
+            # them mean "miss", never "crash the sweep".
+            return None
+        return profile if isinstance(profile, WorkloadProfile) else None
+
+    def put_profile(self, key: str, profile: WorkloadProfile) -> None:
+        try:
+            blob = pickle.dumps(
+                portable_profile(profile), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._publish(
+                self._path("profiles", key, ".pkl"), lambda h: h.write(blob)
+            )
+        except Exception:
+            pass  # an unpicklable custom profile just isn't shared
 
 
 # ---------------------------------------------------------------------- #
@@ -182,14 +293,29 @@ class SimulationCache:
     ----------
     path:
         Optional JSON file backing the report and sweep-row layers.
-        Profiles are memory-only (they hold live graph objects).
+        Profiles are memory-only (they hold live graph objects) unless
+        ``shared_dir`` is given.
+    shared_dir:
+        Optional :class:`SharedCacheDir` root (or an instance).  All
+        three layers — including *profiles*, the expensive simulate
+        output — are then written through to one-file-per-entry stores
+        published by atomic rename, so concurrent shard runs on a
+        shared filesystem reuse each other's simulate misses across
+        processes, machines and runs.
     """
 
-    def __init__(self, path: str | Path | None = None):
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        shared_dir: str | Path | SharedCacheDir | None = None,
+    ):
         self._profiles: dict[str, WorkloadProfile] = {}
         self._reports: dict[str, EnergyReport] = {}
         self._rows: dict[str, PackedRows] = {}
         self._store = JsonFileStore(path) if path is not None else None
+        if shared_dir is not None and not isinstance(shared_dir, SharedCacheDir):
+            shared_dir = SharedCacheDir(shared_dir)
+        self._shared = shared_dir
         self.hits = 0
         self.misses = 0
         # Row-layer counters kept separately: one sweep point is one row
@@ -201,11 +327,17 @@ class SimulationCache:
     # -- profiles ------------------------------------------------------ #
     def get_profile(self, key: str) -> WorkloadProfile | None:
         profile = self._profiles.get(key)
+        if profile is None and self._shared is not None:
+            profile = self._shared.get_profile(key)
+            if profile is not None:
+                self._profiles[key] = profile
         self._count(profile is not None)
         return profile
 
     def put_profile(self, key: str, profile: WorkloadProfile) -> None:
         self._profiles[key] = profile
+        if self._shared is not None:
+            self._shared.put_profile(key, profile)
 
     # -- energy reports ------------------------------------------------ #
     # Reports are copied on the way in and out, like rows: a caller
@@ -227,6 +359,15 @@ class SimulationCache:
             if payload is not None:
                 report = report_from_dict(payload)
                 self._reports[key] = report
+        if report is None and self._shared is not None:
+            payload = self._shared.get_json("reports", key)
+            if payload is not None:
+                try:
+                    report = report_from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    report = None  # foreign/corrupt payload -> miss
+                else:
+                    self._reports[key] = report
         self._count(report is not None)
         if report is None:
             return None
@@ -236,6 +377,8 @@ class SimulationCache:
         self._reports[key] = self._copy_report(report)
         if self._store is not None:
             self._store.put("report:" + key, report_to_dict(report))
+        if self._shared is not None:
+            self._shared.put_json("reports", key, report_to_dict(report))
 
     # -- sweep rows ---------------------------------------------------- #
     # Rows live in the cache in *packed* form: one shared column tuple
@@ -256,6 +399,15 @@ class SimulationCache:
             if payload is not None:
                 packed = self._freeze_packed(self._decode_rows(payload))
                 self._rows[key] = packed
+        if packed is None and self._shared is not None:
+            payload = self._shared.get_json("rows", key)
+            if payload is not None:
+                try:
+                    packed = self._freeze_packed(self._decode_rows(payload))
+                except (KeyError, TypeError, ValueError):
+                    packed = None  # foreign/corrupt payload -> miss
+                else:
+                    self._rows[key] = packed
         self._count(packed is not None)
         if packed is None:
             self.row_misses += 1
@@ -267,10 +419,14 @@ class SimulationCache:
     def put_rows_packed(self, key: str, packed: PackedRows) -> None:
         packed = self._freeze_packed(packed)
         self._rows[key] = packed
+        columns, values = packed
         if self._store is not None:
-            columns, values = packed
             self._store.put(
                 "rows:" + key, {"columns": list(columns), "values": values}
+            )
+        if self._shared is not None:
+            self._shared.put_json(
+                "rows", key, {"columns": list(columns), "values": values}
             )
 
     @staticmethod
@@ -539,8 +695,11 @@ def simulate_cached_many(
 __all__ = [
     "JsonFileStore",
     "PackedRows",
+    "atomic_replace",
+    "SharedCacheDir",
     "SimulationCache",
     "pack_rows",
+    "portable_profile",
     "report_from_dict",
     "report_to_dict",
     "simulate_cached",

@@ -182,6 +182,31 @@ def report_key(profile: str, policy: str, parameters: GatingParameters) -> str:
     return cached
 
 
+def shard_key(
+    spec_digest: str,
+    shard_count: int,
+    shard_indices: Any,
+    point_indices: Any,
+) -> str:
+    """Key of one shard artifact (single shard or a merged union).
+
+    Content-addressed over the spec digest, the plan's shard count and
+    the covered shard/point index sets, so two artifacts carry the same
+    key exactly when they cover the same slice of the same plan.  Order
+    of the index sequences does not matter (they are sorted first).
+    """
+    return stable_hash(
+        {
+            "kind": "shard",
+            "version": CACHE_SCHEMA_VERSION,
+            "spec": spec_digest,
+            "count": shard_count,
+            "shards": sorted(shard_indices),
+            "points": sorted(point_indices),
+        }
+    )
+
+
 def point_key(workload: str, config: SimulationConfig) -> str:
     """Key of one fully-specified sweep point (workload + configuration).
 
@@ -206,5 +231,6 @@ __all__ = [
     "point_key",
     "profile_key",
     "report_key",
+    "shard_key",
     "stable_hash",
 ]

@@ -258,5 +258,23 @@ class SweepResult:
         payload = json.loads(text)
         return cls(columns=tuple(payload["columns"]), rows=list(payload["rows"]))
 
+    @classmethod
+    def merge_shards(cls, paths: "Sequence[str | Path]") -> "SweepResult":
+        """Reassemble ``.repro-shard`` artifacts into one packed result.
+
+        The inverse of a sharded sweep
+        (:class:`~repro.experiments.sharding.ShardRunner`): given the
+        artifacts of every shard of one plan — in any order, duplicates
+        deduplicated — returns a table byte-identical (packed store and
+        CSV bytes) to the monolithic
+        :meth:`~repro.experiments.runner.SweepRunner.run` of the same
+        spec.  Missing, duplicated-but-different and foreign shards
+        raise :class:`~repro.experiments.sharding.ShardError`.  The
+        merge is columnar end to end: no row dict is materialized.
+        """
+        from repro.experiments.sharding import merge_shard_paths
+
+        return merge_shard_paths(paths).result()
+
 
 __all__ = ["SweepResult"]

@@ -415,12 +415,35 @@ class SweepRunner:
     # ------------------------------------------------------------------ #
     def run(self) -> SweepResult:
         """Execute the sweep and return the assembled table."""
-        # With no caller-supplied cache, a run-scoped one still shares
-        # workload profiles across grid points (e.g. gating-parameter
-        # sweeps re-evaluate a single simulated profile); it just isn't
-        # retained between runs.
-        cache = self.cache if self.cache is not None else SimulationCache()
-        points = self.spec.points()
+        cache = self.resolve_cache()
+        packed_by_index = self.execute_points(self.spec.points(), cache)
+        cache.flush()
+        return _combine_packed(
+            [packed_by_index[index] for index in sorted(packed_by_index)]
+        )
+
+    def resolve_cache(self) -> SimulationCache:
+        """The caller-supplied cache, or a run-scoped one.
+
+        With no caller-supplied cache, a run-scoped one still shares
+        workload profiles across grid points (e.g. gating-parameter
+        sweeps re-evaluate a single simulated profile); it just isn't
+        retained between runs.
+        """
+        return self.cache if self.cache is not None else SimulationCache()
+
+    def execute_points(
+        self, points: list[SweepPoint], cache: SimulationCache | None = None
+    ) -> dict[int, PackedRows]:
+        """Evaluate a point subset into ``{point.index: packed rows}``.
+
+        The single execution pipeline behind :meth:`run` and the shard
+        runner (:class:`~repro.experiments.sharding.ShardRunner`, which
+        feeds it one shard's points): probe the row cache, batch the
+        misses through the packed serial or pool path, write fresh rows
+        back.  The caller owns ``cache.flush()``.
+        """
+        cache = cache if cache is not None else self.resolve_cache()
         packed_by_index: dict[int, PackedRows] = {}
         pending: list[SweepPoint] = []
         for point in points:
@@ -438,10 +461,7 @@ class SweepRunner:
             for point, packed in zip(pending, computed):
                 packed_by_index[point.index] = packed
                 cache.put_rows_packed(point.cache_key, packed)
-        cache.flush()
-        return _combine_packed(
-            [packed_by_index[index] for index in sorted(packed_by_index)]
-        )
+        return packed_by_index
 
     # ------------------------------------------------------------------ #
     def _run_parallel(

@@ -1,0 +1,600 @@
+"""Sharded sweep execution: deterministic planning, portable shard
+artifacts and byte-identical merging.
+
+The ROADMAP's production target is grids of millions of points — more
+than one machine should price.  This module splits a
+:class:`~repro.experiments.spec.SweepSpec` into ``n`` independently
+executable **shards** whose merged result is *byte-identical* to a
+monolithic :class:`~repro.experiments.runner.SweepRunner` run:
+
+* :class:`ShardPlan` — a pure function of ``(spec, shard_count)``: the
+  grid's points are ordered chip-major (the
+  :meth:`~repro.gating.policies.ChipMajorPacks.partition_chip_major`
+  rule, keyed by resolved chip *name* so the partition is stable across
+  processes and machines) and cut into ``n`` contiguous, size-balanced
+  runs.  Chip-heterogeneous grids therefore shard chip-major: most
+  shards stay single-chip, so each one packs into as few
+  :class:`~repro.gating.policies.PackedProfiles` segments as the grid
+  allows.  Every shard carries a content-addressed key derived from the
+  :mod:`repro.experiments.keys` digests.
+* :class:`ShardRunner` — executes one shard's points through the
+  existing packed :class:`~repro.experiments.runner.SweepRunner`
+  pipeline (row cache, grid-batched policy kernel, optional process
+  pool) and captures the packed rows as a :class:`ShardArtifact`.
+* :class:`ShardArtifact` — a self-describing ``.repro-shard`` directory:
+  ``manifest.json`` (spec digest, shard indices, code version, per-point
+  row accounting), ``columns.npz`` (float columns as ``float64`` arrays)
+  and ``columns.json`` (string/int columns).  Both stores round-trip
+  every cell exactly, so a merged table's CSV bytes equal the
+  monolithic run's.
+* :func:`merge_artifacts` / :meth:`SweepResult.merge_shards
+  <repro.experiments.result.SweepResult.merge_shards>` — reassembles
+  artifacts into one packed result, staying columnar end to end (no
+  row dict is ever materialized).  Merging is associative and
+  idempotent: artifacts are deduplicated by key, partial merges write
+  ordinary ``.repro-shard`` artifacts that merge again later, and
+  foreign (different spec/version), duplicate-but-different and missing
+  shards are detected from the manifests.
+
+Shards that share a filesystem can also share a
+:class:`~repro.experiments.cache.SharedCacheDir` so one shard's
+simulate miss becomes every later shard's profile hit — see
+``docs/experiments.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.gating.policies import ChipMajorPacks
+
+from repro.experiments.cache import PackedRows, SimulationCache, atomic_replace
+from repro.experiments.keys import CACHE_SCHEMA_VERSION, shard_key, stable_hash
+from repro.experiments.result import SweepResult
+from repro.experiments.runner import SweepRunner
+from repro.experiments.spec import SweepPoint, SweepSpec
+
+#: On-disk artifact schema (bumped when the layout changes shape).
+SHARD_SCHEMA = 1
+#: Directory-name suffix identifying a shard artifact.
+SHARD_SUFFIX = ".repro-shard"
+MANIFEST_NAME = "manifest.json"
+NUMERIC_NAME = "columns.npz"
+OBJECT_NAME = "columns.json"
+
+
+class ShardError(ValueError):
+    """A shard artifact is unreadable, foreign, duplicated or missing."""
+
+
+def spec_digest(spec: SweepSpec) -> str:
+    """Content-addressed digest of a sweep grid.
+
+    Hashes the ordered point cache keys (each one covers the workload,
+    the fully resolved configuration — chip spec, policies, gating
+    parameters — and the gating label), so two specs digest equal
+    exactly when they produce the same result table.  Version-stamped
+    like every other key, so artifacts from different releases read as
+    foreign rather than silently merging.
+    """
+    return stable_hash(
+        {
+            "kind": "sweep-spec",
+            "version": CACHE_SCHEMA_VERSION,
+            "points": [point.cache_key for point in spec.points()],
+        }
+    )
+
+
+def _chip_axis_key(point: SweepPoint) -> str:
+    """The chip-name grouping key of one point (process-stable)."""
+    chip = point.config.chip
+    return chip if isinstance(chip, str) else chip.name
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One planned slice of a sweep grid (a value object)."""
+
+    index: int
+    count: int
+    spec_digest: str
+    point_indices: tuple[int, ...]
+
+    @property
+    def key(self) -> str:
+        """Content-addressed artifact key of this shard."""
+        return shard_key(
+            self.spec_digest, self.count, (self.index,), self.point_indices
+        )
+
+    @property
+    def artifact_name(self) -> str:
+        return f"shard-{self.index:04d}-of-{self.count:04d}{SHARD_SUFFIX}"
+
+
+class ShardPlan:
+    """Deterministic chip-major partition of a spec's grid into ``count`` shards.
+
+    The plan is a pure function of its inputs: every process and machine
+    planning the same ``(spec, count)`` computes the same shards, the
+    same point assignment and the same shard keys — no coordination
+    service needed.  Shards are disjoint, cover every point, and differ
+    in size by at most one point; when ``count`` exceeds the number of
+    points the surplus shards are empty (and still merge cleanly).
+    """
+
+    def __init__(self, spec: SweepSpec, count: int):
+        if count < 1:
+            raise ValueError(f"shard count must be >= 1, got {count}")
+        self.spec = spec
+        self.count = count
+        self.digest = spec_digest(spec)
+        points = spec.points()
+        groups = ChipMajorPacks.partition_chip_major(
+            [_chip_axis_key(point) for point in points]
+        )
+        order = [index for group in groups for index in group]
+        base, remainder = divmod(len(order), count)
+        shards: list[Shard] = []
+        offset = 0
+        for index in range(count):
+            size = base + (1 if index < remainder else 0)
+            shards.append(
+                Shard(
+                    index=index,
+                    count=count,
+                    spec_digest=self.digest,
+                    point_indices=tuple(order[offset : offset + size]),
+                )
+            )
+            offset += size
+        self.shards = shards
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)
+
+    def __getitem__(self, index: int) -> Shard:
+        return self.shards[index]
+
+    def points_for(self, index: int) -> list[SweepPoint]:
+        """The shard's points, in its (chip-major) execution order."""
+        points = self.spec.points()
+        return [points[i] for i in self.shards[index].point_indices]
+
+    def describe(self) -> str:
+        sizes = [len(shard.point_indices) for shard in self.shards]
+        return (
+            f"{sum(sizes)} point(s) over {self.count} shard(s), "
+            f"sizes {min(sizes)}..{max(sizes)}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Shard artifacts
+# ---------------------------------------------------------------------- #
+@dataclass
+class ShardArtifact:
+    """The packed rows of one or more shards, (de)serializable as a
+    self-describing ``.repro-shard`` directory."""
+
+    spec_digest: str
+    shard_count: int
+    shard_indices: tuple[int, ...]
+    columns: tuple[str, ...]
+    #: ``(point index, point cache key, row count)`` in stored row order.
+    points: list[tuple[int, str, int]]
+    #: All rows, point-major, aligned with :attr:`points`.
+    values: list[tuple[Any, ...]]
+    #: Package version that wrote the artifact (current version for
+    #: freshly built ones).
+    version: str = __version__
+    #: Where the artifact was read from, for error messages.
+    path: Path | None = field(default=None, compare=False)
+
+    @property
+    def key(self) -> str:
+        return shard_key(
+            self.spec_digest,
+            self.shard_count,
+            self.shard_indices,
+            [index for index, _key, _rows in self.points],
+        )
+
+    @property
+    def row_count(self) -> int:
+        return len(self.values)
+
+    @property
+    def artifact_name(self) -> str:
+        if len(self.shard_indices) == 1:
+            index = self.shard_indices[0]
+            return f"shard-{index:04d}-of-{self.shard_count:04d}{SHARD_SUFFIX}"
+        return f"merged-{self.key[:12]}{SHARD_SUFFIX}"
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_blocks(
+        cls, shard: Shard, blocks: list[tuple[SweepPoint, PackedRows]]
+    ) -> "ShardArtifact":
+        """Assemble one shard's artifact from its per-point packed rows.
+
+        Rows are stored sorted by point index so every artifact of a
+        shard is byte-deterministic regardless of execution order.
+        """
+        blocks = sorted(blocks, key=lambda block: block[0].index)
+        columns: tuple[str, ...] = ()
+        for _point, (block_columns, block_values) in blocks:
+            if block_values:
+                columns = tuple(block_columns)
+                break
+        points: list[tuple[int, str, int]] = []
+        values: list[tuple[Any, ...]] = []
+        for point, (block_columns, block_values) in blocks:
+            if block_values and tuple(block_columns) != columns:
+                raise ShardError(
+                    "cannot serialize heterogeneous row schemas into one "
+                    "shard artifact (stale cache entries from another code "
+                    f"version?): {tuple(block_columns)} vs {columns}"
+                )
+            points.append((point.index, point.cache_key, len(block_values)))
+            values.extend(tuple(row) for row in block_values)
+        return cls(
+            spec_digest=shard.spec_digest,
+            shard_count=shard.count,
+            shard_indices=(shard.index,),
+            columns=columns,
+            points=points,
+            values=values,
+        )
+
+    def result(self) -> SweepResult:
+        """This artifact's rows as a packed :class:`SweepResult`."""
+        return SweepResult.from_packed(self.columns, self.values)
+
+    # ------------------------------------------------------------------ #
+    def write(self, target: str | Path) -> Path:
+        """Serialize into ``target`` and return the artifact directory.
+
+        ``target`` is either the artifact directory itself (a path
+        ending in ``.repro-shard``) or a parent directory, in which case
+        the canonical :attr:`artifact_name` is used.  Float columns go
+        to ``columns.npz`` (``float64`` arrays, exact round trip);
+        everything else to ``columns.json``; the manifest is written
+        last so a crashed writer never leaves a manifest describing
+        missing column files.
+        """
+        target = Path(target)
+        path = target if target.name.endswith(SHARD_SUFFIX) else (
+            target / self.artifact_name
+        )
+        path.mkdir(parents=True, exist_ok=True)
+        series = {
+            name: [row[position] for row in self.values]
+            for position, name in enumerate(self.columns)
+        }
+        numeric = [
+            name
+            for name, cells in series.items()
+            if cells and all(type(cell) is float for cell in cells)
+        ]
+        arrays = {
+            name: np.asarray(series[name], dtype=np.float64) for name in numeric
+        }
+        objects = {
+            name: cells for name, cells in series.items() if name not in numeric
+        }
+        atomic_replace(
+            path / NUMERIC_NAME, lambda handle: np.savez(handle, **arrays)
+        )
+        atomic_replace(
+            path / OBJECT_NAME,
+            lambda handle: handle.write(json.dumps(objects).encode("utf-8")),
+        )
+        manifest = {
+            "schema": SHARD_SCHEMA,
+            "kind": "repro-shard",
+            "version": self.version,
+            "spec_digest": self.spec_digest,
+            "shard_count": self.shard_count,
+            "shard_indices": list(self.shard_indices),
+            "shard_key": self.key,
+            "row_count": self.row_count,
+            "columns": list(self.columns),
+            "numeric_columns": numeric,
+            "points": [
+                {"index": index, "cache_key": key, "rows": rows}
+                for index, key, rows in self.points
+            ],
+        }
+        atomic_replace(
+            path / MANIFEST_NAME,
+            lambda handle: handle.write(
+                json.dumps(manifest, indent=2).encode("utf-8")
+            ),
+        )
+        self.path = path
+        return path
+
+    @classmethod
+    def read(cls, path: str | Path) -> "ShardArtifact":
+        """Deserialize one ``.repro-shard`` directory."""
+        path = Path(path)
+        try:
+            manifest = json.loads((path / MANIFEST_NAME).read_text())
+        except (OSError, ValueError) as error:
+            raise ShardError(
+                f"{path}: not a readable shard artifact ({error})"
+            ) from error
+        if not isinstance(manifest, dict) or manifest.get("kind") != "repro-shard":
+            raise ShardError(f"{path}: manifest is not a repro-shard manifest")
+        if manifest.get("schema") != SHARD_SCHEMA:
+            raise ShardError(
+                f"{path}: unsupported shard schema {manifest.get('schema')!r} "
+                f"(this build reads schema {SHARD_SCHEMA})"
+            )
+        try:
+            columns = tuple(manifest["columns"])
+            numeric = set(manifest["numeric_columns"])
+            points = [
+                (entry["index"], entry["cache_key"], entry["rows"])
+                for entry in manifest["points"]
+            ]
+            row_count = manifest["row_count"]
+            objects = json.loads((path / OBJECT_NAME).read_text())
+            series: dict[str, list[Any]] = {}
+            if numeric:
+                with np.load(path / NUMERIC_NAME, allow_pickle=False) as arrays:
+                    for name in numeric:
+                        series[name] = arrays[name].tolist()
+            for name in columns:
+                if name not in numeric:
+                    series[name] = objects[name]
+        except (OSError, KeyError, ValueError) as error:
+            raise ShardError(
+                f"{path}: corrupt or incomplete shard artifact ({error})"
+            ) from error
+        lengths = {len(cells) for cells in series.values()}
+        if lengths - {row_count}:
+            raise ShardError(
+                f"{path}: column lengths {sorted(lengths)} disagree with the "
+                f"manifest row count {row_count}"
+            )
+        if sum(rows for _i, _k, rows in points) != row_count:
+            raise ShardError(
+                f"{path}: per-point row accounting disagrees with row_count"
+            )
+        values = (
+            [tuple(row) for row in zip(*(series[name] for name in columns))]
+            if columns
+            else []
+        )
+        return cls(
+            spec_digest=manifest["spec_digest"],
+            shard_count=manifest["shard_count"],
+            shard_indices=tuple(manifest["shard_indices"]),
+            columns=columns,
+            points=points,
+            values=values,
+            version=manifest.get("version", "unknown"),
+            path=path,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Running one shard
+# ---------------------------------------------------------------------- #
+class ShardRunner:
+    """Executes single shards of a spec through the packed sweep pipeline.
+
+    Parameters mirror :class:`~repro.experiments.runner.SweepRunner`;
+    ``cache`` may be a :class:`SimulationCache` with a shared directory
+    attached (see :class:`~repro.experiments.cache.SharedCacheDir`) so
+    concurrent shards reuse each other's simulate misses.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        shard_count: int,
+        cache: SimulationCache | None = None,
+        max_workers: int | None = None,
+    ):
+        self.plan = ShardPlan(spec, shard_count)
+        self.cache = cache
+        self.max_workers = max_workers
+
+    def run(self, index: int) -> ShardArtifact:
+        """Evaluate shard ``index`` and return its (unwritten) artifact."""
+        shard = self.plan[index]
+        points = self.plan.points_for(index)
+        runner = SweepRunner(
+            self.plan.spec, cache=self.cache, max_workers=self.max_workers
+        )
+        cache = runner.resolve_cache()
+        packed_by_index = runner.execute_points(points, cache)
+        cache.flush()
+        blocks = [(point, packed_by_index[point.index]) for point in points]
+        return ShardArtifact.from_blocks(shard, blocks)
+
+    def write(self, index: int, shard_dir: str | Path) -> Path:
+        """Evaluate shard ``index`` and serialize it under ``shard_dir``."""
+        return self.run(index).write(shard_dir)
+
+
+# ---------------------------------------------------------------------- #
+# Merging
+# ---------------------------------------------------------------------- #
+def merge_artifacts(artifacts: Sequence[ShardArtifact]) -> ShardArtifact:
+    """Merge shard artifacts into one combined artifact.
+
+    Deduplicates identical artifacts by key (idempotent) and is
+    independent of input order and grouping (associative: merging
+    partial merges equals merging everything at once — a merged
+    artifact is just an artifact covering several shard indices).
+    Raises :class:`ShardError` on foreign artifacts (different spec
+    digest or shard count) and on duplicated-but-different shards or
+    points; missing shards are allowed here (partial merge) and only
+    rejected by :func:`merge_to_result`.
+    """
+    if not artifacts:
+        raise ShardError("no shard artifacts to merge")
+    deduped: dict[str, ShardArtifact] = {}
+    for artifact in artifacts:
+        existing = deduped.get(artifact.key)
+        if existing is None:
+            deduped[artifact.key] = artifact
+        elif existing.points != artifact.points or existing.values != artifact.values:
+            # The key covers which slice of which plan, not the row
+            # bytes: equal keys with different rows mean one side is
+            # corrupt (or a nondeterminism bug worth failing loudly on).
+            raise ShardError(
+                f"duplicate shard data for shards {artifact.shard_indices}: "
+                f"{existing.path or existing.key} and "
+                f"{artifact.path or artifact.key} disagree"
+            )
+    first = next(iter(deduped.values()))
+    for artifact in deduped.values():
+        if artifact.spec_digest != first.spec_digest:
+            detail = ""
+            if artifact.version != first.version:
+                detail = (
+                    f" (written by versions {first.version} and "
+                    f"{artifact.version})"
+                )
+            raise ShardError(
+                f"foreign shard {artifact.path or artifact.key}: spec digest "
+                f"{artifact.spec_digest} does not match {first.spec_digest}"
+                f"{detail}"
+            )
+        if artifact.shard_count != first.shard_count:
+            raise ShardError(
+                f"foreign shard {artifact.path or artifact.key}: planned for "
+                f"{artifact.shard_count} shard(s), expected {first.shard_count}"
+            )
+    covered: set[int] = set()
+    for artifact in deduped.values():
+        covered.update(artifact.shard_indices)
+    columns: tuple[str, ...] = ()
+    for artifact in deduped.values():
+        if artifact.values:
+            columns = artifact.columns
+            break
+    blocks: dict[int, tuple[str, list[tuple[Any, ...]]]] = {}
+    owner: dict[int, str] = {}
+    for artifact in deduped.values():
+        if artifact.values and artifact.columns != columns:
+            raise ShardError(
+                f"{artifact.path or artifact.key}: column schema "
+                f"{artifact.columns} does not match {columns}"
+            )
+        offset = 0
+        for point_index, cache_key, rows in artifact.points:
+            block = (cache_key, artifact.values[offset : offset + rows])
+            offset += rows
+            existing = blocks.get(point_index)
+            if existing is not None:
+                # Overlapping coverage (e.g. a partial merge re-merged
+                # with one of its inputs) is fine when the rows agree —
+                # merge stays idempotent; disagreement means two
+                # different runs claim the same shard slot.
+                if existing != block:
+                    raise ShardError(
+                        f"duplicate shard data for point {point_index}: "
+                        f"{owner[point_index]} and "
+                        f"{artifact.path or artifact.key} disagree"
+                    )
+                continue
+            blocks[point_index] = block
+            owner[point_index] = str(artifact.path or artifact.key)
+    points: list[tuple[int, str, int]] = []
+    values: list[tuple[Any, ...]] = []
+    for point_index in sorted(blocks):
+        cache_key, rows = blocks[point_index]
+        points.append((point_index, cache_key, len(rows)))
+        values.extend(rows)
+    return ShardArtifact(
+        spec_digest=first.spec_digest,
+        shard_count=first.shard_count,
+        shard_indices=tuple(sorted(covered)),
+        columns=columns,
+        points=points,
+        values=values,
+    )
+
+
+def resolve_artifact_paths(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand artifact paths: each entry is an artifact directory, or a
+    directory containing ``*.repro-shard`` artifacts (scanned sorted)."""
+    resolved: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if (entry / MANIFEST_NAME).is_file():
+            resolved.append(entry)
+            continue
+        if entry.is_dir():
+            found = sorted(
+                child
+                for child in entry.iterdir()
+                if child.name.endswith(SHARD_SUFFIX) and child.is_dir()
+            )
+            if found:
+                resolved.extend(found)
+                continue
+        raise ShardError(
+            f"{entry}: neither a shard artifact nor a directory containing "
+            f"*{SHARD_SUFFIX} artifacts"
+        )
+    return resolved
+
+
+def merge_shard_paths(
+    paths: Iterable[str | Path], require_complete: bool = True
+) -> ShardArtifact:
+    """Read and merge artifacts from disk (see :func:`merge_artifacts`).
+
+    With ``require_complete`` (the default, and what
+    :meth:`SweepResult.merge_shards
+    <repro.experiments.result.SweepResult.merge_shards>` uses) every
+    shard of the plan must be present — missing indices raise
+    :class:`ShardError` by name.
+    """
+    merged = merge_artifacts(
+        [ShardArtifact.read(path) for path in resolve_artifact_paths(paths)]
+    )
+    if require_complete:
+        missing = sorted(set(range(merged.shard_count)) - set(merged.shard_indices))
+        if missing:
+            raise ShardError(
+                f"missing shard(s) {missing} of {merged.shard_count}; pass "
+                "every artifact (or merge partially via merge_artifacts/"
+                "`repro merge-shards --output`)"
+            )
+    return merged
+
+
+__all__ = [
+    "MANIFEST_NAME",
+    "NUMERIC_NAME",
+    "OBJECT_NAME",
+    "SHARD_SCHEMA",
+    "SHARD_SUFFIX",
+    "Shard",
+    "ShardArtifact",
+    "ShardError",
+    "ShardPlan",
+    "ShardRunner",
+    "merge_artifacts",
+    "merge_shard_paths",
+    "resolve_artifact_paths",
+    "spec_digest",
+]

@@ -88,6 +88,13 @@ class LazyList(list):
         if builder is not None:
             super().extend(builder())
 
+    def __reduce__(self):
+        # The builder is a process-local closure, so pickling
+        # materializes and ships a plain list: the receiving process
+        # gets exactly the items the eager path would have built (the
+        # shared-cache profile store relies on this).
+        return (list, (list(self),))
+
     def _make_accessor(name):  # noqa: N805 - class-body helper
         def accessor(self, *args, **kwargs):
             self._materialize()

@@ -25,6 +25,7 @@ EXPECTED_BENCHMARKS = {
     "sensitivity_sweep",
     "sensitivity_grid",
     "multi_chip_sweep",
+    "multi_machine_shard",
     "idle_detector",
     "cold_sweep",
 }
@@ -47,7 +48,7 @@ class TestPerfSuite:
             assert entry["object_mean_s"] >= entry["object_s"]
             assert entry["columnar_mean_s"] >= entry["columnar_s"]
         assert tiny_payload["grid"] == "tiny"
-        assert tiny_payload["schema"] == 3
+        assert tiny_payload["schema"] == 4
 
     def test_grids_pick_largest_graphs(self):
         spec = perf_sweep_spec("tiny")
@@ -84,6 +85,42 @@ class TestPerfSuite:
         assert check_regression(tiny_payload, missing) == [
             "nonexistent: missing from current run"
         ]
+
+    def test_multi_machine_shard_is_informational_not_gated(self, tiny_payload):
+        """The near-unity scale-out pair must never flake the gate."""
+        from repro.analysis.perf import UNGATED_BENCHMARKS
+
+        assert "multi_machine_shard" in UNGATED_BENCHMARKS
+        regressed = json.loads(json.dumps(tiny_payload))
+        regressed["benchmarks"]["multi_machine_shard"]["speedup"] /= 1000
+        assert check_regression(regressed, tiny_payload, tolerance=0.25) == []
+
+    def test_compare_schema_drift_reports_per_name(self, tiny_payload):
+        """Regression: payloads whose benchmark sets or entry shapes have
+        drifted must report per-name, never raise KeyError."""
+        from repro.analysis.perf import compare_payloads
+
+        old = json.loads(json.dumps(tiny_payload))
+        new = json.loads(json.dumps(tiny_payload))
+        # A benchmark that only exists in NEW (e.g. comparing a schema-3
+        # baseline against a schema-4 run that grew a pair)...
+        del old["benchmarks"]["multi_machine_shard"]
+        # ... and entries from an older schema without a speedup field.
+        new["benchmarks"]["cold_sweep"] = {"object_s": 1.0}
+        old["benchmarks"]["idle_detector"] = {"wrong": "shape"}
+        report, failures = compare_payloads(old, new, tolerance=0.25)
+        assert "multi_machine_shard" in report
+        assert "benchmark missing from OLD payload" in report
+        # The drifted NEW entry is a per-name failure, not a KeyError.
+        assert any(
+            "cold_sweep" in failure and "schema drift" in failure
+            for failure in failures
+        )
+        # Benchmarks absent from NEW read as missing per-name too.
+        del new["benchmarks"]["sensitivity_grid"]
+        report, failures = compare_payloads(old, new, tolerance=0.25)
+        assert "benchmark missing from NEW payload" in report
+        assert "sensitivity_grid: missing from current run" in failures
 
 
 class TestPerfCli:
