@@ -267,9 +267,29 @@ def _cmd_perf(args: argparse.Namespace) -> str:
         check_regression,
         compare_payloads,
         format_report,
+        profile_benchmark,
         run_perf_suite,
         write_payload,
     )
+
+    if args.profile:
+        try:
+            result, table, dump = profile_benchmark(
+                args.profile,
+                grid=args.grid,
+                repeat=args.repeat,
+                dump_path=f"perf-{args.profile}.prof",
+                top=args.profile_top,
+            )
+        except KeyError as error:
+            raise SystemExit(error.args[0])
+        return (
+            f"{result.name}: object {result.object_s * 1000:.2f} ms, "
+            f"columnar {result.columnar_s * 1000:.2f} ms, "
+            f"speedup {result.speedup:.2f}x\n"
+            f"{table}"
+            f"profile dump  : {dump}"
+        )
 
     if args.compare:
         import json as _json
@@ -443,6 +463,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=0.25, metavar="FRACTION",
         help="allowed fractional speedup regression for --check/--compare "
              "(default 0.25)",
+    )
+    perf.add_argument(
+        "--profile", metavar="NAME",
+        help="cProfile one benchmark pair instead of running the suite: "
+             "prints the top cumulative-time functions and dumps the raw "
+             "profile to perf-NAME.prof (inspect with pstats or snakeviz)",
+    )
+    perf.add_argument(
+        "--profile-top", type=int, default=25, metavar="N",
+        help="rows of the --profile table (default 25)",
     )
     perf.set_defaults(handler=_cmd_perf)
     return parser

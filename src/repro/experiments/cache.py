@@ -28,12 +28,13 @@ on a single simulated profile).
 from __future__ import annotations
 
 import dataclasses
+import functools
 import json
 import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.config import SimulationConfig
 from repro.core.regate import (
@@ -311,6 +312,10 @@ class SimulationCache:
     ):
         self._profiles: dict[str, WorkloadProfile] = {}
         self._reports: dict[str, EnergyReport] = {}
+        # Reports held as zero-argument suppliers (grid cells priced by
+        # the fused sweep path); materialized into ``_reports`` on first
+        # probe.  Memory-only — persistent layers always materialize.
+        self._lazy_reports: dict[str, Callable[[], EnergyReport]] = {}
         self._rows: dict[str, PackedRows] = {}
         self._store = JsonFileStore(path) if path is not None else None
         if shared_dir is not None and not isinstance(shared_dir, SharedCacheDir):
@@ -354,6 +359,13 @@ class SimulationCache:
 
     def get_report(self, key: str) -> EnergyReport | None:
         report = self._reports.get(key)
+        if report is None:
+            supplier = self._lazy_reports.pop(key, None)
+            if supplier is not None:
+                # The supplier builds a fresh object nobody else holds,
+                # so it enters the memory layer without a defensive copy.
+                report = supplier()
+                self._reports[key] = report
         if report is None and self._store is not None:
             payload = self._store.get("report:" + key)
             if payload is not None:
@@ -379,6 +391,24 @@ class SimulationCache:
             self._store.put("report:" + key, report_to_dict(report))
         if self._shared is not None:
             self._shared.put_json("reports", key, report_to_dict(report))
+
+    def put_report_lazy(
+        self, key: str, supplier: Callable[[], EnergyReport]
+    ) -> None:
+        """Cache a report as a deferred supplier (fused sweep path).
+
+        Memory-only caches keep the zero-argument supplier and
+        materialize it on the first :meth:`get_report` probe, so a
+        sweep that never re-reads a cell (the common cold-run case)
+        skips building and copying its per-report dicts entirely.
+        Persistent layers need the serializable payload now, so they
+        materialize immediately — identical observable semantics.
+        """
+        if self._store is not None or self._shared is not None:
+            self.put_report(key, supplier())
+        else:
+            self._lazy_reports[key] = supplier
+            self._reports.pop(key, None)
 
     # -- sweep rows ---------------------------------------------------- #
     # Rows live in the cache in *packed* form: one shared column tuple
@@ -460,7 +490,7 @@ class SimulationCache:
             "row_hits": self.row_hits,
             "row_misses": self.row_misses,
             "profiles": len(self._profiles),
-            "reports": len(self._reports),
+            "reports": len(self._reports) + len(self._lazy_reports),
             "rows": len(self._rows),
         }
 
@@ -491,11 +521,31 @@ def _registry_spec(workload: str | WorkloadSpec) -> WorkloadSpec | None:
     return get_workload(workload)
 
 
+def _resolution_memo_key(spec: WorkloadSpec, config: SimulationConfig) -> tuple:
+    """Identity key of one execution resolution within a single batch.
+
+    Covers every config field :func:`resolve_execution` and
+    :func:`~repro.experiments.keys.profile_key` read.  Identity-based
+    entries (``id()``) are safe because the memo dict only lives for
+    one batched call, while the specs and configs it keys live in the
+    caller's item list.
+    """
+    return (
+        id(spec),
+        config.chip if isinstance(config.chip, str) else id(config.chip),
+        config.num_chips,
+        config.batch_size,
+        id(config.parallelism),
+        config.apply_fusion,
+    )
+
+
 def _cached_profile(
     spec: WorkloadSpec,
     config: SimulationConfig,
     cache: SimulationCache,
     built_graphs: dict | None = None,
+    resolutions: dict | None = None,
 ):
     """Resolve one item's (chip, parallelism, pkey, profile) through ``cache``.
 
@@ -503,10 +553,24 @@ def _cached_profile(
     the per-item and batched entry points so their cache keys (and
     therefore their results) can never diverge.  ``built_graphs`` lets a
     batched caller share one built graph between chip-only variants of
-    the same workload (the simulator never mutates its input IR).
+    the same workload (the simulator never mutates its input IR);
+    ``resolutions`` memoizes the execution resolution + profile key so a
+    gating-parameter grid resolves each distinct (workload, chip,
+    batch) combination once instead of once per grid point.
     """
-    chip, batch_size, parallelism = resolve_execution(spec, config)
-    pkey = profile_key(spec.name, chip, batch_size, parallelism, config.apply_fusion)
+    resolved = None
+    if resolutions is not None:
+        resolution_key = _resolution_memo_key(spec, config)
+        resolved = resolutions.get(resolution_key)
+    if resolved is not None:
+        chip, batch_size, parallelism, pkey = resolved
+    else:
+        chip, batch_size, parallelism = resolve_execution(spec, config)
+        pkey = profile_key(
+            spec.name, chip, batch_size, parallelism, config.apply_fusion
+        )
+        if resolutions is not None:
+            resolutions[resolution_key] = (chip, batch_size, parallelism, pkey)
     profile = cache.get_profile(pkey)
     if profile is None:
         graph = None
@@ -587,8 +651,16 @@ class _ReportGroup:
         self.parameters.setdefault(token, parameters)
         self.members[rkey] = (pkey, token)
 
-    def evaluate(self, policy_name: PolicyName):
-        """Yield ``(rkey, report)`` for every missing cell of the group."""
+    def evaluate_cells(self, policy_name: PolicyName):
+        """Yield ``(rkey, cell)`` for every missing cell of the group.
+
+        A cell is either a materialized :class:`EnergyReport`
+        (single-parameter groups) or a ``(grid, point_row,
+        profile_col)`` triple into the group's
+        :class:`~repro.gating.policies.GridEnergyReports` — the fused
+        sweep path assembles its result columns straight from the grid
+        arrays without ever turning the triple into a report object.
+        """
         profile_index = {pkey: i for i, pkey in enumerate(self.profiles)}
         profiles = list(self.profiles.values())
         parameters = list(self.parameters.values())
@@ -611,42 +683,56 @@ class _ReportGroup:
             packed if packed is not None else profiles, parameters
         )
         for rkey, (pkey, token) in self.members.items():
-            yield rkey, grid.report(token_index[token], profile_index[pkey])
+            yield rkey, (grid, token_index[token], profile_index[pkey])
+
+    def evaluate(self, policy_name: PolicyName):
+        """Yield ``(rkey, report)``: :meth:`evaluate_cells`, materialized."""
+        for rkey, cell in self.evaluate_cells(policy_name):
+            yield rkey, materialize_cell(cell)
 
 
-def simulate_cached_many(
-    items: list[tuple[str | WorkloadSpec, SimulationConfig | None]],
-    cache: SimulationCache | None = None,
-) -> list[SimulationResult]:
-    """Batched :func:`simulate_cached` over many (workload, config) pairs.
+def materialize_cell(cell) -> EnergyReport:
+    """Turn a pricing cell into its :class:`EnergyReport`.
 
-    Profiles are resolved exactly like the per-item path (same cache
-    keys, same probe order); the *report* phase is then grid-batched:
-    missing (profile, policy, gating-parameter) reports are grouped per
-    policy and each group — its distinct profiles chip-major packed, its
-    distinct parameter points as one
-    :class:`~repro.gating.bet.ParameterTable` axis — is evaluated in one
-    :meth:`~repro.gating.policies.PowerGatingPolicy.grid_evaluate`
-    call.  Reports are bit-identical to the per-item path, so a sweep's
-    rows (and CSV bytes) do not change.
+    Grid triples materialize through
+    :meth:`~repro.gating.policies.GridEnergyReports.report`, which is a
+    pure ``float()`` read of the grid arrays — bit-identical to the
+    report the per-cell path would have built.
     """
-    if cache is None:
-        return [simulate_workload(workload, config) for workload, config in items]
+    if isinstance(cell, tuple):
+        grid, row, col = cell
+        return grid.report(row, col)
+    return cell
 
-    prepared: list[tuple | None] = []
-    results: list[SimulationResult | None] = [None] * len(items)
+
+def _price_prepared(
+    items: list[tuple[WorkloadSpec, SimulationConfig]],
+    cache: SimulationCache,
+) -> tuple[list[SimulationResult], list[list]]:
+    """Fused simulate→price core over registry-backed (spec, config) items.
+
+    One pass: profiles are resolved through the cache with the
+    execution resolution memoized per distinct (workload, chip, batch)
+    combination, missing report cells are grouped per policy and priced
+    by one grid/batch kernel call per group, and the grid cells are
+    cached *lazily* — the (grid, row, col) triple stands in for the
+    report until something actually probes it.
+
+    Returns ``(results, cells)``: per item, a metadata
+    :class:`SimulationResult` shell (its ``reports`` dict left empty)
+    and one ``(policy_name, cell)`` pair per ``config.policies`` entry —
+    a cell is either a materialized :class:`EnergyReport` (cache hits
+    and single-parameter groups) or a ``(grid, row, col)`` triple (see
+    :meth:`_ReportGroup.evaluate_cells`).
+    """
+    prepared: list[tuple] = []
     # Graphs are chip-independent: two points differing only in chip
     # (same workload, batch and parallelism) share one built graph.
     built_graphs: dict[tuple, Any] = {}
-    for index, (workload, config) in enumerate(items):
-        spec = _registry_spec(workload)
-        if spec is None:
-            results[index] = simulate_workload(workload, config)
-            prepared.append(None)
-            continue
-        config = config or SimulationConfig()
+    resolutions: dict[tuple, tuple] = {}
+    for spec, config in items:
         chip, parallelism, pkey, profile = _cached_profile(
-            spec, config, cache, built_graphs
+            spec, config, cache, built_graphs, resolutions
         )
         prepared.append((spec, config, chip, parallelism, pkey, profile))
 
@@ -657,14 +743,11 @@ def simulate_cached_many(
     # :meth:`~repro.gating.policies.PowerGatingPolicy.grid_evaluate`
     # call prices — the sensitivity-sweep hot path.  With one parameter
     # point the grid degenerates to one `batch_evaluate` over the
-    # chip-major pack.  Reports are bit-identical to the per-item path
+    # chip-major pack.  Cells are bit-identical to the per-item path
     # either way, so a sweep's rows (and CSV bytes) do not change.
-    fetched: dict[str, EnergyReport] = {}
+    fetched: dict[str, Any] = {}
     groups: dict[PolicyName, _ReportGroup] = {}
-    for entry in prepared:
-        if entry is None:
-            continue
-        spec, config, chip, parallelism, pkey, profile = entry
+    for spec, config, chip, parallelism, pkey, profile in prepared:
         for policy_name in config.policies:
             rkey = report_key(pkey, policy_name.value, config.gating_parameters)
             if rkey in fetched:
@@ -676,19 +759,92 @@ def simulate_cached_many(
             group = groups.setdefault(policy_name, _ReportGroup())
             group.add(rkey, pkey, profile, config.gating_parameters)
     for policy_name, group in groups.items():
-        for rkey, report in group.evaluate(policy_name):
-            cache.put_report(rkey, report)
-            fetched[rkey] = report
+        for rkey, cell in group.evaluate_cells(policy_name):
+            if isinstance(cell, tuple):
+                grid, row, col = cell
+                cache.put_report_lazy(rkey, functools.partial(grid.report, row, col))
+            else:
+                cache.put_report(rkey, cell)
+            fetched[rkey] = cell
 
-    for index, entry in enumerate(prepared):
-        if entry is None:
+    results: list[SimulationResult] = []
+    cells: list[list] = []
+    for spec, config, chip, parallelism, pkey, profile in prepared:
+        results.append(
+            build_result(spec.name, profile, parallelism, profile.graph, config)
+        )
+        cells.append(
+            [
+                (
+                    policy_name,
+                    fetched[
+                        report_key(
+                            pkey, policy_name.value, config.gating_parameters
+                        )
+                    ],
+                )
+                for policy_name in config.policies
+            ]
+        )
+    return results, cells
+
+
+def simulate_cached_cells(
+    items: list[tuple[str | WorkloadSpec, SimulationConfig | None]],
+    cache: SimulationCache,
+) -> tuple[list[SimulationResult], list[list]] | None:
+    """Fused batched pricing for the sweep fast path.
+
+    Like :func:`simulate_cached_many`, but returns the raw pricing
+    cells (see :func:`_price_prepared`) instead of attaching
+    materialized reports — the runner assembles its result columns
+    straight from the grid arrays.  Returns ``None`` when any item
+    bypasses the registry cache (hand-built workload specs); the caller
+    falls back to :func:`simulate_cached_many`.
+    """
+    resolved_items: list[tuple[WorkloadSpec, SimulationConfig]] = []
+    for workload, config in items:
+        spec = _registry_spec(workload)
+        if spec is None:
+            return None
+        resolved_items.append((spec, config or SimulationConfig()))
+    return _price_prepared(resolved_items, cache)
+
+
+def simulate_cached_many(
+    items: list[tuple[str | WorkloadSpec, SimulationConfig | None]],
+    cache: SimulationCache | None = None,
+) -> list[SimulationResult]:
+    """Batched :func:`simulate_cached` over many (workload, config) pairs.
+
+    Profiles are resolved exactly like the per-item path (same cache
+    keys, same probe order); the *report* phase is then grid-batched
+    through :func:`_price_prepared` and the resulting cells are
+    materialized onto each item's result.  Reports are bit-identical
+    to the per-item path, so a sweep's rows (and CSV bytes) do not
+    change.  Non-registry workloads fall back to
+    :func:`simulate_workload` per item.
+    """
+    if cache is None:
+        return [simulate_workload(workload, config) for workload, config in items]
+
+    results: list[SimulationResult | None] = [None] * len(items)
+    batched_indices: list[int] = []
+    batched_items: list[tuple[WorkloadSpec, SimulationConfig]] = []
+    for index, (workload, config) in enumerate(items):
+        spec = _registry_spec(workload)
+        if spec is None:
+            results[index] = simulate_workload(workload, config)
             continue
-        spec, config, chip, parallelism, pkey, profile = entry
-        result = build_result(spec.name, profile, parallelism, profile.graph, config)
-        for policy_name in config.policies:
-            rkey = report_key(pkey, policy_name.value, config.gating_parameters)
-            result.reports[policy_name] = fetched[rkey]
-        results[index] = result
+        batched_indices.append(index)
+        batched_items.append((spec, config or SimulationConfig()))
+
+    if batched_items:
+        shells, cells = _price_prepared(batched_items, cache)
+        for index, shell, row_cells in zip(batched_indices, shells, cells):
+            for policy_name, cell in row_cells:
+                shell.reports[policy_name] = materialize_cell(cell)
+            results[index] = shell
     return results
 
 
@@ -698,11 +854,13 @@ __all__ = [
     "atomic_replace",
     "SharedCacheDir",
     "SimulationCache",
+    "materialize_cell",
     "pack_rows",
     "portable_profile",
     "report_from_dict",
     "report_to_dict",
     "simulate_cached",
+    "simulate_cached_cells",
     "simulate_cached_many",
     "unpack_rows",
 ]

@@ -1,19 +1,25 @@
 """Tabular results of a parameter sweep.
 
 A :class:`SweepResult` is a small, dependency-free data frame with a
-fixed column order and two interchangeable backing stores:
+fixed column order and three interchangeable backing stores:
 
+* a **column store** — one array or list per column
+  (:meth:`from_series`; shard merges feed this directly, with float
+  columns that may be memory-mapped views into ``.repro-shard``
+  artifacts).  ``iter_csv``/``write_csv`` and ``filter`` operate
+  straight on the columns — no row tuple or dict is materialized, so a
+  merged million-row table streams to CSV with bounded resident memory;
 * a **packed store** — one value tuple per row (the runner's
   array-native assembly and the row cache feed this directly), with the
   row *dicts* of the legacy API materialized lazily on first access;
 * a **row-dict store** — the original ordered list of flat dictionaries
-  (:meth:`from_rows`, and what ``filter``/``group_by`` hand back).
+  (:meth:`from_rows`, and what ``group_by`` hands back).
 
 Either way the export (CSV/JSON) and reshaping (filter/group-by/pivot)
 helpers behave identically; :meth:`iter_csv` streams straight off the
-packed store without ever building a dict per row.  Floats are exported
-with ``repr`` so a CSV written by a parallel run is byte-identical to
-one written by a serial run of the same sweep.
+packed or column store without ever building a dict per row.  Floats
+are exported with ``repr`` so a CSV written by a parallel run is
+byte-identical to one written by a serial run of the same sweep.
 """
 
 from __future__ import annotations
@@ -33,6 +39,10 @@ def _cell(value: Any) -> Any:
     return value
 
 
+#: Rows per rendering window when streaming CSV off the column store.
+_CSV_CHUNK_ROWS = 2048
+
+
 class SweepResult:
     """An ordered table of sweep rows (one row per point x policy)."""
 
@@ -42,18 +52,49 @@ class SweepResult:
         rows: "Sequence[dict[str, Any]] | None" = None,
         *,
         values: "Sequence[tuple[Any, ...]] | None" = None,
+        series: "Mapping[str, Any] | None" = None,
     ):
-        if rows is not None and values is not None:
-            raise TypeError("pass either rows or values, not both")
+        if sum(store is not None for store in (rows, values, series)) > 1:
+            raise TypeError("pass at most one of rows, values or series")
         self.columns: tuple[str, ...] = tuple(columns)
-        self._values: list[tuple[Any, ...]] | None = (
+        self._values_list: list[tuple[Any, ...]] | None = (
             list(values) if values is not None else None
+        )
+        self._series: dict[str, Any] | None = (
+            {name: series[name] for name in self.columns}
+            if series is not None
+            else None
         )
         self._rows: list[dict[str, Any]] | None = (
             list(rows) if rows is not None else None
         )
-        if self._values is None and self._rows is None:
+        if self._values_list is None and self._rows is None and self._series is None:
             self._rows = []
+
+    @property
+    def _values(self) -> "list[tuple[Any, ...]] | None":
+        """The packed store, materializing the column store on demand.
+
+        Column-store tables convert lazily: the first packed access
+        turns the columns into plain-scalar row tuples (``tolist`` for
+        arrays, so ``np.float64`` never leaks into the cells) and drops
+        the column store.  Row-dict-backed tables return ``None``, as
+        before.
+        """
+        if self._values_list is None and self._series is not None:
+            ordered = [
+                column.tolist() if isinstance(column, np.ndarray) else column
+                for column in self._series.values()
+            ]
+            self._values_list = list(zip(*ordered)) if ordered else []
+            self._series = None
+        return self._values_list
+
+    @_values.setter
+    def _values(self, values: "list[tuple[Any, ...]] | None") -> None:
+        self._values_list = values
+        if values is not None:
+            self._series = None
 
     # -- constructors --------------------------------------------------- #
     @classmethod
@@ -88,6 +129,22 @@ class SweepResult:
         values = list(zip(*series)) if series else []
         return cls(columns=names, values=values)
 
+    @classmethod
+    def from_series(cls, columns: Sequence[str], series: "Mapping[str, Any]") -> "SweepResult":
+        """Build a column-store result (one array or list per column).
+
+        Unlike :meth:`from_columns`, the columns are kept **as given**
+        — float columns may be ndarrays (including memory-mapped views
+        into shard artifacts) and are only converted to plain scalars
+        when a consumer actually asks for rows.  Exports and filters
+        run directly over the columns.
+        """
+        columns = tuple(columns)
+        lengths = {len(series[name]) for name in columns}
+        if len(lengths) > 1:
+            raise ValueError("all columns must have the same length")
+        return cls(columns=columns, series=series)
+
     # -- row access ----------------------------------------------------- #
     @property
     def rows(self) -> list[dict[str, Any]]:
@@ -104,8 +161,11 @@ class SweepResult:
         return self._rows
 
     def __len__(self) -> int:
-        store = self._rows if self._rows is not None else self._values
-        return len(store)
+        if self._rows is not None:
+            return len(self._rows)
+        if self._series is not None:
+            return len(next(iter(self._series.values()))) if self._series else 0
+        return len(self._values_list)
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return iter(self.rows)
@@ -140,15 +200,45 @@ class SweepResult:
     def column(self, name: str) -> list[Any]:
         """All values of one column, in row order (no dict materialization)."""
         self._check_columns(name)
-        if self._rows is None:
-            index = self.columns.index(name)
-            return [row[index] for row in self._values]
-        return [row[name] for row in self._rows]
+        if self._rows is not None:
+            return [row[name] for row in self._rows]
+        if self._series is not None:
+            column = self._series[name]
+            return column.tolist() if isinstance(column, np.ndarray) else list(column)
+        index = self.columns.index(name)
+        return [row[index] for row in self._values_list]
 
     # ------------------------------------------------------------------ #
     def filter(self, **equals: Any) -> "SweepResult":
-        """Rows whose columns equal the given values (AND semantics)."""
+        """Rows whose columns equal the given values (AND semantics).
+
+        On a column-store table the filter runs column-wise (vectorized
+        comparison for array columns) and the kept rows stay columnar —
+        no row dict is materialized, and array columns are only sliced,
+        keeping memory-mapped inputs out of core.
+        """
         self._check_columns(*equals)
+        if self._series is not None and self._rows is None:
+            count = len(self)
+            keep = np.ones(count, dtype=bool)
+            for name, value in equals.items():
+                column = self._series[name]
+                if isinstance(column, np.ndarray):
+                    keep &= column == value
+                else:
+                    keep &= np.fromiter(
+                        (cell == value for cell in column),
+                        dtype=bool,
+                        count=count,
+                    )
+            indices = np.flatnonzero(keep)
+            kept_series = {
+                name: column[indices]
+                if isinstance(column, np.ndarray)
+                else [column[i] for i in indices]
+                for name, column in self._series.items()
+            }
+            return SweepResult(columns=self.columns, series=kept_series)
         kept = [
             row
             for row in self.rows
@@ -213,12 +303,30 @@ class SweepResult:
             return line
 
         yield render(self.columns)
-        if self._rows is None:
-            for row in self._values:
-                yield render([_cell(value) for value in row])
+        if self._rows is not None:
+            for row in self._rows:
+                yield render([_cell(row.get(column)) for column in self.columns])
             return
-        for row in self._rows:
-            yield render([_cell(row.get(column)) for column in self.columns])
+        if self._series is not None:
+            # Column store: stream fixed-size chunks so array columns
+            # (possibly memory-mapped shard columns) are pulled in a
+            # bounded window at a time — resident memory stays O(chunk)
+            # regardless of the table size.
+            ordered = [self._series[name] for name in self.columns]
+            count = len(self)
+            for start in range(0, count, _CSV_CHUNK_ROWS):
+                stop = min(start + _CSV_CHUNK_ROWS, count)
+                chunk = [
+                    column[start:stop].tolist()
+                    if isinstance(column, np.ndarray)
+                    else column[start:stop]
+                    for column in ordered
+                ]
+                for row in zip(*chunk):
+                    yield render([_cell(value) for value in row])
+            return
+        for row in self._values_list:
+            yield render([_cell(value) for value in row])
 
     def write_csv(self, path: str | Path) -> int:
         """Stream the table to ``path`` in O(1) memory; returns row count.

@@ -43,6 +43,7 @@ from repro.experiments.cache import (
     SimulationCache,
     pack_rows,
     simulate_cached,
+    simulate_cached_cells,
     simulate_cached_many,
     unpack_rows,
 )
@@ -187,7 +188,30 @@ def assemble_packed_rows(
     reports' dict insertion order, which every report producer in the
     tree shares.
     """
-    n_rows = sum(len(result.reports) for result in results)
+    cells = [list(result.reports.items()) for result in results]
+    return assemble_packed_cells(points, results, cells)
+
+
+def assemble_packed_cells(
+    points: list[SweepPoint],
+    results: list[SimulationResult],
+    cells: list[list],
+) -> list[PackedRows]:
+    """Column-wise row assembly straight from pricing cells.
+
+    The fused simulate→price back end of :func:`assemble_packed_rows`:
+    ``cells[i]`` holds one ``(policy, cell)`` pair per row of point
+    ``i``, where a cell is either a materialized
+    :class:`~repro.gating.report.EnergyReport` (its scalars read
+    per-row, exactly like before) or a ``(grid, row, col)`` triple into
+    a :class:`~repro.gating.policies.GridEnergyReports`.  Triples are
+    gathered per grid with one fancy-indexing read per base column —
+    the same ``float64`` array elements :meth:`GridEnergyReports.report
+    <repro.gating.policies.GridEnergyReports.report>` would have read
+    one ``float()`` at a time, so the assembled cells are bit-identical
+    while skipping the per-cell report materialization entirely.
+    """
+    n_rows = sum(len(row_cells) for row_cells in cells)
     baseline = np.empty(n_rows)
     overhead = np.empty(n_rows)
     peak = np.empty(n_rows)
@@ -210,31 +234,52 @@ def assemble_packed_rows(
     }
     spatial_rows: list[float] = []
 
+    # Rows backed by one grid are gathered together after the scan:
+    # id(grid) -> [grid, destination rows, grid rows, grid cols].
+    grid_gather: dict[int, list] = {}
+    # Utilizations are profile-level; points sharing one cached profile
+    # (e.g. a gating-parameter grid) compute them once.
+    util_memo: dict[int, tuple[list[float], float]] = {}
+
     index = 0
-    for point, result in zip(points, results):
+    for point, result, row_cells in zip(points, results, cells):
         start = index
-        n_policies = len(result.reports)
-        utilization = [
-            result.temporal_utilization(component)
-            for _, component in _UTILIZATION_COLUMNS
-        ]
-        sa_spatial = result.sa_spatial_utilization()
+        n_policies = len(row_cells)
+        profile_id = id(result.profile)
+        utils = util_memo.get(profile_id)
+        if utils is None:
+            utils = (
+                [
+                    result.temporal_utilization(component)
+                    for _, component in _UTILIZATION_COLUMNS
+                ],
+                result.sa_spatial_utilization(),
+            )
+            util_memo[profile_id] = utils
+        utilization, sa_spatial = utils
         chip_name = result.chip.name
         parallelism = result.parallelism.describe()
         nopg_index: int | None = None
-        for policy, report in result.reports.items():
+        for policy, cell in row_cells:
             if policy is PolicyName.NOPG:
                 nopg_index = index
-            baseline[index] = report.baseline_time_s
-            overhead[index] = report.overhead_time_s
-            peak[index] = report.peak_power_w
-            num_chips_f[index] = result.num_chips
-            work[index] = result.work_per_iteration
-            static_energy = report.static_energy_j
-            dynamic_energy = report.dynamic_energy_j
-            for component in Component.all():
-                static_c[component][index] = static_energy.get(component, 0.0)
-                dynamic_c[component][index] = dynamic_energy.get(component, 0.0)
+            if isinstance(cell, tuple):
+                grid, grid_row, grid_col = cell
+                bucket = grid_gather.setdefault(id(grid), [grid, [], [], []])
+                bucket[1].append(index)
+                bucket[2].append(grid_row)
+                bucket[3].append(grid_col)
+            else:
+                baseline[index] = cell.baseline_time_s
+                overhead[index] = cell.overhead_time_s
+                peak[index] = cell.peak_power_w
+                static_energy = cell.static_energy_j
+                dynamic_energy = cell.dynamic_energy_j
+                for component in Component.all():
+                    static_c[component][index] = static_energy.get(component, 0.0)
+                    dynamic_c[component][index] = dynamic_energy.get(
+                        component, 0.0
+                    )
             policy_rows.append(policy.value)
             index += 1
         if nopg_index is None:
@@ -243,6 +288,8 @@ def assemble_packed_rows(
                 f"policy {PolicyName.NOPG} was not evaluated for {result.workload}"
             )
         nopg_row[start:index] = nopg_index
+        num_chips_f[start:index] = result.num_chips
+        work[start:index] = result.work_per_iteration
         workload_rows.extend([result.workload] * n_policies)
         chip_rows.extend([chip_name] * n_policies)
         num_chips_rows.extend([result.num_chips] * n_policies)
@@ -253,6 +300,24 @@ def assemble_packed_rows(
         for (column, _), value in zip(_UTILIZATION_COLUMNS, utilization):
             util_rows[column].extend([value] * n_policies)
         spatial_rows.extend([sa_spatial] * n_policies)
+
+    # Scatter the grid-backed cells: one fancy-indexed gather per base
+    # column per grid reads the identical float64 elements report()
+    # would have pulled out one at a time.
+    for grid, rows, grid_rows, grid_cols in grid_gather.values():
+        rows_i = np.asarray(rows, dtype=np.intp)
+        grows = np.asarray(grid_rows, dtype=np.intp)
+        gcols = np.asarray(grid_cols, dtype=np.intp)
+        baseline[rows_i] = grid.baseline_time_s[grows, gcols]
+        overhead[rows_i] = grid.overhead_time_s[grows, gcols]
+        peak[rows_i] = grid.peak_power_w[grows, gcols]
+        for component in Component.all():
+            static_c[component][rows_i] = grid.static_energy_j[component][
+                grows, gcols
+            ]
+            dynamic_c[component][rows_i] = grid.dynamic_energy_j[component][
+                grows, gcols
+            ]
 
     # Derived columns: the scalar chains of rows_from_result, vectorized.
     static_j = static_c[_STATIC_SUM_ORDER[0]]
@@ -322,8 +387,8 @@ def assemble_packed_rows(
     all_values: list[tuple[Any, ...]] = list(zip(*series)) if n_rows else []
     packed: list[PackedRows] = []
     offset = 0
-    for result in results:
-        end = offset + len(result.reports)
+    for row_cells in cells:
+        end = offset + len(row_cells)
         packed.append((ROW_COLUMNS, all_values[offset:end]))
         offset = end
     return packed
@@ -344,14 +409,21 @@ def run_points_packed(
     evaluated through the grid-batched policy kernel — one
     :meth:`~repro.gating.policies.PowerGatingPolicy.grid_evaluate` per
     policy over (chip-major packed profiles × gating-parameter points)
-    via :func:`~repro.experiments.cache.simulate_cached_many` — and the
-    rows are assembled column-wise.  Bit-identical to the per-point
-    loop that remains the object-path oracle.
+    via :func:`~repro.experiments.cache.simulate_cached_cells` — and the
+    rows are assembled column-wise straight from the pricing cells,
+    without ever materializing one report object per cell.  Batches
+    containing non-registry workloads fall back to
+    :func:`~repro.experiments.cache.simulate_cached_many`.  Both routes
+    are bit-identical to the per-point loop that remains the
+    object-path oracle.
     """
     if cache is not None and columnar.fast_path_enabled():
-        results = simulate_cached_many(
-            [(point.workload, point.config) for point in points], cache
-        )
+        items = [(point.workload, point.config) for point in points]
+        fused = simulate_cached_cells(items, cache)
+        if fused is not None:
+            results, cells = fused
+            return assemble_packed_cells(points, results, cells)
+        results = simulate_cached_many(items, cache)
         return assemble_packed_rows(points, results)
     return [pack_rows(run_point(point, cache)) for point in points]
 
@@ -535,6 +607,7 @@ def run_sweep(
 __all__ = [
     "ROW_COLUMNS",
     "SweepRunner",
+    "assemble_packed_cells",
     "assemble_packed_rows",
     "pack_rows",
     "rows_from_result",

@@ -23,18 +23,23 @@ monolithic :class:`~repro.experiments.runner.SweepRunner` run:
   pool) and captures the packed rows as a :class:`ShardArtifact`.
 * :class:`ShardArtifact` — a self-describing ``.repro-shard`` directory:
   ``manifest.json`` (spec digest, shard indices, code version, per-point
-  row accounting), ``columns.npz`` (float columns as ``float64`` arrays)
-  and ``columns.json`` (string/int columns).  Both stores round-trip
-  every cell exactly, so a merged table's CSV bytes equal the
-  monolithic run's.
+  row accounting), ``columns.npy`` (every float column stacked into one
+  ``float64`` matrix, one row per column — written with :func:`np.save`
+  so readers can map it with ``mmap_mode="r"``) and ``columns.json``
+  (string/int columns).  Both stores round-trip every cell exactly, so
+  a merged table's CSV bytes equal the monolithic run's.
 * :func:`merge_artifacts` / :meth:`SweepResult.merge_shards
   <repro.experiments.result.SweepResult.merge_shards>` — reassembles
-  artifacts into one packed result, staying columnar end to end (no
-  row dict is ever materialized).  Merging is associative and
-  idempotent: artifacts are deduplicated by key, partial merges write
-  ordinary ``.repro-shard`` artifacts that merge again later, and
-  foreign (different spec/version), duplicate-but-different and missing
-  shards are detected from the manifests.
+  artifacts into one columnar result **out of core**: read artifacts
+  keep their float columns memory-mapped, and the merge streams one
+  output column at a time (per-point slices off the maps), so peak
+  resident memory is bounded by the merged table plus one shard's
+  object columns — never by ``shards × columns``.  No row tuple or row
+  dict is ever materialized.  Merging is associative and idempotent:
+  artifacts are deduplicated by key, partial merges write ordinary
+  ``.repro-shard`` artifacts that merge again later, and foreign
+  (different spec/version), duplicate-but-different and missing shards
+  are detected from the manifests.
 
 Shards that share a filesystem can also share a
 :class:`~repro.experiments.cache.SharedCacheDir` so one shard's
@@ -45,7 +50,7 @@ simulate miss becomes every later shard's profile hit — see
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
@@ -54,18 +59,21 @@ import numpy as np
 from repro import __version__
 from repro.gating.policies import ChipMajorPacks
 
+from repro.experiments import keys
 from repro.experiments.cache import PackedRows, SimulationCache, atomic_replace
-from repro.experiments.keys import CACHE_SCHEMA_VERSION, shard_key, stable_hash
+from repro.experiments.keys import shard_key, stable_hash
 from repro.experiments.result import SweepResult
 from repro.experiments.runner import SweepRunner
 from repro.experiments.spec import SweepPoint, SweepSpec
 
 #: On-disk artifact schema (bumped when the layout changes shape).
-SHARD_SCHEMA = 1
+#: Schema 2 replaced the ``columns.npz`` zip store with a single
+#: ``columns.npy`` matrix so float columns memory-map on read.
+SHARD_SCHEMA = 2
 #: Directory-name suffix identifying a shard artifact.
 SHARD_SUFFIX = ".repro-shard"
 MANIFEST_NAME = "manifest.json"
-NUMERIC_NAME = "columns.npz"
+NUMERIC_NAME = "columns.npy"
 OBJECT_NAME = "columns.json"
 
 
@@ -82,14 +90,24 @@ def spec_digest(spec: SweepSpec) -> str:
     exactly when they produce the same result table.  Version-stamped
     like every other key, so artifacts from different releases read as
     foreign rather than silently merging.
+
+    Memoized on the spec object (per schema version): planning the same
+    spec repeatedly — every :class:`ShardRunner` builds a plan — hashes
+    the point keys once instead of once per shard.
     """
-    return stable_hash(
+    version = keys.CACHE_SCHEMA_VERSION
+    memo = getattr(spec, "_spec_digest_memo", None)
+    if memo is not None and memo[0] == version:
+        return memo[1]
+    digest = stable_hash(
         {
             "kind": "sweep-spec",
-            "version": CACHE_SCHEMA_VERSION,
+            "version": version,
             "points": [point.cache_key for point in spec.points()],
         }
     )
+    spec._spec_digest_memo = (version, digest)
+    return digest
 
 
 def _chip_axis_key(point: SweepPoint) -> str:
@@ -182,24 +200,98 @@ class ShardPlan:
 # ---------------------------------------------------------------------- #
 # Shard artifacts
 # ---------------------------------------------------------------------- #
-@dataclass
+def _encode_object_column(cells: list) -> Any:
+    """Dictionary-encode one object column for ``columns.json``.
+
+    Sweep metadata columns (workload, chip, policy, ...) repeat a
+    handful of distinct values, so ``{"categories": [...], "codes":
+    [...]}`` serializes and parses in a fraction of the plain list's
+    time.  Columns with unhashable cells are stored as plain lists
+    (the decoder accepts both shapes); the round trip is exact either
+    way.
+    """
+    try:
+        categories: list[Any] = []
+        index: dict[Any, int] = {}
+        codes: list[int] = []
+        for cell in cells:
+            code = index.get(cell)
+            if code is None:
+                code = len(categories)
+                index[cell] = code
+                categories.append(cell)
+            codes.append(code)
+    except TypeError:
+        return cells
+    return {"categories": categories, "codes": codes}
+
+
+def _decode_object_column(entry: Any) -> list:
+    """Inverse of :func:`_encode_object_column` (accepts both shapes)."""
+    if isinstance(entry, dict):
+        return list(map(entry["categories"].__getitem__, entry["codes"]))
+    return entry
+
+
 class ShardArtifact:
     """The packed rows of one or more shards, (de)serializable as a
-    self-describing ``.repro-shard`` directory."""
+    self-describing ``.repro-shard`` directory.
 
-    spec_digest: str
-    shard_count: int
-    shard_indices: tuple[int, ...]
-    columns: tuple[str, ...]
-    #: ``(point index, point cache key, row count)`` in stored row order.
-    points: list[tuple[int, str, int]]
-    #: All rows, point-major, aligned with :attr:`points`.
-    values: list[tuple[Any, ...]]
-    #: Package version that wrote the artifact (current version for
-    #: freshly built ones).
-    version: str = __version__
-    #: Where the artifact was read from, for error messages.
-    path: Path | None = field(default=None, compare=False)
+    Backed by one of two interchangeable stores:
+
+    * a **row store** (``values=``) — one value tuple per row,
+      point-major, what :meth:`from_blocks` captures off the runner;
+    * a **column store** (``series=``) — one array/list per column;
+      artifacts loaded with :meth:`read` keep their float columns as
+      views into the memory-mapped ``columns.npy`` matrix, so a loaded
+      artifact costs pages only for the cells actually touched.
+
+    The first access to :attr:`values` materializes the column store
+    into row tuples (and drops it), so callers that mutate
+    ``artifact.values`` in place see their mutations honored by
+    :meth:`write` exactly as before.
+    """
+
+    def __init__(
+        self,
+        spec_digest: str,
+        shard_count: int,
+        shard_indices: tuple[int, ...],
+        columns: tuple[str, ...],
+        points: list[tuple[int, str, int]],
+        values: "list[tuple[Any, ...]] | None" = None,
+        version: str = __version__,
+        path: Path | None = None,
+        *,
+        series: "dict[str, Any] | None" = None,
+    ):
+        if (values is None) == (series is None):
+            raise TypeError("pass exactly one of values= or series=")
+        self.spec_digest = spec_digest
+        self.shard_count = shard_count
+        self.shard_indices = tuple(shard_indices)
+        self.columns = tuple(columns)
+        #: ``(point index, point cache key, row count)`` in stored row order.
+        self.points = points
+        #: Package version that wrote the artifact (current version for
+        #: freshly built ones).
+        self.version = version
+        #: Where the artifact was read from, for error messages.
+        self.path = path
+        self._values = values
+        self._series = series
+        #: Backing float-column matrix (row i = numeric column i) when
+        #: the artifact was read from disk; lets the merge copy all
+        #: float columns of a row run in one slice.  Dropped whenever
+        #: the series store is (mutations go through ``values``).
+        self._matrix: "np.ndarray | None" = None
+        self._matrix_columns: tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardArtifact(shards {list(self.shard_indices)} of "
+            f"{self.shard_count}, {self.row_count} row(s))"
+        )
 
     @property
     def key(self) -> str:
@@ -212,7 +304,48 @@ class ShardArtifact:
 
     @property
     def row_count(self) -> int:
-        return len(self.values)
+        if self._values is not None:
+            return len(self._values)
+        return sum(rows for _index, _key, rows in self.points)
+
+    @property
+    def values(self) -> list[tuple[Any, ...]]:
+        """All rows, point-major, aligned with :attr:`points`.
+
+        Column-store artifacts materialize (and drop) their store on
+        first access; in-place mutations are therefore visible to
+        :meth:`write` and the merge's duplicate detection.
+        """
+        if self._values is None:
+            series = self._series
+            ordered = [
+                series[name].tolist()
+                if isinstance(series[name], np.ndarray)
+                else series[name]
+                for name in self.columns
+            ]
+            self._values = [tuple(row) for row in zip(*ordered)] if ordered else []
+            self._series = None
+            self._matrix = None
+        return self._values
+
+    @values.setter
+    def values(self, rows: "Sequence[tuple[Any, ...]]") -> None:
+        self._values = list(rows)
+        self._series = None
+        self._matrix = None
+
+    def column(self, name: str) -> Any:
+        """One column's cells in stored row order.
+
+        Column-store artifacts hand back the backing array/list itself
+        (float columns stay memory-mapped: zero-copy); row-store
+        artifacts gather the column positionally.
+        """
+        if self._series is not None:
+            return self._series[name]
+        position = self.columns.index(name)
+        return [row[position] for row in self._values]
 
     @property
     def artifact_name(self) -> str:
@@ -258,44 +391,90 @@ class ShardArtifact:
         )
 
     def result(self) -> SweepResult:
-        """This artifact's rows as a packed :class:`SweepResult`."""
+        """This artifact's rows as a packed :class:`SweepResult`.
+
+        Column-store artifacts stay columnar (float columns remain
+        memory-mapped views); row-store artifacts stay packed.
+        """
+        if self._series is not None:
+            return SweepResult.from_series(
+                self.columns, {name: self._series[name] for name in self.columns}
+            )
         return SweepResult.from_packed(self.columns, self.values)
 
     # ------------------------------------------------------------------ #
+    def _column_store(self) -> "tuple[dict[str, Any], list[str]]":
+        """``(series, numeric column names)`` of this artifact's cells.
+
+        Row-store artifacts gather their columns here (floats become
+        ``float64`` arrays — an exact round trip); column-store
+        artifacts return their backing store as-is, where a numeric
+        column *is* an ndarray.
+        """
+        if self._series is not None:
+            series = self._series
+            numeric = [
+                name
+                for name in self.columns
+                if isinstance(series[name], np.ndarray)
+            ]
+            return series, numeric
+        transposed = list(zip(*self._values)) if self._values else []
+        gathered = {
+            name: list(transposed[position]) if transposed else []
+            for position, name in enumerate(self.columns)
+        }
+        numeric = [
+            name
+            for name, cells in gathered.items()
+            # set(map(type, ...)) runs the exact type scan in C.
+            if cells and set(map(type, cells)) == {float}
+        ]
+        numeric_set = set(numeric)
+        series = {
+            name: np.asarray(cells, dtype=np.float64)
+            if name in numeric_set
+            else cells
+            for name, cells in gathered.items()
+        }
+        return series, numeric
+
     def write(self, target: str | Path) -> Path:
         """Serialize into ``target`` and return the artifact directory.
 
         ``target`` is either the artifact directory itself (a path
         ending in ``.repro-shard``) or a parent directory, in which case
         the canonical :attr:`artifact_name` is used.  Float columns go
-        to ``columns.npz`` (``float64`` arrays, exact round trip);
-        everything else to ``columns.json``; the manifest is written
-        last so a crashed writer never leaves a manifest describing
-        missing column files.
+        to ``columns.npy`` as one stacked ``float64`` matrix (row ``i``
+        = numeric column ``i``; exact round trip, mappable on read);
+        everything else to ``columns.json``, dictionary-encoded where
+        possible (sweep metadata columns repeat a handful of distinct
+        strings/ints, so codes serialize and parse far faster than the
+        cells); the manifest is written last so a crashed writer never
+        leaves a manifest describing missing column files.
         """
         target = Path(target)
         path = target if target.name.endswith(SHARD_SUFFIX) else (
             target / self.artifact_name
         )
         path.mkdir(parents=True, exist_ok=True)
-        series = {
-            name: [row[position] for row in self.values]
-            for position, name in enumerate(self.columns)
-        }
-        numeric = [
-            name
-            for name, cells in series.items()
-            if cells and all(type(cell) is float for cell in cells)
-        ]
-        arrays = {
-            name: np.asarray(series[name], dtype=np.float64) for name in numeric
-        }
+        series, numeric = self._column_store()
         objects = {
-            name: cells for name, cells in series.items() if name not in numeric
+            name: _encode_object_column(
+                series[name]
+                if isinstance(series[name], list)
+                else list(series[name])
+            )
+            for name in self.columns
+            if name not in set(numeric)
         }
-        atomic_replace(
-            path / NUMERIC_NAME, lambda handle: np.savez(handle, **arrays)
-        )
+        if numeric:
+            matrix = np.ascontiguousarray(
+                np.stack([np.asarray(series[name]) for name in numeric])
+            )
+            atomic_replace(
+                path / NUMERIC_NAME, lambda handle: np.save(handle, matrix)
+            )
         atomic_replace(
             path / OBJECT_NAME,
             lambda handle: handle.write(json.dumps(objects).encode("utf-8")),
@@ -327,7 +506,13 @@ class ShardArtifact:
 
     @classmethod
     def read(cls, path: str | Path) -> "ShardArtifact":
-        """Deserialize one ``.repro-shard`` directory."""
+        """Deserialize one ``.repro-shard`` directory.
+
+        Float columns are **memory-mapped** (``np.load(...,
+        mmap_mode="r")`` on the column matrix), not copied: reading an
+        artifact costs the manifest plus its object columns, and merge/
+        export pull in only the mapped pages they actually touch.
+        """
         path = Path(path)
         try:
             manifest = json.loads((path / MANIFEST_NAME).read_text())
@@ -344,21 +529,32 @@ class ShardArtifact:
             )
         try:
             columns = tuple(manifest["columns"])
-            numeric = set(manifest["numeric_columns"])
+            numeric = list(manifest["numeric_columns"])
             points = [
                 (entry["index"], entry["cache_key"], entry["rows"])
                 for entry in manifest["points"]
             ]
             row_count = manifest["row_count"]
             objects = json.loads((path / OBJECT_NAME).read_text())
-            series: dict[str, list[Any]] = {}
+            series: dict[str, Any] = {}
             if numeric:
-                with np.load(path / NUMERIC_NAME, allow_pickle=False) as arrays:
-                    for name in numeric:
-                        series[name] = arrays[name].tolist()
+                matrix = np.load(
+                    path / NUMERIC_NAME, mmap_mode="r", allow_pickle=False
+                )
+                if matrix.shape != (len(numeric), row_count):
+                    raise ShardError(
+                        f"{path}: column matrix shape {matrix.shape} disagrees "
+                        f"with the manifest "
+                        f"({len(numeric)} column(s) x {row_count} row(s))"
+                    )
+                for position, name in enumerate(numeric):
+                    series[name] = matrix[position]
+            numeric_set = set(numeric)
             for name in columns:
-                if name not in numeric:
-                    series[name] = objects[name]
+                if name not in numeric_set:
+                    series[name] = _decode_object_column(objects[name])
+        except ShardError:
+            raise
         except (OSError, KeyError, ValueError) as error:
             raise ShardError(
                 f"{path}: corrupt or incomplete shard artifact ({error})"
@@ -373,21 +569,20 @@ class ShardArtifact:
             raise ShardError(
                 f"{path}: per-point row accounting disagrees with row_count"
             )
-        values = (
-            [tuple(row) for row in zip(*(series[name] for name in columns))]
-            if columns
-            else []
-        )
-        return cls(
+        artifact = cls(
             spec_digest=manifest["spec_digest"],
             shard_count=manifest["shard_count"],
             shard_indices=tuple(manifest["shard_indices"]),
             columns=columns,
             points=points,
-            values=values,
+            series=series,
             version=manifest.get("version", "unknown"),
             path=path,
         )
+        if numeric:
+            artifact._matrix = matrix
+            artifact._matrix_columns = tuple(numeric)
+        return artifact
 
 
 # ---------------------------------------------------------------------- #
@@ -434,8 +629,38 @@ class ShardRunner:
 # ---------------------------------------------------------------------- #
 # Merging
 # ---------------------------------------------------------------------- #
+def _slices_equal(a: Any, b: Any) -> bool:
+    """Cell-exact equality of two column slices (array, list or mixed)."""
+    if isinstance(a, np.ndarray) and isinstance(b, np.ndarray):
+        return bool(np.array_equal(a, b))
+    a_cells = a.tolist() if isinstance(a, np.ndarray) else list(a)
+    b_cells = b.tolist() if isinstance(b, np.ndarray) else list(b)
+    return a_cells == b_cells
+
+
+def _blocks_equal(
+    a: ShardArtifact, a_offset: int, b: ShardArtifact, b_offset: int, rows: int
+) -> bool:
+    """Whether two artifacts' row blocks agree, compared column-wise
+    (no row tuple materialization)."""
+    return all(
+        _slices_equal(
+            a.column(name)[a_offset : a_offset + rows],
+            b.column(name)[b_offset : b_offset + rows],
+        )
+        for name in a.columns
+    )
+
+
+def _artifacts_equal(a: ShardArtifact, b: ShardArtifact) -> bool:
+    """Whether two same-key artifacts carry identical rows."""
+    if a.points != b.points or a.columns != b.columns:
+        return False
+    return _blocks_equal(a, 0, b, 0, a.row_count)
+
+
 def merge_artifacts(artifacts: Sequence[ShardArtifact]) -> ShardArtifact:
-    """Merge shard artifacts into one combined artifact.
+    """Merge shard artifacts into one combined artifact, out of core.
 
     Deduplicates identical artifacts by key (idempotent) and is
     independent of input order and grouping (associative: merging
@@ -444,16 +669,32 @@ def merge_artifacts(artifacts: Sequence[ShardArtifact]) -> ShardArtifact:
     Raises :class:`ShardError` on foreign artifacts (different spec
     digest or shard count) and on duplicated-but-different shards or
     points; missing shards are allowed here (partial merge) and only
-    rejected by :func:`merge_to_result`.
+    rejected by :func:`merge_shard_paths`.
+
+    The merge streams **one output column at a time**: each point
+    contributes a slice of its owning artifact's column (for artifacts
+    loaded with :meth:`ShardArtifact.read`, a view into the mapped
+    column matrix), and the slices concatenate straight into the output
+    column.  Peak resident memory is the merged table plus the object
+    columns of the inputs — no row tuple is ever materialized and no
+    shard's float columns are ever copied wholesale into RAM.
     """
     if not artifacts:
         raise ShardError("no shard artifacts to merge")
-    deduped: dict[str, ShardArtifact] = {}
+    # Dedup by the key's *preimage* (plan slice + covered points) — same
+    # identity as ShardArtifact.key without hashing every input.
+    deduped: dict[tuple, ShardArtifact] = {}
     for artifact in artifacts:
-        existing = deduped.get(artifact.key)
+        identity = (
+            artifact.spec_digest,
+            artifact.shard_count,
+            artifact.shard_indices,
+            tuple(index for index, _key, _rows in artifact.points),
+        )
+        existing = deduped.get(identity)
         if existing is None:
-            deduped[artifact.key] = artifact
-        elif existing.points != artifact.points or existing.values != artifact.values:
+            deduped[identity] = artifact
+        elif not _artifacts_equal(existing, artifact):
             # The key covers which slice of which plan, not the row
             # bytes: equal keys with different rows mean one side is
             # corrupt (or a nondeterminism bug worth failing loudly on).
@@ -486,49 +727,112 @@ def merge_artifacts(artifacts: Sequence[ShardArtifact]) -> ShardArtifact:
         covered.update(artifact.shard_indices)
     columns: tuple[str, ...] = ()
     for artifact in deduped.values():
-        if artifact.values:
+        if artifact.row_count:
             columns = artifact.columns
             break
-    blocks: dict[int, tuple[str, list[tuple[Any, ...]]]] = {}
-    owner: dict[int, str] = {}
+    #: point index -> (owning artifact, row offset into it, rows, cache key)
+    blocks: dict[int, tuple[ShardArtifact, int, int, str]] = {}
     for artifact in deduped.values():
-        if artifact.values and artifact.columns != columns:
+        if artifact.row_count and artifact.columns != columns:
             raise ShardError(
                 f"{artifact.path or artifact.key}: column schema "
                 f"{artifact.columns} does not match {columns}"
             )
         offset = 0
         for point_index, cache_key, rows in artifact.points:
-            block = (cache_key, artifact.values[offset : offset + rows])
-            offset += rows
             existing = blocks.get(point_index)
             if existing is not None:
                 # Overlapping coverage (e.g. a partial merge re-merged
                 # with one of its inputs) is fine when the rows agree —
                 # merge stays idempotent; disagreement means two
                 # different runs claim the same shard slot.
-                if existing != block:
+                owner, owner_offset, owner_rows, owner_key = existing
+                if (
+                    owner_key != cache_key
+                    or owner_rows != rows
+                    or not _blocks_equal(owner, owner_offset, artifact, offset, rows)
+                ):
                     raise ShardError(
                         f"duplicate shard data for point {point_index}: "
-                        f"{owner[point_index]} and "
+                        f"{owner.path or owner.key} and "
                         f"{artifact.path or artifact.key} disagree"
                     )
+                offset += rows
                 continue
-            blocks[point_index] = block
-            owner[point_index] = str(artifact.path or artifact.key)
-    points: list[tuple[int, str, int]] = []
-    values: list[tuple[Any, ...]] = []
-    for point_index in sorted(blocks):
-        cache_key, rows = blocks[point_index]
-        points.append((point_index, cache_key, len(rows)))
-        values.extend(rows)
+            blocks[point_index] = (artifact, offset, rows, cache_key)
+            offset += rows
+    ordered = sorted(blocks)
+    points: list[tuple[int, str, int]] = [
+        (point_index, blocks[point_index][3], blocks[point_index][2])
+        for point_index in ordered
+    ]
+    # Coalesce the output row order into copy runs: consecutive points
+    # owned by the same artifact at contiguous offsets (the common case
+    # — each artifact stores its points sorted by index) collapse into
+    # one slice, so the column loop below does O(runs), not O(points),
+    # reads per column.
+    runs: list[tuple[ShardArtifact, int, int]] = []
+    for point_index in ordered:
+        artifact, offset, rows, _cache_key = blocks[point_index]
+        if not rows:
+            continue
+        if runs:
+            last_artifact, last_offset, last_rows = runs[-1]
+            if last_artifact is artifact and last_offset + last_rows == offset:
+                runs[-1] = (artifact, last_offset, last_rows + rows)
+                continue
+        runs.append((artifact, offset, rows))
+    series: dict[str, Any] = {}
+    # Matrix fast path: when every run's artifact came off disk with the
+    # same float-column layout, copy all float columns of each run in
+    # one 2-D slice and split the merged matrix back into row views —
+    # O(runs) mapped reads total instead of O(runs x float columns).
+    # Same elements, same concatenation order, so bit-identical to the
+    # per-column path below (which still handles the object columns and
+    # any artifact without a backing matrix).
+    matrix_layout: tuple[str, ...] | None = None
+    matrix_slices: "list[np.ndarray] | None" = []
+    for artifact, offset, rows in runs:
+        matrix = artifact._matrix
+        if matrix is None or (
+            matrix_layout is not None
+            and artifact._matrix_columns != matrix_layout
+        ):
+            matrix_slices = None
+            break
+        matrix_layout = artifact._matrix_columns
+        matrix_slices.append(matrix[:, offset : offset + rows])
+    if matrix_slices and matrix_layout:
+        merged_matrix = np.concatenate(matrix_slices, axis=1)
+        for position, name in enumerate(matrix_layout):
+            series[name] = merged_matrix[position]
+    for name in columns:
+        if name in series:
+            continue
+        per_artifact: dict[int, Any] = {}
+        slices: list[Any] = []
+        for artifact, offset, rows in runs:
+            column = per_artifact.get(id(artifact))
+            if column is None:
+                column = artifact.column(name)
+                per_artifact[id(artifact)] = column
+            slices.append(column[offset : offset + rows])
+        if slices and all(isinstance(piece, np.ndarray) for piece in slices):
+            series[name] = np.concatenate(slices)
+        else:
+            cells: list[Any] = []
+            for piece in slices:
+                cells.extend(
+                    piece.tolist() if isinstance(piece, np.ndarray) else piece
+                )
+            series[name] = cells
     return ShardArtifact(
         spec_digest=first.spec_digest,
         shard_count=first.shard_count,
         shard_indices=tuple(sorted(covered)),
         columns=columns,
         points=points,
-        values=values,
+        series=series,
     )
 
 

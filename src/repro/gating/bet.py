@@ -303,6 +303,54 @@ class IdleCoefficientColumns:
         )
 
 
+def grid_idle_coefficient_columns(
+    table: "ParameterTable",
+    component: Component,
+    variant: str | None,
+    static_power_w: float,
+    chip: NPUChipSpec,
+    software: bool,
+    min_window_cycles: float = 0.0,
+) -> IdleCoefficientColumns:
+    """Vectorized :func:`idle_gating_coefficients` over a parameter grid.
+
+    Derives the per-gap coefficient columns of one (component, chip)
+    pair for every point of ``table`` in a handful of array ops instead
+    of one scalar derivation per point.  Every operation mirrors the
+    scalar function elementwise — same divisions, same ``max`` order —
+    so the columns are bit-identical to stacking the per-point scalar
+    results.  Only valid for policies whose coefficient hooks are the
+    stock ones; subclasses with custom windows or coefficients must go
+    through the per-point path.
+    """
+    key = variant or GatingParameters._COMPONENT_KEYS[component]
+    delay_cycles = table.delay_cycles[key]
+    bet_cycles = table.bet_cycles[key]
+    delay_s = chip.cycles_to_seconds(delay_cycles)
+    bet_s = chip.cycles_to_seconds(bet_cycles)
+    if component is Component.SRAM:
+        off_leak = table.sram_off
+    else:
+        off_leak = table.logic_off
+    transition_j = static_power_w * bet_s * (1.0 - off_leak)
+    if software:
+        window_s = np.zeros_like(bet_s)
+        threshold_s = np.maximum(bet_s, 2.0 * delay_s)
+    else:
+        window = bet_cycles * table.detection_window_bet_fraction
+        window = np.maximum(window, min_window_cycles)
+        window_s = chip.cycles_to_seconds(window)
+        threshold_s = window_s + bet_s
+    return IdleCoefficientColumns(
+        window_s=window_s[:, None],
+        threshold_s=threshold_s[:, None],
+        off_leakage=off_leak[:, None],
+        transition_j=transition_j[:, None],
+        delay_cycles=delay_cycles[:, None],
+        software=software,
+    )
+
+
 class ParameterTable:
     """A grid of :class:`GatingParameters` in struct-of-arrays form.
 
@@ -437,6 +485,7 @@ __all__ = [
     "LeakageRatios",
     "ParameterTable",
     "TABLE3_TIMINGS",
+    "grid_idle_coefficient_columns",
     "idle_gating_coefficients",
     "parameters_token",
 ]

@@ -33,6 +33,7 @@ from repro.gating.bet import (
     IdleCoefficientColumns,
     IdleGatingCoefficients,
     ParameterTable,
+    grid_idle_coefficient_columns,
     idle_gating_coefficients,
     parameters_token,
 )
@@ -207,6 +208,29 @@ def _grid_dispatch_safe(cls: type) -> bool:
             )
         )
         _GRID_DISPATCH_SAFE[cls] = cached
+    return cached
+
+
+# The idle-coefficient hooks the vectorized column builder replaces.
+# A subclass redefining any of them gets the per-point derivation so
+# its custom windows/coefficients keep affecting every accounting path.
+_COEFFICIENT_HOOKS = (
+    "_idle_coefficients",
+    "_detection_window_s",
+    "_uses_software_gating",
+    "_timing_variant",
+)
+_COEFFICIENT_COLUMNS_SAFE: dict[type, bool] = {}
+
+
+def _coefficient_columns_safe(cls: type) -> bool:
+    cached = _COEFFICIENT_COLUMNS_SAFE.get(cls)
+    if cached is None:
+        cached = all(
+            _first_definer(cls, name) is PowerGatingPolicy
+            for name in _COEFFICIENT_HOOKS
+        )
+        _COEFFICIENT_COLUMNS_SAFE[cls] = cached
     return cached
 
 
@@ -1611,9 +1635,13 @@ class PowerGatingPolicy:
     ) -> IdleCoefficientColumns:
         """Per-point idle coefficients as aligned ``(n_points, 1)`` columns.
 
-        Each point's scalars are derived through a fresh per-point
-        policy instance — exactly the objects the per-point oracle
-        consumes — and memoized on the parameter table per (policy
+        Policies with stock coefficient hooks get the vectorized
+        derivation (:func:`grid_idle_coefficient_columns`), which is
+        elementwise-identical to the scalar function; a subclass that
+        redefines any coefficient hook falls back to deriving each
+        point's scalars through a fresh per-point policy instance —
+        exactly the objects the per-point oracle consumes.  Either way
+        the columns are memoized on the parameter table per (policy
         class, component, static power, chip).  The chip spec itself
         (frozen, hashable) is part of the key — an ``id()`` key could
         alias a recycled address to stale chip-frequency-dependent
@@ -1623,14 +1651,29 @@ class PowerGatingPolicy:
         cached = ptable.memo.get(key)
         if cached is None:
             cls = type(self)
-            cached = IdleCoefficientColumns.from_coefficients(
-                [
-                    cls(parameters)._idle_coefficients(
-                        component, static_power_w, chip
-                    )
-                    for parameters in ptable.parameters
-                ]
-            )
+            if _coefficient_columns_safe(cls):
+                cached = grid_idle_coefficient_columns(
+                    ptable,
+                    component,
+                    self._timing_variant(component),
+                    static_power_w,
+                    chip,
+                    software=self._uses_software_gating(component),
+                    min_window_cycles=(
+                        MIN_VU_DETECTION_WINDOW_CYCLES
+                        if component is Component.VU
+                        else 0.0
+                    ),
+                )
+            else:
+                cached = IdleCoefficientColumns.from_coefficients(
+                    [
+                        cls(parameters)._idle_coefficients(
+                            component, static_power_w, chip
+                        )
+                        for parameters in ptable.parameters
+                    ]
+                )
             ptable.memo[key] = cached
         return cached
 

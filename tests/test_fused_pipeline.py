@@ -1,0 +1,160 @@
+"""The fused simulate→price sweep pass and the out-of-core shard merge.
+
+Two invariants this file pins:
+
+* the packed sweep path prices each (policy, chip) group with **one**
+  grid kernel call and resolves/simulates each distinct profile once —
+  no per-point re-resolution and no per-cell pricing; and
+* merging shard artifacts never materializes more than one shard's
+  float columns plus the merged accumulator (the artifacts stay
+  memory-mapped; no row tuples).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.experiments import SimulationCache, SweepSpec, run_sweep
+from repro.experiments import cache as cache_module
+from repro.experiments.sharding import ShardArtifact, merge_shard_paths
+from repro.gating import policies as policies_module
+from repro.gating.bet import DEFAULT_PARAMETERS
+from repro.simulator import columnar
+from repro.simulator.engine import NPUSimulator
+
+#: Multi-axis grid: 2 workloads x 2 chips x 3 gating-parameter points.
+FUSED_SPEC = SweepSpec(
+    workloads=("llama3-8b-decode", "dlrm-s-inference"),
+    chips=("NPU-C", "NPU-D"),
+    batch_sizes=(1,),
+    gating_parameters=tuple(
+        (f"x{multiplier}", DEFAULT_PARAMETERS.with_delay_multiplier(multiplier))
+        for multiplier in (1.0, 2.0, 4.0)
+    ),
+)
+
+
+class TestFusedPassCallCounts:
+    def test_one_grid_kernel_call_per_policy_group(self, monkeypatch):
+        """A cold multi-parameter sweep prices each policy's whole
+        (profiles x parameter points) grid with exactly one
+        ``grid_evaluate`` call — the fused pass groups every miss of a
+        policy into one kernel invocation instead of pricing cells."""
+        calls: list[str] = []
+        original = policies_module.PowerGatingPolicy.grid_evaluate
+
+        def counting(self, profiles, parameter_grid, power_model=None):
+            calls.append(type(self).__name__)
+            return original(self, profiles, parameter_grid, power_model)
+
+        monkeypatch.setattr(
+            policies_module.PowerGatingPolicy, "grid_evaluate", counting
+        )
+        with columnar.use_fast_path(True):
+            table = run_sweep(FUSED_SPEC, cache=SimulationCache())
+        assert len(table) == FUSED_SPEC.num_points * len(FUSED_SPEC.policies)
+        # One kernel call per policy, and each policy priced exactly once.
+        assert len(calls) == len(FUSED_SPEC.policies)
+        assert len(set(calls)) == len(calls)
+
+    def test_execution_resolved_once_per_workload_chip(self, monkeypatch):
+        """The gating-parameter axis rides along for free: execution
+        resolution happens once per distinct (workload, chip, batch)
+        combination, not once per grid point."""
+        calls: list[tuple] = []
+        original = cache_module.resolve_execution
+
+        def counting(spec, config):
+            resolved = original(spec, config)
+            calls.append((spec.name, resolved[0]))
+            return resolved
+
+        monkeypatch.setattr(cache_module, "resolve_execution", counting)
+        with columnar.use_fast_path(True):
+            run_sweep(FUSED_SPEC, cache=SimulationCache())
+        expected = len(FUSED_SPEC.workloads) * len(FUSED_SPEC.chips)
+        assert len(calls) == expected
+        assert len(set(calls)) == expected
+
+    def test_simulate_once_per_profile(self):
+        """The simulator runs once per distinct (workload, chip) profile;
+        gating-parameter points and policies never re-simulate."""
+        NPUSimulator.reset_simulate_calls()
+        with columnar.use_fast_path(True):
+            run_sweep(FUSED_SPEC, cache=SimulationCache())
+        assert NPUSimulator.simulate_calls == len(FUSED_SPEC.workloads) * len(
+            FUSED_SPEC.chips
+        )
+
+    def test_fused_rows_match_object_oracle(self):
+        """The fused pass emits byte-identical CSV to the object path."""
+        with columnar.use_fast_path(True):
+            fused = run_sweep(FUSED_SPEC, cache=SimulationCache())
+        with columnar.use_fast_path(False):
+            oracle = run_sweep(FUSED_SPEC, cache=SimulationCache())
+        assert fused.to_csv() == oracle.to_csv()
+
+
+# --------------------------------------------------------------------- #
+# Merge memory profile
+# --------------------------------------------------------------------- #
+ROWS_PER_SHARD = 50_000
+FLOAT_COLUMNS = ("a", "b", "c", "d")
+SHARD_BYTES = ROWS_PER_SHARD * len(FLOAT_COLUMNS) * 8
+
+
+def _synthetic_artifact(index: int, count: int) -> ShardArtifact:
+    rng_base = float(index * ROWS_PER_SHARD)
+    series: dict = {
+        name: np.arange(ROWS_PER_SHARD, dtype=np.float64) + rng_base + column
+        for column, name in enumerate(FLOAT_COLUMNS)
+    }
+    series["workload"] = ["w0" if i % 2 else "w1" for i in range(ROWS_PER_SHARD)]
+    return ShardArtifact(
+        spec_digest="f" * 64,
+        shard_count=count,
+        shard_indices=(index,),
+        columns=(*FLOAT_COLUMNS, "workload"),
+        points=[(index, f"point-{index:04d}", ROWS_PER_SHARD)],
+        series=series,
+    )
+
+
+class TestMergeStaysOutOfCore:
+    @pytest.fixture(scope="class")
+    def shard_paths(self, tmp_path_factory):
+        target = tmp_path_factory.mktemp("shards")
+        return [
+            _synthetic_artifact(index, 3).write(target) for index in range(3)
+        ]
+
+    def test_merge_peak_is_accumulator_not_inputs(self, shard_paths):
+        """Peak allocations during a merge stay around one merged float
+        matrix plus bookkeeping: the three input artifacts are
+        memory-mapped, never copied wholesale into RAM, and no row
+        tuples are built.  (The old row-store merge materialized every
+        shard's rows as tuples — several times the ceiling here.)"""
+        merged_bytes = 3 * SHARD_BYTES  # the accumulator itself
+        tracemalloc.start()
+        try:
+            merged = merge_shard_paths(shard_paths)
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert merged.row_count == 3 * ROWS_PER_SHARD
+        # One shard's columns + the accumulator, plus slack for the
+        # object columns and interpreter noise.
+        ceiling = SHARD_BYTES + merged_bytes + 4 * 2 ** 20
+        assert peak < ceiling, f"merge peak {peak} exceeds {ceiling}"
+
+    def test_merged_columns_equal_concatenated_inputs(self, shard_paths):
+        merged = merge_shard_paths(shard_paths)
+        for column, name in enumerate(FLOAT_COLUMNS):
+            expected = np.arange(3 * ROWS_PER_SHARD, dtype=np.float64) + column
+            assert np.array_equal(np.asarray(merged.column(name)), expected)
+        workload = merged.column("workload")
+        assert workload[:2] == ["w1", "w0"]
+        assert len(workload) == 3 * ROWS_PER_SHARD

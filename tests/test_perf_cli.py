@@ -48,7 +48,7 @@ class TestPerfSuite:
             assert entry["object_mean_s"] >= entry["object_s"]
             assert entry["columnar_mean_s"] >= entry["columnar_s"]
         assert tiny_payload["grid"] == "tiny"
-        assert tiny_payload["schema"] == 4
+        assert tiny_payload["schema"] == 5
 
     def test_grids_pick_largest_graphs(self):
         spec = perf_sweep_spec("tiny")
@@ -86,14 +86,19 @@ class TestPerfSuite:
             "nonexistent: missing from current run"
         ]
 
-    def test_multi_machine_shard_is_informational_not_gated(self, tiny_payload):
-        """The near-unity scale-out pair must never flake the gate."""
-        from repro.analysis.perf import UNGATED_BENCHMARKS
+    def test_multi_machine_shard_is_gated(self, tiny_payload):
+        """The scale-out pair is a real speedup now (N=8 machines modelled,
+        fused simulate→price per shard, streamed out-of-core merge) and
+        must trip the gate when it regresses, like every other benchmark."""
+        from repro.analysis.perf import MULTI_MACHINE_SHARDS, UNGATED_BENCHMARKS
 
-        assert "multi_machine_shard" in UNGATED_BENCHMARKS
+        assert UNGATED_BENCHMARKS == frozenset()
+        assert MULTI_MACHINE_SHARDS == 8
+        assert tiny_payload["benchmarks"]["multi_machine_shard"]["shards"] == 8
         regressed = json.loads(json.dumps(tiny_payload))
         regressed["benchmarks"]["multi_machine_shard"]["speedup"] /= 1000
-        assert check_regression(regressed, tiny_payload, tolerance=0.25) == []
+        failures = check_regression(regressed, tiny_payload, tolerance=0.25)
+        assert failures and "multi_machine_shard" in failures[0]
 
     def test_compare_schema_drift_reports_per_name(self, tiny_payload):
         """Regression: payloads whose benchmark sets or entry shapes have
@@ -150,6 +155,21 @@ class TestPerfCli:
         new_path.write_text(json.dumps(regressed))
         with pytest.raises(SystemExit, match="sensitivity_grid"):
             main(["perf", "--compare", str(old_path), str(new_path)])
+
+    def test_perf_profile_flag(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["perf", "--profile", "idle_detector", "--grid", "tiny",
+             "--repeat", "1", "--profile-top", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "idle_detector" in out and "cumulative" in out
+        assert (tmp_path / "perf-idle_detector.prof").exists()
+
+    def test_perf_profile_unknown_name(self):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["perf", "--profile", "nonexistent"])
 
     def test_perf_check_failure_exits_nonzero(self, tmp_path):
         baseline = run_perf_suite(grid="tiny", repeat=1)
