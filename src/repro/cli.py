@@ -137,8 +137,9 @@ def _parse_shard(text: str) -> tuple[int, int]:
     return index, count
 
 
-def _cmd_sweep(args: argparse.Namespace) -> str:
-    from repro.experiments import ShardRunner, SimulationCache, SweepRunner, SweepSpec
+def _spec_from_args(args: argparse.Namespace):
+    """Build the SweepSpec described by the shared grid flags."""
+    from repro.experiments import SweepSpec
 
     spec_kwargs = dict(
         workloads=tuple(args.workload),
@@ -150,10 +151,16 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         # SweepSpec resolves policy names itself and always prepends NoPG.
         spec_kwargs["policies"] = tuple(args.policy)
     try:
-        spec = SweepSpec(**spec_kwargs)
+        return SweepSpec(**spec_kwargs)
     except KeyError as error:
         # Same message/exit behavior as `simulate` with an unknown policy.
         raise SystemExit(error.args[0])
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.experiments import ShardRunner, SimulationCache, SweepRunner
+
+    spec = _spec_from_args(args)
     cache = (
         SimulationCache(args.cache, shared_dir=args.shared_cache)
         if args.cache or args.shared_cache
@@ -222,25 +229,33 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 
 def _cmd_merge_shards(args: argparse.Namespace) -> str:
     from repro.experiments.sharding import (
-        ShardArtifact,
         ShardError,
         merge_artifacts,
-        merge_shard_paths,
-        resolve_artifact_paths,
+        read_artifacts,
     )
 
     try:
+        # Lenient by default: a corrupt artifact from a crashed worker
+        # is skipped (and listed below) instead of aborting the merge;
+        # --strict restores abort-on-first-corrupt.
+        artifacts, skipped = read_artifacts(args.paths, strict=args.strict)
+        if not artifacts:
+            raise ShardError("no readable shard artifacts to merge")
+        merged = merge_artifacts(artifacts)
+        missing = sorted(
+            set(range(merged.shard_count)) - set(merged.shard_indices)
+        )
         if args.output:
             # Partial merges are allowed when writing an artifact: the
             # combined artifact merges again later with the rest.
-            artifacts = [
-                ShardArtifact.read(path)
-                for path in resolve_artifact_paths(args.paths)
-            ]
-            merged = merge_artifacts(artifacts)
             path = merged.write(args.output)
         else:
-            merged = merge_shard_paths(args.paths)
+            if missing:
+                raise ShardError(
+                    f"missing shard(s) {missing} of {merged.shard_count}; "
+                    "pass every artifact (or merge partially via "
+                    "merge_artifacts/`repro merge-shards --output`)"
+                )
             path = None
     except ShardError as error:
         raise SystemExit(f"error: {error}")
@@ -251,6 +266,19 @@ def _cmd_merge_shards(args: argparse.Namespace) -> str:
         f"shards merged : {covered}/{merged.shard_count}",
         f"result rows   : {len(result)} ({len(merged.points)} points)",
     ]
+    if missing:
+        # Name the holes so a partial-run operator knows what to
+        # re-launch, instead of diffing covered/N by hand.
+        lines.append(
+            f"missing shards: {missing} (re-run these, then re-merge)"
+        )
+    for skipped_path, reason in skipped:
+        lines.append(f"skipped       : {skipped_path} ({reason})")
+    if skipped:
+        lines.append(
+            f"skipped total : {len(skipped)} unreadable artifact(s) "
+            "(--strict aborts instead)"
+        )
     if path is not None:
         lines.append(f"shard written : {path}")
     if args.csv:
@@ -259,6 +287,70 @@ def _cmd_merge_shards(args: argparse.Namespace) -> str:
     if args.json:
         result.to_json(args.json)
         lines.append(f"json written  : {args.json}")
+    return "\n".join(lines)
+
+
+def _cmd_launch(args: argparse.Namespace) -> str:
+    from repro.experiments.scheduler import (
+        LaunchError,
+        LaunchScheduler,
+        RetryPolicy,
+    )
+    from repro.experiments.sharding import ShardError
+
+    spec = _spec_from_args(args) if args.workload else None
+    if spec is None and not args.resume:
+        raise SystemExit(
+            "launch needs a grid (-w/--workload ...) unless --resume "
+            "restores one from the launch directory"
+        )
+    if args.shards is None and not args.resume:
+        raise SystemExit("launch needs --shards N (or --resume)")
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_delay_s=args.base_delay,
+    )
+    try:
+        scheduler = LaunchScheduler(
+            args.dir,
+            spec,
+            args.shards,
+            backend=args.backend,
+            max_workers=args.max_workers,
+            retry=retry,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            shard_timeout=args.shard_timeout,
+            speculate=not args.no_speculate,
+            shared_cache=args.shared_cache,
+            gc_max_age_days=args.gc_max_age_days,
+            gc_max_bytes=args.gc_max_bytes,
+            csv_path=args.csv,
+            resume=args.resume,
+        )
+        report = scheduler.run()
+    except (LaunchError, ShardError) as error:
+        raise SystemExit(f"error: {error}")
+    if not report.complete:
+        # Print the summary ourselves, then exit with the partial code
+        # (main() only prints on success/exit 0).
+        print(report.describe())
+        raise SystemExit(report.exit_code)
+    return report.describe()
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> str:
+    from repro.experiments.cache import SharedCacheDir
+
+    report = SharedCacheDir(args.dir).gc(
+        max_age_days=args.max_age_days,
+        max_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    lines = [report.describe()]
+    if args.dry_run:
+        for path, reason in report.removed:
+            lines.append(f"  {path} ({reason})")
     return "\n".join(lines)
 
 
@@ -364,29 +456,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.set_defaults(handler=_cmd_simulate)
 
+    def add_grid_arguments(
+        target: argparse.ArgumentParser, required: bool = True
+    ) -> None:
+        """The workload x chip x policy grid flags (sweep and launch)."""
+        target.add_argument(
+            "-w", "--workload", action="append", required=required,
+            help="workload to sweep (repeatable)",
+        )
+        target.add_argument(
+            "--chip", action="append",
+            help="NPU generation to sweep (repeatable; default NPU-D)",
+        )
+        target.add_argument(
+            "--batch-size", action="append", type=int,
+            help="batch size grid point (repeatable; default: workload default)",
+        )
+        target.add_argument(
+            "--num-chips", action="append", type=int,
+            help="pod size grid point (repeatable; default: workload default)",
+        )
+        target.add_argument(
+            "--policy", action="append",
+            help="evaluate only these policies (repeatable); NoPG is always "
+                 "included",
+        )
+
     sweep = subparsers.add_parser(
         "sweep", help="run a cached workload x chip x policy parameter sweep"
     )
-    sweep.add_argument(
-        "-w", "--workload", action="append", required=True,
-        help="workload to sweep (repeatable)",
-    )
-    sweep.add_argument(
-        "--chip", action="append",
-        help="NPU generation to sweep (repeatable; default NPU-D)",
-    )
-    sweep.add_argument(
-        "--batch-size", action="append", type=int,
-        help="batch size grid point (repeatable; default: workload default)",
-    )
-    sweep.add_argument(
-        "--num-chips", action="append", type=int,
-        help="pod size grid point (repeatable; default: workload default)",
-    )
-    sweep.add_argument(
-        "--policy", action="append",
-        help="evaluate only these policies (repeatable); NoPG is always included",
-    )
+    add_grid_arguments(sweep)
     sweep.add_argument(
         "--parallel", type=int, default=None, metavar="N",
         help="run points on N worker processes (default: serial)",
@@ -429,9 +528,113 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a combined .repro-shard artifact instead of requiring "
              "full coverage (partial merges merge again later)",
     )
+    merge.add_argument(
+        "--strict", action="store_true",
+        help="abort on the first unreadable artifact instead of skipping "
+             "it with a warning",
+    )
     merge.add_argument("--csv", metavar="PATH", help="write the merged table as CSV")
     merge.add_argument("--json", metavar="PATH", help="write the merged table as JSON")
     merge.set_defaults(handler=_cmd_merge_shards)
+
+    launch = subparsers.add_parser(
+        "launch",
+        help="run a full sharded sweep through the fault-tolerant scheduler "
+             "(retries, heartbeats, speculation, crash-safe resume)",
+    )
+    add_grid_arguments(launch, required=False)
+    launch.add_argument(
+        "--shards", type=int, metavar="N",
+        help="shard count of the deterministic plan (restored from the "
+             "launch directory with --resume)",
+    )
+    launch.add_argument(
+        "--dir", required=True, metavar="PATH",
+        help="launch directory (journal, landed shards, logs, partial merge)",
+    )
+    launch.add_argument(
+        "--backend", choices=("process", "thread"), default="process",
+        help="worker backend: one killable subprocess per shard attempt "
+             "(default) or in-process threads",
+    )
+    launch.add_argument(
+        "--max-workers", type=int, default=None, metavar="N",
+        help="concurrent shard attempts (default: min(shards, cores, 8))",
+    )
+    launch.add_argument(
+        "--max-attempts", type=int, default=6, metavar="N",
+        help="retry budget per shard (default 6)",
+    )
+    launch.add_argument(
+        "--base-delay", type=float, default=0.25, metavar="SECONDS",
+        help="first retry backoff; doubles per failure, capped (default 0.25)",
+    )
+    launch.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
+        help="worker heartbeat period (default 1.0)",
+    )
+    launch.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="declare a worker dead after this much heartbeat silence "
+             "(default 30)",
+    )
+    launch.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock cap per shard attempt (default: none)",
+    )
+    launch.add_argument(
+        "--no-speculate", action="store_true",
+        help="disable straggler speculation (re-issuing the slowest shard "
+             "once >80%% have landed)",
+    )
+    launch.add_argument(
+        "--shared-cache", metavar="DIR",
+        help="cross-run shared cache directory the workers read and write",
+    )
+    launch.add_argument(
+        "--gc-max-age-days", type=float, default=None, metavar="DAYS",
+        help="garbage-collect shared-cache entries older than this at "
+             "teardown",
+    )
+    launch.add_argument(
+        "--gc-max-bytes", type=int, default=None, metavar="BYTES",
+        help="shrink the shared cache to this size at teardown (LRU)",
+    )
+    launch.add_argument(
+        "--csv", metavar="PATH",
+        help="write the merged table as CSV (byte-identical to the "
+             "monolithic sweep when the launch completes)",
+    )
+    launch.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed launch: restore landed shards from --dir "
+             "and re-run only the rest",
+    )
+    launch.set_defaults(handler=_cmd_launch)
+
+    cache = subparsers.add_parser(
+        "cache", help="manage the cross-run shared cache directory"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="evict shared-cache entries by age and/or total size "
+             "(LRU by mtime; safe against concurrent runs)",
+    )
+    cache_gc.add_argument("dir", metavar="DIR", help="shared cache directory")
+    cache_gc.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="drop entries older than this many days",
+    )
+    cache_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="drop least-recently-written entries until the cache fits",
+    )
+    cache_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="list what would be removed without unlinking anything",
+    )
+    cache_gc.set_defaults(handler=_cmd_cache_gc)
 
     perf = subparsers.add_parser(
         "perf",

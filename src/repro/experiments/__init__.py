@@ -13,11 +13,16 @@ parallel parameter studies:
   finished sweep rows, with an optional on-disk JSON store.
 * :class:`SweepResult` — a flat table with CSV/JSON export and
   filter/group-by/pivot helpers.
+* :class:`LaunchScheduler` / :func:`launch_sweep` — fault-tolerant
+  sharded execution (``repro launch``): retries with backoff, heartbeat
+  liveness, straggler speculation, a crash-safe journal with
+  ``--resume``, and reproducible fault injection.
 
 See ``docs/experiments.md`` for a guide and the cache-invalidation rules.
 """
 
 from repro.experiments.cache import (
+    CacheGcReport,
     JsonFileStore,
     PackedRows,
     SharedCacheDir,
@@ -47,6 +52,16 @@ from repro.experiments.runner import (
     run_points_packed,
     run_sweep,
 )
+from repro.experiments.scheduler import (
+    FaultInjector,
+    FaultSpec,
+    LaunchError,
+    LaunchReport,
+    LaunchScheduler,
+    RetryPolicy,
+    ShardState,
+    launch_sweep,
+)
 from repro.experiments.sharding import (
     Shard,
     ShardArtifact,
@@ -55,20 +70,29 @@ from repro.experiments.sharding import (
     ShardRunner,
     merge_artifacts,
     merge_shard_paths,
+    read_artifacts,
     spec_digest,
 )
 from repro.experiments.spec import DEFAULT_GATING_LABEL, SweepPoint, SweepSpec
 
 __all__ = [
+    "CacheGcReport",
     "DEFAULT_GATING_LABEL",
+    "FaultInjector",
+    "FaultSpec",
     "JsonFileStore",
+    "LaunchError",
+    "LaunchReport",
+    "LaunchScheduler",
     "PackedRows",
     "ROW_COLUMNS",
+    "RetryPolicy",
     "Shard",
     "ShardArtifact",
     "ShardError",
     "ShardPlan",
     "ShardRunner",
+    "ShardState",
     "SharedCacheDir",
     "SimulationCache",
     "SweepPoint",
@@ -77,12 +101,14 @@ __all__ = [
     "SweepSpec",
     "assemble_packed_rows",
     "canonical",
+    "launch_sweep",
     "merge_artifacts",
     "merge_shard_paths",
     "pack_rows",
     "point_key",
     "portable_profile",
     "profile_key",
+    "read_artifacts",
     "report_key",
     "rows_from_result",
     "run_point",

@@ -33,6 +33,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Callable
 
@@ -213,6 +214,29 @@ def portable_profile(profile: WorkloadProfile) -> WorkloadProfile:
     )
 
 
+@dataclasses.dataclass
+class CacheGcReport:
+    """Outcome of one :meth:`SharedCacheDir.gc` pass."""
+
+    root: Path
+    dry_run: bool
+    removed_files: int = 0
+    removed_bytes: int = 0
+    kept_files: int = 0
+    kept_bytes: int = 0
+    #: ``(path, reason)`` per entry selected for removal (dry-run keeps
+    #: the full list so operators can audit before deleting).
+    removed: list[tuple[Path, str]] = dataclasses.field(default_factory=list)
+
+    def describe(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"{verb} {self.removed_files} entr(ies) "
+            f"({self.removed_bytes / 1e6:.1f} MB); kept {self.kept_files} "
+            f"({self.kept_bytes / 1e6:.1f} MB) under {self.root}"
+        )
+
+
 class SharedCacheDir:
     """A cross-run, cross-process cache directory on a shared filesystem.
 
@@ -282,6 +306,87 @@ class SharedCacheDir:
             )
         except Exception:
             pass  # an unpicklable custom profile just isn't shared
+
+    # -- garbage collection --------------------------------------------- #
+    def gc(
+        self,
+        max_age_days: float | None = None,
+        max_bytes: int | None = None,
+        dry_run: bool = False,
+        now: float | None = None,
+    ) -> CacheGcReport:
+        """Evict cache entries by age and/or total size (LRU by mtime).
+
+        Entries older than ``max_age_days`` are dropped first; if the
+        survivors still exceed ``max_bytes``, the least recently touched
+        are dropped until the layer directories fit (every cache read
+        refreshing an entry would be an extra write per hit, so "used"
+        here means *written* — content-addressed entries are rewritten
+        on every miss, which is exactly the reuse signal that matters).
+        Unlinks are best-effort and safe against concurrent runs: a
+        reader that loses an entry mid-race sees an ordinary cache miss,
+        and ``*.tmp`` ghosts from crashed writers are always collected.
+        ``dry_run`` only reports what would be removed.
+        """
+        now = time.time() if now is None else now
+        report = CacheGcReport(root=self.root, dry_run=dry_run)
+        entries: list[tuple[float, int, Path]] = []  # (mtime, size, path)
+        for layer in ("profiles", "reports", "rows"):
+            layer_dir = self.root / layer
+            if not layer_dir.is_dir():
+                continue
+            for path in layer_dir.iterdir():
+                if not path.is_file():
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # vanished under a concurrent gc
+                if path.name.endswith(".tmp"):
+                    report.removed.append((path, "crashed writer ghost"))
+                    report.removed_files += 1
+                    report.removed_bytes += stat.st_size
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        doomed: list[tuple[Path, str]] = []
+        survivors: list[tuple[float, int, Path]] = []
+        cutoff = None if max_age_days is None else now - max_age_days * 86400.0
+        for mtime, size, path in entries:
+            if cutoff is not None and mtime < cutoff:
+                age_days = (now - mtime) / 86400.0
+                doomed.append(
+                    (path, f"age {age_days:.1f}d > {max_age_days}d")
+                )
+                report.removed_files += 1
+                report.removed_bytes += size
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None:
+            total = sum(size for _mtime, size, _path in survivors)
+            survivors.sort()  # oldest mtime first = least recently used
+            kept: list[tuple[float, int, Path]] = []
+            for position, (mtime, size, path) in enumerate(survivors):
+                if total > max_bytes:
+                    doomed.append(
+                        (path, f"evicted to fit --max-bytes {max_bytes}")
+                    )
+                    report.removed_files += 1
+                    report.removed_bytes += size
+                    total -= size
+                else:
+                    kept.extend(survivors[position:])
+                    break
+            survivors = kept
+        report.kept_files = len(survivors)
+        report.kept_bytes = sum(size for _mtime, size, _path in survivors)
+        report.removed.extend(doomed)
+        if not dry_run:
+            for path, _reason in report.removed:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass  # already gone (concurrent gc) or unwritable share
+        return report
 
 
 # ---------------------------------------------------------------------- #
@@ -849,6 +954,7 @@ def simulate_cached_many(
 
 
 __all__ = [
+    "CacheGcReport",
     "JsonFileStore",
     "PackedRows",
     "atomic_replace",

@@ -1,0 +1,1313 @@
+"""Fault-tolerant shard scheduler: ``repro launch``.
+
+PR 5/6 made sweeps shardable — deterministic :class:`ShardPlan`s,
+``.repro-shard`` artifacts with an associative, idempotent,
+byte-identical merge — but launching and merging the shards was still a
+hand-driven loop: one hung worker or a killed process lost the run.
+This module is the orchestration layer on top of that substrate.
+
+:class:`LaunchScheduler` takes a :class:`~repro.experiments.spec.SweepSpec`
+and a shard count, dispatches shards to a pluggable **worker backend**
+(:class:`ThreadBackend` in-process, :class:`ProcessBackend` one
+subprocess per shard so a worker can be SIGKILLed without taking the
+scheduler down), and drives every shard through a typed lifecycle::
+
+    PENDING ──dispatch──▶ RUNNING ──artifact validated──▶ LANDED
+                             │
+                             ├─ worker exited nonzero / corrupt artifact
+                             │        └─▶ FAILED ── retries left? ─▶ PENDING
+                             └─ heartbeat stale / shard timeout
+                                      └─▶ ORPHANED ─ retries left? ─▶ PENDING
+
+Robustness mechanisms, each independently switchable:
+
+* **Retries with exponential backoff + deterministic jitter**
+  (:class:`RetryPolicy`): a failed or orphaned shard is re-dispatched up
+  to ``max_attempts`` times, waiting ``base * backoff**(n-1)`` (capped,
+  jittered) between attempts.
+* **Heartbeat liveness**: every worker touches a per-attempt heartbeat
+  file; a worker whose heartbeat goes stale past ``heartbeat_timeout``
+  is declared dead (``ORPHANED``), killed, and its shard re-dispatched.
+  This catches *silent* failures — a hung worker never exits.
+* **Straggler speculation**: once more than ``speculation_threshold``
+  (default 80%) of shards have landed, the slowest still-running shard
+  is speculatively re-issued; the first attempt to land an artifact
+  wins.  Safe because every attempt writes to its own staging directory
+  and shard artifacts are deterministic — the merge is idempotent.
+* **Incremental streaming re-merge**: landed artifacts are merged into
+  a running partial artifact (``merged.repro-shard``) as they arrive,
+  reusing :func:`~repro.experiments.sharding.merge_artifacts`'
+  associativity — a killed run leaves a usable partial merge behind.
+* **Crash-safe journal** (``journal.jsonl``): every lifecycle event is
+  appended as one fsync'd JSON line.  The reader tolerates a torn tail
+  (a line cut short by a crash is skipped), so
+  ``LaunchScheduler(..., resume=True)`` — ``repro launch --resume`` —
+  restores landed shards from their validated on-disk artifacts,
+  restores attempt counters from the journal, and continues the run
+  after the *scheduler itself* was killed.
+* **Graceful degradation**: when a shard exhausts its retries the rest
+  of the grid still finishes; the scheduler emits the partial merge
+  plus a machine-readable ``failure-report.json`` and exits with a
+  distinct code (:data:`EXIT_COMPLETE` 0 / :data:`EXIT_PARTIAL` 3).
+* **Reproducible fault injection** (:class:`FaultInjector`, env-driven
+  via ``REPRO_FAULT_SPEC=crash:0.3,hang:0.1,corrupt:0.1``): worker
+  crashes, hangs and corrupt-artifact writes are drawn deterministically
+  per (shard, attempt), so chaos tests and the CI chaos-smoke job replay
+  exactly.
+
+The end-to-end guarantee is inherited from the sharding substrate and
+asserted by ``tests/test_scheduler.py`` and the CI chaos job: whatever
+faults are injected, a run that completes produces a merged CSV
+**byte-identical** to the monolithic
+:class:`~repro.experiments.runner.SweepRunner` run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import pickle
+import random
+import shutil
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any, IO, Mapping
+
+from repro import __version__
+from repro.experiments.cache import SharedCacheDir, SimulationCache
+from repro.experiments.sharding import (
+    MANIFEST_NAME,
+    NUMERIC_NAME,
+    SHARD_SUFFIX,
+    Shard,
+    ShardArtifact,
+    ShardError,
+    ShardPlan,
+    ShardRunner,
+    merge_artifacts,
+    spec_digest,
+)
+from repro.experiments.spec import SweepSpec
+
+_LOG = logging.getLogger(__name__)
+
+#: Scheduler exit codes (``repro launch`` exits with these).
+EXIT_COMPLETE = 0
+#: Some shards exhausted their retries; the partial merge and a
+#: failure report were still written.
+EXIT_PARTIAL = 3
+#: Worker self-exit code of an injected crash (distinguishable from a
+#: real bug's traceback exit 1 in the journal).
+EXIT_INJECTED_CRASH = 70
+#: Worker exit code when an injected hang was interrupted by a kill.
+EXIT_KILLED = 71
+
+#: Environment variable holding the fault-injection spec.
+FAULT_ENV = "REPRO_FAULT_SPEC"
+
+SPEC_FILENAME = "spec.pkl"
+JOURNAL_FILENAME = "journal.jsonl"
+MERGED_NAME = "merged" + SHARD_SUFFIX
+FAILURE_REPORT_FILENAME = "failure-report.json"
+
+
+class LaunchError(RuntimeError):
+    """The launch directory or arguments are unusable (not a shard fault)."""
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle, retry policy, fault injection
+# ---------------------------------------------------------------------- #
+class ShardState(str, Enum):
+    """Typed lifecycle of one shard inside a launch."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    LANDED = "landed"
+    FAILED = "failed"
+    ORPHANED = "orphaned"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (ShardState.LANDED, ShardState.FAILED)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts *dispatches consuming retry budget* per
+    shard and per scheduler process (speculative duplicates are free).
+    The jitter is drawn from a :class:`random.Random` seeded by the
+    shard token and attempt number, so two runs of the same plan wait
+    the same amount — reproducibility extends to the retry schedule.
+    """
+
+    max_attempts: int = 6
+    base_delay_s: float = 0.25
+    backoff: float = 2.0
+    max_delay_s: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def delay_s(self, failures: int, token: str = "") -> float:
+        """Seconds to wait before the dispatch following ``failures`` failures."""
+        base = min(
+            self.base_delay_s * self.backoff ** max(0, failures - 1),
+            self.max_delay_s,
+        )
+        if not self.jitter:
+            return base
+        rng = random.Random(f"repro-retry:{token}:{failures}")
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault mix, e.g. ``crash:0.3,hang:0.1,corrupt:0.1``.
+
+    ``until`` restricts injection to the first N attempts of each shard
+    (``until:1`` makes every first attempt eligible and every retry
+    clean — handy for deterministic CI chaos steps); ``seed`` varies
+    the deterministic draw stream.
+    """
+
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+    until: int | None = None
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        fields: dict[str, Any] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                name, value = part.split(":", 1)
+            except ValueError:
+                raise LaunchError(
+                    f"bad fault spec entry {part!r} (expected name:value)"
+                ) from None
+            name = name.strip()
+            if name in ("crash", "hang", "corrupt"):
+                fields[name] = float(value)
+            elif name in ("seed", "until"):
+                fields[name] = int(value)
+            else:
+                raise LaunchError(
+                    f"unknown fault kind {name!r} "
+                    "(have crash, hang, corrupt, seed, until)"
+                )
+        spec = cls(**fields)
+        if not 0.0 <= spec.crash + spec.hang + spec.corrupt <= 1.0:
+            raise LaunchError(
+                "fault probabilities must sum to a value in [0, 1], got "
+                f"{spec.crash + spec.hang + spec.corrupt}"
+            )
+        return spec
+
+    def describe(self) -> str:
+        parts = [
+            f"{name}:{value}"
+            for name, value in (
+                ("crash", self.crash),
+                ("hang", self.hang),
+                ("corrupt", self.corrupt),
+            )
+            if value
+        ]
+        if self.seed:
+            parts.append(f"seed:{self.seed}")
+        if self.until is not None:
+            parts.append(f"until:{self.until}")
+        return ",".join(parts) or "none"
+
+
+class FaultInjector:
+    """Draws a fault (or none) deterministically per (shard, attempt).
+
+    The draw depends only on ``(spec.seed, shard_index, attempt)`` — not
+    on scheduling order, machine, or process — so a chaos run replays
+    identically: the same attempts crash, hang or corrupt every time.
+    """
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+
+    @classmethod
+    def from_env(
+        cls, env: Mapping[str, str] | None = None
+    ) -> "FaultInjector | None":
+        env = os.environ if env is None else env
+        text = env.get(FAULT_ENV)
+        if not text:
+            return None
+        return cls(FaultSpec.parse(text))
+
+    def draw(self, shard_index: int, attempt: int) -> str | None:
+        """``"crash"`` / ``"hang"`` / ``"corrupt"`` / ``None`` for one attempt."""
+        spec = self.spec
+        if spec.until is not None and attempt > spec.until:
+            return None
+        rng = random.Random(f"repro-fault:{spec.seed}:{shard_index}:{attempt}")
+        roll = rng.random()
+        for name, probability in (
+            ("crash", spec.crash),
+            ("hang", spec.hang),
+            ("corrupt", spec.corrupt),
+        ):
+            if roll < probability:
+                return name
+            roll -= probability
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# The append-only journal
+# ---------------------------------------------------------------------- #
+class Journal:
+    """Crash-safe append-only event log (``journal.jsonl``).
+
+    Each event is one JSON line written with ``O_APPEND`` + flush +
+    ``fsync`` — on POSIX a single short append is atomic, and the
+    fsync bounds what a power cut can lose to the final line.  The
+    reader (:meth:`read_events`) skips any line that does not parse,
+    so a tail torn by a crashed scheduler degrades to one lost event,
+    never an unreadable journal.  (Artifacts — the expensive state —
+    are published by atomic rename exactly like the shard writer; the
+    journal only has to *survive* crashes, not replace them.)
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def append(self, event: str, **fields: Any) -> dict[str, Any]:
+        entry = {"ts": time.time(), "event": event, **fields}
+        line = json.dumps(entry) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return entry
+
+    @classmethod
+    def read_events(cls, path: str | Path) -> list[dict[str, Any]]:
+        try:
+            text = Path(path).read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            return []
+        events: list[dict[str, Any]] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a crashed writer
+            if isinstance(entry, dict):
+                events.append(entry)
+        return events
+
+
+# ---------------------------------------------------------------------- #
+# Worker execution (shared by the thread backend and repro.experiments.worker)
+# ---------------------------------------------------------------------- #
+class _HeartbeatWriter(threading.Thread):
+    """Touches a heartbeat file every ``interval`` seconds until stopped."""
+
+    def __init__(self, path: Path, interval: float):
+        super().__init__(name=f"heartbeat:{path.name}", daemon=True)
+        self.path = path
+        self.interval = interval
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while True:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self.path.touch()
+            except OSError:
+                pass  # a vanished launch dir must not crash the worker
+            if self._stop.wait(self.interval):
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def _corrupt_artifact(path: Path) -> None:
+    """Injected fault: scribble garbage over the artifact's column store
+    (or its manifest for empty shards), modelling a worker that crashed
+    mid-write on a filesystem without atomic publish."""
+    numeric = path / NUMERIC_NAME
+    target = numeric if numeric.exists() else path / MANIFEST_NAME
+    target.write_bytes(b"\x00injected corrupt artifact write\x00")
+
+
+def execute_shard_attempt(
+    spec: SweepSpec,
+    shard_index: int,
+    shard_count: int,
+    staging_path: Path,
+    heartbeat_path: Path,
+    heartbeat_interval: float,
+    shared_cache: str | Path | None = None,
+    fault: FaultInjector | None = None,
+    attempt: int = 1,
+    stop_event: threading.Event | None = None,
+    hard_crash: bool = False,
+) -> int:
+    """One worker attempt: heartbeat, (injected faults,) run, write.
+
+    The single worker body shared by :class:`ThreadBackend` (in-process)
+    and :mod:`repro.experiments.worker` (subprocess).  Returns a worker
+    exit code; ``hard_crash`` makes an injected crash ``os._exit`` so
+    the subprocess dies without running any cleanup — the closest
+    portable stand-in for a segfault.
+    """
+    stop_event = stop_event if stop_event is not None else threading.Event()
+    heartbeat = _HeartbeatWriter(heartbeat_path, heartbeat_interval)
+    heartbeat.start()
+    try:
+        mode = fault.draw(shard_index, attempt) if fault is not None else None
+        if mode == "crash":
+            if hard_crash:
+                os._exit(EXIT_INJECTED_CRASH)
+            return EXIT_INJECTED_CRASH
+        if mode == "hang":
+            # The silent-failure scenario: the worker stays alive but
+            # stops pulsing; only the scheduler's liveness check (or a
+            # kill) ends it.
+            heartbeat.stop()
+            while not stop_event.wait(0.1):
+                pass
+            return EXIT_KILLED
+        cache = (
+            SimulationCache(shared_dir=shared_cache)
+            if shared_cache is not None
+            else None
+        )
+        artifact = ShardRunner(spec, shard_count, cache=cache).run(shard_index)
+        artifact.write(staging_path)
+        if mode == "corrupt":
+            _corrupt_artifact(staging_path)
+        return 0
+    finally:
+        heartbeat.stop()
+
+
+# ---------------------------------------------------------------------- #
+# Worker backends
+# ---------------------------------------------------------------------- #
+@dataclass
+class DispatchContext:
+    """Everything a backend needs to start one shard attempt."""
+
+    spec: SweepSpec
+    spec_path: Path
+    shard_index: int
+    shard_count: int
+    attempt: int
+    staging_path: Path
+    heartbeat_path: Path
+    heartbeat_interval: float
+    log_path: Path
+    shared_cache: str | None
+    fault_text: str | None
+    speculative: bool
+
+
+class WorkerHandle:
+    """One in-flight attempt, pollable and killable by the scheduler."""
+
+    def __init__(self, ctx: DispatchContext):
+        self.shard_index = ctx.shard_index
+        self.attempt = ctx.attempt
+        self.staging_path = ctx.staging_path
+        self.heartbeat_path = ctx.heartbeat_path
+        self.speculative = ctx.speculative
+        self.started = time.time()
+        self.pid: int | None = None
+
+    def poll(self) -> int | None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def kill(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _ThreadWorkerHandle(WorkerHandle):
+    def __init__(self, ctx: DispatchContext, injector: FaultInjector | None):
+        super().__init__(ctx)
+        self._stop = threading.Event()
+        self._result: list[int] = []
+
+        def _body() -> None:
+            try:
+                code = execute_shard_attempt(
+                    ctx.spec,
+                    ctx.shard_index,
+                    ctx.shard_count,
+                    ctx.staging_path,
+                    ctx.heartbeat_path,
+                    ctx.heartbeat_interval,
+                    shared_cache=ctx.shared_cache,
+                    fault=injector,
+                    attempt=ctx.attempt,
+                    stop_event=self._stop,
+                )
+            except BaseException:  # noqa: BLE001 - worker crash == exit 1
+                _LOG.exception(
+                    "in-process worker for shard %d crashed", ctx.shard_index
+                )
+                code = 1
+            self._result.append(code)
+
+        self._thread = threading.Thread(
+            target=_body,
+            name=f"shard-worker:{ctx.shard_index}.{ctx.attempt}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def poll(self) -> int | None:
+        if self._thread.is_alive():
+            return None
+        return self._result[0] if self._result else 1
+
+    def kill(self) -> None:
+        self._stop.set()
+
+
+class _ProcessWorkerHandle(WorkerHandle):
+    def __init__(self, ctx: DispatchContext, process: subprocess.Popen, log: IO):
+        super().__init__(ctx)
+        self._process = process
+        self._log = log
+        self.pid = process.pid
+
+    def poll(self) -> int | None:
+        code = self._process.poll()
+        if code is not None and self._log is not None:
+            self._log.close()
+            self._log = None
+        return code
+
+    def kill(self) -> None:
+        try:
+            self._process.kill()
+            self._process.wait(timeout=10)
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+
+
+class ThreadBackend:
+    """Runs shard attempts on daemon threads inside the scheduler process.
+
+    Cheap (no interpreter start per shard) but shares the scheduler's
+    fate and GIL; a *hung* attempt can be abandoned (its thread parks on
+    a stop event) but a thread stuck in native code cannot be killed.
+    The default for tests and small grids.
+    """
+
+    name = "thread"
+
+    def __init__(self, injector: FaultInjector | None = None):
+        self._injector = injector
+
+    def dispatch(self, ctx: DispatchContext) -> WorkerHandle:
+        return _ThreadWorkerHandle(ctx, self._injector)
+
+
+class ProcessBackend:
+    """Runs each shard attempt as ``python -m repro.experiments.worker``.
+
+    Full fault isolation: a worker can crash, leak, or be SIGKILLed
+    without touching the scheduler, and the scheduler's kill is a real
+    ``SIGKILL``.  Worker stdout/stderr go to per-attempt log files
+    under ``logs/``.
+    """
+
+    name = "process"
+
+    def dispatch(self, ctx: DispatchContext) -> WorkerHandle:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.experiments.worker",
+            "--spec", str(ctx.spec_path),
+            "--index", str(ctx.shard_index),
+            "--count", str(ctx.shard_count),
+            "--staging", str(ctx.staging_path),
+            "--heartbeat", str(ctx.heartbeat_path),
+            "--interval", str(ctx.heartbeat_interval),
+            "--attempt", str(ctx.attempt),
+        ]
+        if ctx.shared_cache:
+            argv += ["--shared-cache", str(ctx.shared_cache)]
+        if ctx.fault_text:
+            argv += ["--fault-spec", ctx.fault_text]
+        env = dict(os.environ)
+        # Faults travel by argv (attempt-numbered, scheduler-owned);
+        # never let the env spec double-apply inside the worker.
+        env.pop(FAULT_ENV, None)
+        package_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [package_root] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        )
+        ctx.log_path.parent.mkdir(parents=True, exist_ok=True)
+        log = open(ctx.log_path, "ab")
+        process = subprocess.Popen(
+            argv, stdout=log, stderr=subprocess.STDOUT, env=env
+        )
+        return _ProcessWorkerHandle(ctx, process, log)
+
+
+BACKENDS = {"thread": ThreadBackend, "process": ProcessBackend}
+
+
+# ---------------------------------------------------------------------- #
+# The scheduler
+# ---------------------------------------------------------------------- #
+@dataclass
+class _ShardTask:
+    shard: Shard
+    state: ShardState = ShardState.PENDING
+    #: Dispatches so far (global attempt numbering — continues across
+    #: resumes so fault draws and heartbeat paths never collide).
+    attempt_counter: int = 0
+    #: Dispatches that consumed retry budget *in this scheduler process*.
+    budget_spent: int = 0
+    failures: list[str] = field(default_factory=list)
+    not_before: float = 0.0
+    handles: list[WorkerHandle] = field(default_factory=list)
+    speculated: bool = False
+    restored: bool = False
+    landed_attempt: int | None = None
+    duration_s: float | None = None
+
+
+@dataclass
+class LaunchReport:
+    """Machine-readable outcome of one :meth:`LaunchScheduler.run`."""
+
+    digest: str
+    shard_count: int
+    backend: str
+    exit_code: int
+    landed: list[int]
+    failed: list[int]
+    restored: list[int]
+    dispatches: int
+    orphaned_events: int
+    speculative_dispatches: int
+    merged_path: Path | None
+    csv_path: Path | None
+    failure_report_path: Path | None
+    duration_s: float
+    artifact: ShardArtifact | None
+
+    @property
+    def complete(self) -> bool:
+        return self.exit_code == EXIT_COMPLETE
+
+    def describe(self) -> str:
+        lines = [
+            f"plan          : {self.digest} ({self.shard_count} shard(s), "
+            f"backend={self.backend})",
+            f"landed        : {len(self.landed)}/{self.shard_count}"
+            + (f" ({len(self.restored)} restored on resume)" if self.restored else ""),
+            f"dispatches    : {self.dispatches}"
+            + (
+                f" ({self.speculative_dispatches} speculative)"
+                if self.speculative_dispatches
+                else ""
+            ),
+        ]
+        if self.orphaned_events:
+            lines.append(
+                f"orphaned      : {self.orphaned_events} dead-worker event(s)"
+            )
+        if self.merged_path is not None:
+            lines.append(f"merged        : {self.merged_path}")
+        if self.csv_path is not None:
+            lines.append(f"csv written   : {self.csv_path}")
+        if self.failed:
+            lines.append(f"failed shards : {self.failed}")
+        if self.failure_report_path is not None:
+            lines.append(f"failure report: {self.failure_report_path}")
+        lines.append(
+            "exit          : "
+            + ("complete (0)" if self.complete else f"partial ({self.exit_code})")
+        )
+        return "\n".join(lines)
+
+
+class LaunchScheduler:
+    """Drives a full sharded sweep to completion despite worker faults.
+
+    Parameters
+    ----------
+    directory:
+        The launch directory.  Everything the run needs to survive a
+        scheduler crash lives here: ``spec.pkl``, ``journal.jsonl``,
+        ``shards/`` (landed artifacts), ``staging/`` (per-attempt
+        scratch), ``heartbeats/``, ``logs/`` and the incrementally
+        updated ``merged.repro-shard``.
+    spec, shard_count:
+        The grid and its partition.  Optional with ``resume=True`` —
+        both are then restored from the launch directory (and verified
+        against it when given).
+    backend:
+        ``"process"`` (default; one killable subprocess per attempt) or
+        ``"thread"``, or a backend instance with a ``dispatch`` method.
+    max_workers:
+        Concurrent attempts (default: ``min(shard_count, cpu_count, 8)``).
+    retry, heartbeat_interval, heartbeat_timeout, shard_timeout:
+        Robustness knobs; ``shard_timeout`` (wall-clock cap per attempt)
+        is off by default.
+    speculate / speculation_threshold / speculation_factor:
+        Straggler re-issue: once ``threshold`` of shards have landed, a
+        lone attempt running longer than ``factor ×`` the median landed
+        duration is duplicated; first artifact wins.
+    injector:
+        A :class:`FaultInjector` (defaults to ``REPRO_FAULT_SPEC`` from
+        the environment; pass ``injector=None, use_env_faults=False``
+        to force clean runs).
+    shared_cache, gc_max_age_days, gc_max_bytes:
+        Workers share a :class:`~repro.experiments.cache.SharedCacheDir`;
+        teardown garbage-collects it when either GC knob is set.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        spec: SweepSpec | None = None,
+        shard_count: int | None = None,
+        *,
+        backend: str | Any = "process",
+        max_workers: int | None = None,
+        retry: RetryPolicy | None = None,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 30.0,
+        shard_timeout: float | None = None,
+        speculate: bool = True,
+        speculation_threshold: float = 0.8,
+        speculation_factor: float = 2.0,
+        poll_interval: float = 0.05,
+        injector: FaultInjector | None = None,
+        use_env_faults: bool = True,
+        shared_cache: str | Path | None = None,
+        gc_max_age_days: float | None = None,
+        gc_max_bytes: int | None = None,
+        csv_path: str | Path | None = None,
+        resume: bool = False,
+    ):
+        self.directory = Path(directory)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.shard_timeout = shard_timeout
+        self.speculate = speculate
+        self.speculation_threshold = speculation_threshold
+        self.speculation_factor = speculation_factor
+        self.poll_interval = poll_interval
+        self.shared_cache = Path(shared_cache) if shared_cache else None
+        self.gc_max_age_days = gc_max_age_days
+        self.gc_max_bytes = gc_max_bytes
+        self.resume = resume
+
+        if injector is None and use_env_faults:
+            injector = FaultInjector.from_env()
+        self.injector = injector
+
+        spec, shard_count = self._resolve_spec(spec, shard_count)
+        self.spec = spec
+        self.plan = ShardPlan(spec, shard_count)
+        if max_workers is None:
+            max_workers = min(shard_count, os.cpu_count() or 1, 8)
+        self.max_workers = max(1, max_workers)
+
+        if isinstance(backend, str):
+            try:
+                backend_cls = BACKENDS[backend]
+            except KeyError:
+                raise LaunchError(
+                    f"unknown backend {backend!r} (have {sorted(BACKENDS)})"
+                ) from None
+            backend = (
+                backend_cls(injector=self.injector)
+                if backend_cls is ThreadBackend
+                else backend_cls()
+            )
+        self.backend = backend
+
+        self.journal = Journal(self.journal_path)
+        self.csv_path = Path(csv_path) if csv_path else None
+        self._tasks: dict[int, _ShardTask] = {
+            shard.index: _ShardTask(shard) for shard in self.plan
+        }
+        self._merged: ShardArtifact | None = None
+        self._dispatches = 0
+        self._speculative_dispatches = 0
+        self._orphaned_events = 0
+
+    # -- paths ---------------------------------------------------------- #
+    @property
+    def spec_path(self) -> Path:
+        return self.directory / SPEC_FILENAME
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / JOURNAL_FILENAME
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.directory / "shards"
+
+    @property
+    def staging_dir(self) -> Path:
+        return self.directory / "staging"
+
+    @property
+    def heartbeats_dir(self) -> Path:
+        return self.directory / "heartbeats"
+
+    @property
+    def logs_dir(self) -> Path:
+        return self.directory / "logs"
+
+    @property
+    def merged_path(self) -> Path:
+        return self.directory / MERGED_NAME
+
+    @property
+    def failure_report_path(self) -> Path:
+        return self.directory / FAILURE_REPORT_FILENAME
+
+    # -- setup ---------------------------------------------------------- #
+    def _resolve_spec(
+        self, spec: SweepSpec | None, shard_count: int | None
+    ) -> tuple[SweepSpec, int]:
+        spec_path = Path(self.directory) / SPEC_FILENAME
+        if spec is None or shard_count is None:
+            if not self.resume:
+                raise LaunchError(
+                    "spec and shard_count are required unless resume=True"
+                )
+            try:
+                payload = pickle.loads(spec_path.read_bytes())
+            except (OSError, pickle.UnpicklingError, EOFError) as error:
+                raise LaunchError(
+                    f"cannot resume from {self.directory}: unreadable "
+                    f"{SPEC_FILENAME} ({error})"
+                ) from error
+            stored_spec, stored_count = payload
+            if spec is not None and spec_digest(spec) != spec_digest(stored_spec):
+                raise LaunchError(
+                    f"--resume grid does not match {spec_path}: digests "
+                    f"{spec_digest(spec)} vs {spec_digest(stored_spec)}"
+                )
+            if shard_count is not None and shard_count != stored_count:
+                raise LaunchError(
+                    f"--resume shard count {shard_count} does not match the "
+                    f"launch directory's {stored_count}"
+                )
+            return stored_spec, stored_count
+        if self.resume and spec_path.exists():
+            stored_spec, stored_count = pickle.loads(spec_path.read_bytes())
+            if spec_digest(stored_spec) != spec_digest(spec):
+                raise LaunchError(
+                    f"--resume grid does not match {spec_path}: digests "
+                    f"{spec_digest(spec)} vs {spec_digest(stored_spec)}"
+                )
+            if stored_count != shard_count:
+                raise LaunchError(
+                    f"--resume shard count {shard_count} does not match the "
+                    f"launch directory's {stored_count}"
+                )
+        return spec, shard_count
+
+    def _prepare(self) -> None:
+        for path in (
+            self.directory,
+            self.shards_dir,
+            self.staging_dir,
+            self.heartbeats_dir,
+            self.logs_dir,
+        ):
+            path.mkdir(parents=True, exist_ok=True)
+        if not self.resume and self.journal_path.exists():
+            landed = any(
+                event.get("event") in ("land", "restore")
+                for event in Journal.read_events(self.journal_path)
+            )
+            if landed:
+                raise LaunchError(
+                    f"{self.directory} already holds a journal with landed "
+                    "shards; pass resume=True (repro launch --resume) to "
+                    "continue it, or use a fresh directory"
+                )
+        if not self.spec_path.exists():
+            self.spec_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.spec_path.with_suffix(".pkl.tmp")
+            tmp.write_bytes(
+                pickle.dumps((self.spec, self.plan.count), pickle.HIGHEST_PROTOCOL)
+            )
+            os.replace(tmp, self.spec_path)
+        self.journal.append(
+            "resume" if self.resume else "launch",
+            digest=self.plan.digest,
+            shard_count=self.plan.count,
+            backend=getattr(self.backend, "name", type(self.backend).__name__),
+            version=__version__,
+            max_workers=self.max_workers,
+            retry=dataclasses.asdict(self.retry),
+            faults=self.injector.spec.describe() if self.injector else None,
+        )
+
+    def _restore(self) -> None:
+        """Rebuild state from the launch directory (crash-safe resume).
+
+        Landed shards are restored from their *validated* on-disk
+        artifacts — the artifact, not the journal, is the ground truth
+        (the journal may have lost its final line to the crash).  An
+        artifact that fails validation (a half-written directory from a
+        killed worker predating staging promotion, or bit rot) is
+        removed and its shard re-run.  Attempt counters continue from
+        the journal's high-water mark so heartbeat/staging names and
+        fault draws never collide with the previous run's.
+        """
+        attempts_seen: dict[int, int] = {}
+        for event in Journal.read_events(self.journal_path):
+            shard = event.get("shard")
+            attempt = event.get("attempt")
+            if isinstance(shard, int) and isinstance(attempt, int):
+                attempts_seen[shard] = max(attempts_seen.get(shard, 0), attempt)
+        for task in self._tasks.values():
+            task.attempt_counter = attempts_seen.get(task.shard.index, 0)
+            final = self.shards_dir / task.shard.artifact_name
+            if not (final / MANIFEST_NAME).exists():
+                if final.exists():
+                    shutil.rmtree(final, ignore_errors=True)
+                continue
+            try:
+                artifact = self._validated_artifact(final, task.shard)
+            except ShardError as error:
+                _LOG.warning(
+                    "discarding invalid landed artifact %s: %s", final, error
+                )
+                shutil.rmtree(final, ignore_errors=True)
+                continue
+            task.state = ShardState.LANDED
+            task.restored = True
+            task.landed_attempt = task.attempt_counter or None
+            self._merge_in(artifact)
+            self.journal.append(
+                "restore", shard=task.shard.index, rows=artifact.row_count
+            )
+
+    # -- lifecycle steps ------------------------------------------------ #
+    def _validated_artifact(self, path: Path, shard: Shard) -> ShardArtifact:
+        artifact = ShardArtifact.read(path)
+        if artifact.spec_digest != self.plan.digest:
+            raise ShardError(
+                f"{path}: foreign spec digest {artifact.spec_digest} "
+                f"(plan is {self.plan.digest})"
+            )
+        if artifact.shard_count != self.plan.count:
+            raise ShardError(
+                f"{path}: planned for {artifact.shard_count} shard(s), "
+                f"expected {self.plan.count}"
+            )
+        if artifact.shard_indices != (shard.index,):
+            raise ShardError(
+                f"{path}: covers shards {artifact.shard_indices}, "
+                f"expected ({shard.index},)"
+            )
+        return artifact
+
+    def _merge_in(self, artifact: ShardArtifact) -> None:
+        """Incremental streaming re-merge: fold one landed artifact into
+        the running partial merge and republish ``merged.repro-shard``.
+        Associativity of :func:`merge_artifacts` makes the left fold
+        equal to the one-shot merge of everything at the end."""
+        self._merged = (
+            artifact
+            if self._merged is None
+            else merge_artifacts([self._merged, artifact])
+        )
+        self._merged.write(self.merged_path)
+
+    def _dispatch(self, task: _ShardTask, speculative: bool = False) -> None:
+        task.attempt_counter += 1
+        attempt = task.attempt_counter
+        index = task.shard.index
+        tag = f"shard-{index:04d}.attempt-{attempt:04d}"
+        heartbeat_path = self.heartbeats_dir / f"{tag}.hb"
+        heartbeat_path.parent.mkdir(parents=True, exist_ok=True)
+        heartbeat_path.touch()  # dispatch counts as the first pulse
+        ctx = DispatchContext(
+            spec=self.spec,
+            spec_path=self.spec_path,
+            shard_index=index,
+            shard_count=self.plan.count,
+            attempt=attempt,
+            staging_path=self.staging_dir / f"{tag}{SHARD_SUFFIX}",
+            heartbeat_path=heartbeat_path,
+            heartbeat_interval=self.heartbeat_interval,
+            log_path=self.logs_dir / f"{tag}.log",
+            shared_cache=str(self.shared_cache) if self.shared_cache else None,
+            fault_text=self.injector.spec.describe() if self.injector else None,
+            speculative=speculative,
+        )
+        handle = self.backend.dispatch(ctx)
+        task.state = ShardState.RUNNING
+        task.handles.append(handle)
+        if speculative:
+            task.speculated = True
+            self._speculative_dispatches += 1
+        else:
+            task.budget_spent += 1
+        self._dispatches += 1
+        self.journal.append(
+            "dispatch",
+            shard=index,
+            attempt=attempt,
+            speculative=speculative,
+            pid=handle.pid,
+        )
+
+    def _discard_staging(self, handle: WorkerHandle) -> None:
+        shutil.rmtree(handle.staging_path, ignore_errors=True)
+
+    def _land(self, task: _ShardTask, handle: WorkerHandle, artifact: ShardArtifact) -> None:
+        final = self.shards_dir / task.shard.artifact_name
+        if (final / MANIFEST_NAME).exists():
+            # A duplicate (speculative) attempt landed second; artifacts
+            # are deterministic, so the copy is redundant, not a conflict.
+            self._discard_staging(handle)
+        else:
+            if final.exists():
+                shutil.rmtree(final, ignore_errors=True)
+            os.replace(handle.staging_path, final)
+        if task.state is ShardState.LANDED:
+            return
+        task.state = ShardState.LANDED
+        task.landed_attempt = handle.attempt
+        task.duration_s = time.time() - handle.started
+        for other in task.handles:
+            other.kill()
+            self._discard_staging(other)
+        task.handles.clear()
+        self._merge_in(self._validated_artifact(final, task.shard))
+        self.journal.append(
+            "land",
+            shard=task.shard.index,
+            attempt=handle.attempt,
+            rows=artifact.row_count,
+            duration_s=round(task.duration_s, 6),
+            speculative=handle.speculative,
+        )
+
+    def _attempt_failed(
+        self, task: _ShardTask, handle: WorkerHandle, reason: str, orphaned: bool = False
+    ) -> None:
+        self._discard_staging(handle)
+        task.failures.append(f"attempt {handle.attempt}: {reason}")
+        if orphaned:
+            task.state = ShardState.ORPHANED
+            self._orphaned_events += 1
+        self.journal.append(
+            "orphan" if orphaned else "fail",
+            shard=task.shard.index,
+            attempt=handle.attempt,
+            reason=reason,
+            speculative=handle.speculative,
+        )
+        if task.handles:
+            # A duplicate attempt is still in flight; let it race on.
+            task.state = ShardState.RUNNING
+            return
+        if task.budget_spent < self.retry.max_attempts:
+            delay = self.retry.delay_s(
+                task.budget_spent, token=f"{self.plan.digest}:{task.shard.index}"
+            )
+            task.not_before = time.monotonic() + delay
+            task.state = ShardState.PENDING
+            self.journal.append(
+                "retry",
+                shard=task.shard.index,
+                next_attempt=task.attempt_counter + 1,
+                delay_s=round(delay, 6),
+            )
+        else:
+            task.state = ShardState.FAILED
+            self.journal.append(
+                "give-up",
+                shard=task.shard.index,
+                attempts=task.budget_spent,
+                reasons=task.failures[-self.retry.max_attempts :],
+            )
+
+    def _reap(self) -> None:
+        for task in self._tasks.values():
+            for handle in list(task.handles):
+                code = handle.poll()
+                if code is None:
+                    continue
+                task.handles.remove(handle)
+                if code == 0:
+                    try:
+                        artifact = self._validated_artifact(
+                            handle.staging_path, task.shard
+                        )
+                    except ShardError as error:
+                        self._attempt_failed(
+                            task, handle, f"corrupt artifact: {error}"
+                        )
+                        continue
+                    self._land(task, handle, artifact)
+                elif task.state is ShardState.LANDED:
+                    self._discard_staging(handle)
+                else:
+                    self._attempt_failed(
+                        task, handle, f"worker exited with code {code}"
+                    )
+
+    def _check_liveness(self) -> None:
+        now = time.time()
+        for task in self._tasks.values():
+            for handle in list(task.handles):
+                try:
+                    pulse = os.stat(handle.heartbeat_path).st_mtime
+                except OSError:
+                    pulse = handle.started
+                stale = now - max(pulse, handle.started)
+                reason = None
+                if self.heartbeat_timeout and stale > self.heartbeat_timeout:
+                    reason = (
+                        f"heartbeat stale for {stale:.1f}s "
+                        f"(timeout {self.heartbeat_timeout}s)"
+                    )
+                elif (
+                    self.shard_timeout
+                    and now - handle.started > self.shard_timeout
+                ):
+                    reason = (
+                        f"attempt exceeded shard timeout {self.shard_timeout}s"
+                    )
+                if reason is None:
+                    continue
+                handle.kill()
+                task.handles.remove(handle)
+                self._attempt_failed(task, handle, reason, orphaned=True)
+
+    def _active_handles(self) -> int:
+        return sum(len(task.handles) for task in self._tasks.values())
+
+    def _dispatch_ready(self) -> None:
+        free = self.max_workers - self._active_handles()
+        if free <= 0:
+            return
+        now = time.monotonic()
+        for task in sorted(self._tasks.values(), key=lambda t: t.shard.index):
+            if free <= 0:
+                break
+            if task.state is not ShardState.PENDING or now < task.not_before:
+                continue
+            self._dispatch(task)
+            free -= 1
+
+    def _maybe_speculate(self) -> None:
+        if not self.speculate:
+            return
+        free = self.max_workers - self._active_handles()
+        if free <= 0:
+            return
+        landed = [t for t in self._tasks.values() if t.state is ShardState.LANDED]
+        if len(landed) < self.speculation_threshold * self.plan.count:
+            return
+        if any(t.state is ShardState.PENDING for t in self._tasks.values()):
+            return  # real work first
+        durations = sorted(t.duration_s for t in landed if t.duration_s is not None)
+        if not durations:
+            return
+        median = durations[len(durations) // 2]
+        floor = max(median * self.speculation_factor, 4 * self.poll_interval)
+        now = time.time()
+        for task in self._tasks.values():
+            if free <= 0:
+                break
+            if (
+                task.state is not ShardState.RUNNING
+                or task.speculated
+                or len(task.handles) != 1
+            ):
+                continue
+            if now - task.handles[0].started <= floor:
+                continue
+            self.journal.append("speculate", shard=task.shard.index)
+            self._dispatch(task, speculative=True)
+            free -= 1
+
+    # -- teardown ------------------------------------------------------- #
+    def _teardown_gc(self) -> None:
+        if self.shared_cache is None:
+            return
+        if self.gc_max_age_days is None and self.gc_max_bytes is None:
+            return
+        report = SharedCacheDir(self.shared_cache).gc(
+            max_age_days=self.gc_max_age_days, max_bytes=self.gc_max_bytes
+        )
+        self.journal.append(
+            "cache-gc",
+            removed_files=report.removed_files,
+            removed_bytes=report.removed_bytes,
+            kept_files=report.kept_files,
+            kept_bytes=report.kept_bytes,
+        )
+
+    def _finalize(self, started: float) -> LaunchReport:
+        landed = sorted(
+            index
+            for index, task in self._tasks.items()
+            if task.state is ShardState.LANDED
+        )
+        failed = sorted(
+            index
+            for index, task in self._tasks.items()
+            if task.state is ShardState.FAILED
+        )
+        restored = sorted(
+            index for index, task in self._tasks.items() if task.restored
+        )
+        exit_code = EXIT_COMPLETE if not failed else EXIT_PARTIAL
+        failure_report_path = None
+        if failed:
+            points = self.spec.points()
+            report_payload = {
+                "kind": "repro-launch-failure-report",
+                "version": __version__,
+                "digest": self.plan.digest,
+                "shard_count": self.plan.count,
+                "landed_shards": landed,
+                "failed_shards": [
+                    {
+                        "shard": index,
+                        "attempts": self._tasks[index].budget_spent,
+                        "reasons": self._tasks[index].failures,
+                        "point_indices": list(
+                            self._tasks[index].shard.point_indices
+                        ),
+                        "point_cache_keys": [
+                            points[i].cache_key
+                            for i in self._tasks[index].shard.point_indices
+                        ],
+                        "relaunch": (
+                            f"repro launch --resume --dir {self.directory}"
+                        ),
+                    }
+                    for index in failed
+                ],
+            }
+            failure_report_path = self.failure_report_path
+            tmp = failure_report_path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(report_payload, indent=2))
+            os.replace(tmp, failure_report_path)
+        csv_path = None
+        if self._merged is not None and self.csv_path is not None:
+            self._merged.result().write_csv(self.csv_path)
+            csv_path = self.csv_path
+        shutil.rmtree(self.staging_dir, ignore_errors=True)
+        self._teardown_gc()
+        self.journal.append(
+            "complete",
+            exit_code=exit_code,
+            landed=len(landed),
+            failed=failed,
+            duration_s=round(time.time() - started, 6),
+        )
+        return LaunchReport(
+            digest=self.plan.digest,
+            shard_count=self.plan.count,
+            backend=getattr(self.backend, "name", type(self.backend).__name__),
+            exit_code=exit_code,
+            landed=landed,
+            failed=failed,
+            restored=restored,
+            dispatches=self._dispatches,
+            orphaned_events=self._orphaned_events,
+            speculative_dispatches=self._speculative_dispatches,
+            merged_path=self.merged_path if self._merged is not None else None,
+            csv_path=csv_path,
+            failure_report_path=failure_report_path,
+            duration_s=time.time() - started,
+            artifact=self._merged,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> LaunchReport:
+        """Drive every shard to a terminal state and merge the results."""
+        started = time.time()
+        self._prepare()
+        if self.resume:
+            self._restore()
+        while any(not task.state.terminal for task in self._tasks.values()):
+            self._reap()
+            self._check_liveness()
+            self._dispatch_ready()
+            self._maybe_speculate()
+            if any(not task.state.terminal for task in self._tasks.values()):
+                time.sleep(self.poll_interval)
+        self._reap()  # collect any attempt that finished during the last sleep
+        return self._finalize(started)
+
+
+def launch_sweep(
+    spec: SweepSpec,
+    shard_count: int,
+    directory: str | Path,
+    **kwargs: Any,
+) -> LaunchReport:
+    """Convenience wrapper: ``LaunchScheduler(directory, spec, count).run()``."""
+    return LaunchScheduler(directory, spec, shard_count, **kwargs).run()
+
+
+__all__ = [
+    "BACKENDS",
+    "EXIT_COMPLETE",
+    "EXIT_INJECTED_CRASH",
+    "EXIT_KILLED",
+    "EXIT_PARTIAL",
+    "FAULT_ENV",
+    "FaultInjector",
+    "FaultSpec",
+    "Journal",
+    "LaunchError",
+    "LaunchReport",
+    "LaunchScheduler",
+    "ProcessBackend",
+    "RetryPolicy",
+    "ShardState",
+    "ThreadBackend",
+    "execute_shard_attempt",
+    "launch_sweep",
+]

@@ -50,6 +50,7 @@ simulate miss becomes every later shard's profile hit — see
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
@@ -75,6 +76,8 @@ SHARD_SUFFIX = ".repro-shard"
 MANIFEST_NAME = "manifest.json"
 NUMERIC_NAME = "columns.npy"
 OBJECT_NAME = "columns.json"
+
+_LOG = logging.getLogger(__name__)
 
 
 class ShardError(ValueError):
@@ -861,8 +864,49 @@ def resolve_artifact_paths(paths: Iterable[str | Path]) -> list[Path]:
     return resolved
 
 
+def read_artifacts(
+    paths: Iterable[str | Path], strict: bool = True
+) -> "tuple[list[ShardArtifact], list[tuple[Path, str]]]":
+    """Resolve and read shard artifacts, optionally skipping broken ones.
+
+    Returns ``(artifacts, skipped)`` where ``skipped`` is a list of
+    ``(path, reason)`` pairs.  With ``strict`` (the default) the first
+    unreadable artifact raises :class:`ShardError` and ``skipped`` is
+    always empty — the historical behavior.  In lenient mode
+    (``strict=False``, what ``repro merge-shards`` uses unless told
+    ``--strict``) an unreadable or truncated artifact *directory* is
+    skipped with a per-path warning and a summary listing, so one
+    corrupt file from a crashed worker no longer aborts a whole fleet's
+    merge.  Path-resolution failures (a nonexistent entry, a directory
+    with no artifacts in it) are operator typos, not partial-run damage,
+    and stay hard errors in both modes.
+    """
+    resolved = resolve_artifact_paths(paths)
+    artifacts: list[ShardArtifact] = []
+    skipped: list[tuple[Path, str]] = []
+    for path in resolved:
+        try:
+            artifacts.append(ShardArtifact.read(path))
+        except ShardError as error:
+            if strict:
+                raise
+            reason = str(error)
+            _LOG.warning("skipping unreadable shard artifact: %s", reason)
+            skipped.append((path, reason))
+    if skipped:
+        _LOG.warning(
+            "skipped %d of %d artifact(s): %s",
+            len(skipped),
+            len(resolved),
+            ", ".join(str(path) for path, _reason in skipped),
+        )
+    return artifacts, skipped
+
+
 def merge_shard_paths(
-    paths: Iterable[str | Path], require_complete: bool = True
+    paths: Iterable[str | Path],
+    require_complete: bool = True,
+    strict: bool = True,
 ) -> ShardArtifact:
     """Read and merge artifacts from disk (see :func:`merge_artifacts`).
 
@@ -870,11 +914,15 @@ def merge_shard_paths(
     :meth:`SweepResult.merge_shards
     <repro.experiments.result.SweepResult.merge_shards>` uses) every
     shard of the plan must be present — missing indices raise
-    :class:`ShardError` by name.
+    :class:`ShardError` by name.  ``strict=False`` skips unreadable
+    artifacts instead of aborting (see :func:`read_artifacts`); combined
+    with ``require_complete`` a skip surfaces as the skipped shard being
+    reported missing.
     """
-    merged = merge_artifacts(
-        [ShardArtifact.read(path) for path in resolve_artifact_paths(paths)]
-    )
+    artifacts, _skipped = read_artifacts(paths, strict=strict)
+    if not artifacts:
+        raise ShardError("no readable shard artifacts to merge")
+    merged = merge_artifacts(artifacts)
     if require_complete:
         missing = sorted(set(range(merged.shard_count)) - set(merged.shard_indices))
         if missing:
@@ -899,6 +947,7 @@ __all__ = [
     "ShardRunner",
     "merge_artifacts",
     "merge_shard_paths",
+    "read_artifacts",
     "resolve_artifact_paths",
     "spec_digest",
 ]

@@ -1,0 +1,69 @@
+"""Subprocess entry point for :class:`~repro.experiments.scheduler.ProcessBackend`.
+
+``python -m repro.experiments.worker --spec spec.pkl --index I --count N
+--staging PATH --heartbeat PATH ...`` runs exactly one shard attempt via
+:func:`~repro.experiments.scheduler.execute_shard_attempt` and exits
+with the attempt's code (0 landed, 70 injected crash, nonzero failure).
+Living in its own process means the scheduler can SIGKILL it, it can
+``os._exit`` on an injected crash, and a hang in it never blocks the
+scheduler loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+from repro.experiments.scheduler import (
+    FaultInjector,
+    FaultSpec,
+    execute_shard_attempt,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.worker",
+        description="Run one shard attempt for the repro launch scheduler.",
+    )
+    parser.add_argument("--spec", required=True, help="pickled (spec, count) file")
+    parser.add_argument("--index", required=True, type=int)
+    parser.add_argument("--count", required=True, type=int)
+    parser.add_argument("--staging", required=True, help="artifact output path")
+    parser.add_argument("--heartbeat", required=True, help="heartbeat file path")
+    parser.add_argument("--interval", type=float, default=1.0)
+    parser.add_argument("--attempt", type=int, default=1)
+    parser.add_argument("--shared-cache", default=None)
+    parser.add_argument("--fault-spec", default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    spec, stored_count = pickle.loads(Path(args.spec).read_bytes())
+    if stored_count != args.count:
+        raise SystemExit(
+            f"spec file plans {stored_count} shard(s), worker asked for "
+            f"{args.count}"
+        )
+    injector = (
+        FaultInjector(FaultSpec.parse(args.fault_spec)) if args.fault_spec else None
+    )
+    return execute_shard_attempt(
+        spec,
+        args.index,
+        args.count,
+        Path(args.staging),
+        Path(args.heartbeat),
+        args.interval,
+        shared_cache=args.shared_cache,
+        fault=injector,
+        attempt=args.attempt,
+        hard_crash=True,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())
