@@ -290,8 +290,58 @@ def _cmd_merge_shards(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _launch_backend(args: argparse.Namespace, injector) -> object | str:
+    """The scheduler backend: a name for local ones, an instance for
+    remote ones (which need hosts and the fault injector up front)."""
+    from pathlib import Path
+
+    from repro.experiments.remote import (
+        LoopbackBackend,
+        SshBackend,
+        parse_hosts,
+    )
+
+    if args.backend not in ("ssh", "loopback"):
+        if args.hosts or args.hosts_file:
+            raise SystemExit(
+                f"--hosts only applies to the ssh/loopback backends, "
+                f"not {args.backend!r}"
+            )
+        return args.backend
+    hosts: list[str] = []
+    if args.hosts:
+        hosts += parse_hosts(args.hosts)
+    if args.hosts_file:
+        try:
+            hosts += parse_hosts(Path(args.hosts_file).read_text())
+        except OSError as error:
+            raise SystemExit(f"cannot read --hosts-file: {error}")
+    common = dict(
+        remote_root=args.remote_root,
+        injector=injector,
+        quarantine_after=args.quarantine_after,
+    )
+    if args.backend == "ssh":
+        if not hosts:
+            raise SystemExit(
+                "the ssh backend needs --hosts user@host[,...] or --hosts-file"
+            )
+        return SshBackend(
+            hosts,
+            python=args.remote_python,
+            pythonpath=args.remote_pythonpath,
+            **common,
+        )
+    return LoopbackBackend(
+        Path(args.dir) / "fleet",
+        host_names=hosts or ("loop-a", "loop-b"),
+        **common,
+    )
+
+
 def _cmd_launch(args: argparse.Namespace) -> str:
     from repro.experiments.scheduler import (
+        FaultInjector,
         LaunchError,
         LaunchScheduler,
         RetryPolicy,
@@ -311,22 +361,25 @@ def _cmd_launch(args: argparse.Namespace) -> str:
         base_delay_s=args.base_delay,
     )
     try:
+        injector = FaultInjector.from_env()
         scheduler = LaunchScheduler(
             args.dir,
             spec,
             args.shards,
-            backend=args.backend,
+            backend=_launch_backend(args, injector),
             max_workers=args.max_workers,
             retry=retry,
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_timeout=args.heartbeat_timeout,
             shard_timeout=args.shard_timeout,
             speculate=not args.no_speculate,
+            injector=injector,
             shared_cache=args.shared_cache,
             gc_max_age_days=args.gc_max_age_days,
             gc_max_bytes=args.gc_max_bytes,
             csv_path=args.csv,
             resume=args.resume,
+            serve=args.serve,
         )
         report = scheduler.run()
     except (LaunchError, ShardError) as error:
@@ -337,6 +390,20 @@ def _cmd_launch(args: argparse.Namespace) -> str:
         print(report.describe())
         raise SystemExit(report.exit_code)
     return report.describe()
+
+
+def _cmd_launch_status(args: argparse.Namespace) -> str:
+    from repro.experiments.status import StatusError, fetch_status, render_status
+
+    try:
+        payload = fetch_status(args.url, timeout=args.timeout)
+    except StatusError as error:
+        raise SystemExit(f"error: {error}")
+    if args.json:
+        import json
+
+        return json.dumps(payload, indent=2)
+    return render_status(payload)
 
 
 def _cmd_cache_gc(args: argparse.Namespace) -> str:
@@ -553,9 +620,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="launch directory (journal, landed shards, logs, partial merge)",
     )
     launch.add_argument(
-        "--backend", choices=("process", "thread"), default="process",
+        "--backend", choices=("process", "thread", "ssh", "loopback"),
+        default="process",
         help="worker backend: one killable subprocess per shard attempt "
-             "(default) or in-process threads",
+             "(default), in-process threads, a fleet of SSH hosts, or the "
+             "hermetic loopback fleet (remote code path, local processes)",
+    )
+    launch.add_argument(
+        "--hosts", metavar="H1[,H2...]",
+        help="remote hosts for --backend ssh (user@host) or loopback "
+             "(fake host names; default loop-a,loop-b)",
+    )
+    launch.add_argument(
+        "--hosts-file", metavar="PATH",
+        help="file of hosts, one per line ('#' comments); merged with --hosts",
+    )
+    launch.add_argument(
+        "--remote-root", default=".repro-remote", metavar="PATH",
+        help="staging root on the remote hosts (default .repro-remote, "
+             "relative to the remote home)",
+    )
+    launch.add_argument(
+        "--remote-python", default="python3", metavar="BIN",
+        help="python executable on the ssh hosts (default python3)",
+    )
+    launch.add_argument(
+        "--remote-pythonpath", default=None, metavar="PATH",
+        help="PYTHONPATH exported to ssh workers (a remote checkout's src/ "
+             "when repro is not installed there)",
+    )
+    launch.add_argument(
+        "--quarantine-after", type=int, default=3, metavar="K",
+        help="quarantine a host after K consecutive failed attempts; its "
+             "shards rebalance onto surviving hosts (default 3)",
+    )
+    launch.add_argument(
+        "--serve", metavar="[HOST]:PORT",
+        help="serve live progress as JSON over HTTP while the launch runs "
+             "(GET /status, /journal; read-only; host defaults to 127.0.0.1)",
     )
     launch.add_argument(
         "--max-workers", type=int, default=None, metavar="N",
@@ -611,6 +713,25 @@ def build_parser() -> argparse.ArgumentParser:
              "and re-run only the rest",
     )
     launch.set_defaults(handler=_cmd_launch)
+
+    launch_status = subparsers.add_parser(
+        "launch-status",
+        help="render the live progress of a `repro launch --serve` run",
+    )
+    launch_status.add_argument(
+        "url", metavar="URL",
+        help="the progress endpoint, e.g. http://127.0.0.1:8765 "
+             "(printed by the launch when --serve is active)",
+    )
+    launch_status.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="HTTP timeout (default 10)",
+    )
+    launch_status.add_argument(
+        "--json", action="store_true",
+        help="print the raw /status JSON instead of the rendered summary",
+    )
+    launch_status.set_defaults(handler=_cmd_launch_status)
 
     cache = subparsers.add_parser(
         "cache", help="manage the cross-run shared cache directory"

@@ -17,6 +17,10 @@ parallel parameter studies:
   sharded execution (``repro launch``): retries with backoff, heartbeat
   liveness, straggler speculation, a crash-safe journal with
   ``--resume``, and reproducible fault injection.
+* :class:`SshBackend` / :class:`LoopbackBackend` — remote shard
+  dispatch over a retrying, digest-verified transport with per-host
+  quarantine, plus :class:`StatusServer` — the live ``--serve``
+  progress API.
 
 See ``docs/experiments.md`` for a guide and the cache-invalidation rules.
 """
@@ -52,6 +56,16 @@ from repro.experiments.runner import (
     run_points_packed,
     run_sweep,
 )
+from repro.experiments.remote import (
+    HostPool,
+    LocalLoopbackTransport,
+    LoopbackBackend,
+    RemoteBackend,
+    RemoteHost,
+    SshBackend,
+    SshTransport,
+    TransportError,
+)
 from repro.experiments.scheduler import (
     FaultInjector,
     FaultSpec,
@@ -74,18 +88,24 @@ from repro.experiments.sharding import (
     spec_digest,
 )
 from repro.experiments.spec import DEFAULT_GATING_LABEL, SweepPoint, SweepSpec
+from repro.experiments.status import StatusServer
 
 __all__ = [
     "CacheGcReport",
     "DEFAULT_GATING_LABEL",
     "FaultInjector",
     "FaultSpec",
+    "HostPool",
     "JsonFileStore",
     "LaunchError",
     "LaunchReport",
     "LaunchScheduler",
+    "LocalLoopbackTransport",
+    "LoopbackBackend",
     "PackedRows",
     "ROW_COLUMNS",
+    "RemoteBackend",
+    "RemoteHost",
     "RetryPolicy",
     "Shard",
     "ShardArtifact",
@@ -95,10 +115,14 @@ __all__ = [
     "ShardState",
     "SharedCacheDir",
     "SimulationCache",
+    "SshBackend",
+    "SshTransport",
+    "StatusServer",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "TransportError",
     "assemble_packed_rows",
     "canonical",
     "launch_sweep",

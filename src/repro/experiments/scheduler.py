@@ -93,6 +93,7 @@ from repro.experiments.sharding import (
     ShardRunner,
     merge_artifacts,
     spec_digest,
+    verify_artifact_files,
 )
 from repro.experiments.spec import SweepSpec
 
@@ -114,6 +115,8 @@ FAULT_ENV = "REPRO_FAULT_SPEC"
 
 SPEC_FILENAME = "spec.pkl"
 JOURNAL_FILENAME = "journal.jsonl"
+SNAPSHOT_FILENAME = "journal-snapshot.json"
+ARCHIVE_FILENAME = "journal-archive.jsonl"
 MERGED_NAME = "merged" + SHARD_SUFFIX
 FAILURE_REPORT_FILENAME = "failure-report.json"
 
@@ -176,6 +179,17 @@ class RetryPolicy:
 class FaultSpec:
     """Declarative fault mix, e.g. ``crash:0.3,hang:0.1,corrupt:0.1``.
 
+    Two independent fault categories share the spec:
+
+    * **worker faults** (``crash``, ``hang``, ``corrupt``) — drawn once
+      per shard attempt inside the worker body;
+    * **network faults** (``drop``, ``stall``, ``tear``) — drawn per
+      remote transport operation (stage/run/fetch) by the remote
+      backends: a *drop* makes the operation fail immediately, a
+      *stall* parks it until cancelled (modelling a dead connection the
+      liveness relay must catch), and a *tear* lets a fetch complete
+      with corrupted bytes (caught by the artifact's content digests).
+
     ``until`` restricts injection to the first N attempts of each shard
     (``until:1`` makes every first attempt eligible and every retry
     clean — handy for deterministic CI chaos steps); ``seed`` varies
@@ -185,6 +199,9 @@ class FaultSpec:
     crash: float = 0.0
     hang: float = 0.0
     corrupt: float = 0.0
+    drop: float = 0.0
+    stall: float = 0.0
+    tear: float = 0.0
     seed: int = 0
     until: int | None = None
 
@@ -202,20 +219,26 @@ class FaultSpec:
                     f"bad fault spec entry {part!r} (expected name:value)"
                 ) from None
             name = name.strip()
-            if name in ("crash", "hang", "corrupt"):
+            if name in ("crash", "hang", "corrupt", "drop", "stall", "tear"):
                 fields[name] = float(value)
             elif name in ("seed", "until"):
                 fields[name] = int(value)
             else:
                 raise LaunchError(
                     f"unknown fault kind {name!r} "
-                    "(have crash, hang, corrupt, seed, until)"
+                    "(have crash, hang, corrupt, drop, stall, tear, "
+                    "seed, until)"
                 )
         spec = cls(**fields)
         if not 0.0 <= spec.crash + spec.hang + spec.corrupt <= 1.0:
             raise LaunchError(
-                "fault probabilities must sum to a value in [0, 1], got "
-                f"{spec.crash + spec.hang + spec.corrupt}"
+                "worker fault probabilities must sum to a value in [0, 1], "
+                f"got {spec.crash + spec.hang + spec.corrupt}"
+            )
+        if not 0.0 <= spec.drop + spec.stall + spec.tear <= 1.0:
+            raise LaunchError(
+                "network fault probabilities must sum to a value in [0, 1], "
+                f"got {spec.drop + spec.stall + spec.tear}"
             )
         return spec
 
@@ -226,6 +249,9 @@ class FaultSpec:
                 ("crash", self.crash),
                 ("hang", self.hang),
                 ("corrupt", self.corrupt),
+                ("drop", self.drop),
+                ("stall", self.stall),
+                ("tear", self.tear),
             )
             if value
         ]
@@ -274,6 +300,36 @@ class FaultInjector:
             roll -= probability
         return None
 
+    def draw_network(
+        self, shard_index: int, attempt: int, op: str, try_number: int = 1
+    ) -> str | None:
+        """``"drop"`` / ``"stall"`` / ``"tear"`` / ``None`` for one
+        transport operation.
+
+        Like :meth:`draw`, a pure function of the identifying tuple —
+        here ``(seed, shard, attempt, op, try)`` where ``op`` names the
+        network step (``"stage"``, ``"run"``, ``"fetch"``) and ``try``
+        counts the transport-level retries of that step — so a chaos
+        run's network weather replays exactly, and a dropped operation
+        may deterministically clear on its next retry.
+        """
+        spec = self.spec
+        if spec.until is not None and attempt > spec.until:
+            return None
+        rng = random.Random(
+            f"repro-netfault:{spec.seed}:{shard_index}:{attempt}:{op}:{try_number}"
+        )
+        roll = rng.random()
+        for name, probability in (
+            ("drop", spec.drop),
+            ("stall", spec.stall),
+            ("tear", spec.tear),
+        ):
+            if roll < probability:
+                return name
+            roll -= probability
+        return None
+
 
 # ---------------------------------------------------------------------- #
 # The append-only journal
@@ -289,10 +345,22 @@ class Journal:
     never an unreadable journal.  (Artifacts — the expensive state —
     are published by atomic rename exactly like the shard writer; the
     journal only has to *survive* crashes, not replace them.)
+
+    Left alone, the log grows without bound across retries and resume
+    cycles, so every graceful exit **compacts** it (:meth:`compact`):
+    the state a resume needs — attempt high-water marks, landed/failed
+    shards — is folded into an atomically published
+    ``journal-snapshot.json`` and the log restarts near-empty.  Readers
+    replay snapshot *plus* tail; a crash between the two writes leaves
+    either the old log or the new snapshot + fresh log, never neither.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.path.with_name(SNAPSHOT_FILENAME)
 
     def append(self, event: str, **fields: Any) -> dict[str, Any]:
         entry = {"ts": time.time(), "event": event, **fields}
@@ -321,6 +389,54 @@ class Journal:
             if isinstance(entry, dict):
                 events.append(entry)
         return events
+
+    @property
+    def archive_path(self) -> Path:
+        return self.path.with_name(ARCHIVE_FILENAME)
+
+    def compact(self, state: Mapping[str, Any]) -> Path:
+        """Fold the log into ``journal-snapshot.json`` and restart it.
+
+        ``state`` is whatever a future resume needs (attempt counters,
+        landed/failed shards); the snapshot also records how many events
+        it folded.  The snapshot is published by atomic rename *before*
+        the log is rotated, so a crash mid-compaction can only leave
+        extra (still replayable) events behind, never lose state.  The
+        raw event lines move to ``journal-archive.jsonl`` (previous
+        generation only) for post-mortems; resume never replays them —
+        it reads the snapshot plus whatever tail accrued afterwards.
+        """
+        folded = len(self.read_events(self.path))
+        payload = {
+            "kind": "repro-launch-journal-snapshot",
+            "ts": time.time(),
+            "folded_events": folded,
+            **state,
+        }
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        os.replace(tmp, self.snapshot_path)
+        try:
+            os.replace(self.path, self.archive_path)
+        except OSError:
+            pass  # nothing to archive (journal never written)
+        self.append("compact", snapshot=SNAPSHOT_FILENAME, folded_events=folded)
+        return self.snapshot_path
+
+    @classmethod
+    def read_snapshot(cls, path: str | Path) -> dict[str, Any] | None:
+        """The compacted snapshot next to journal ``path``, if one exists."""
+        snapshot_path = Path(path).with_name(SNAPSHOT_FILENAME)
+        try:
+            payload = json.loads(snapshot_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kind") != "repro-launch-journal-snapshot"
+        ):
+            return None
+        return payload
 
 
 # ---------------------------------------------------------------------- #
@@ -403,6 +519,12 @@ def execute_shard_attempt(
         )
         artifact = ShardRunner(spec, shard_count, cache=cache).run(shard_index)
         artifact.write(staging_path)
+        # Write-side validation hook: prove the bytes on disk match the
+        # manifest's content digests before the artifact is offered for
+        # transfer.  Runs *before* the injected corruption below — that
+        # fault models corruption the writer itself cannot see, and must
+        # reach the scheduler's (or the transfer's) validation instead.
+        verify_artifact_files(staging_path)
         if mode == "corrupt":
             _corrupt_artifact(staging_path)
         return 0
@@ -602,6 +724,10 @@ class _ShardTask:
     restored: bool = False
     landed_attempt: int | None = None
     duration_s: float | None = None
+    #: One record per dispatch — host, backend, exit code, failure
+    #: cause, duration — the post-mortem trail ``failure-report.json``
+    #: and the progress API expose.
+    history: list[dict[str, Any]] = field(default_factory=list)
 
 
 @dataclass
@@ -719,6 +845,7 @@ class LaunchScheduler:
         gc_max_bytes: int | None = None,
         csv_path: str | Path | None = None,
         resume: bool = False,
+        serve: str | None = None,
     ):
         self.directory = Path(directory)
         self.retry = retry if retry is not None else RetryPolicy()
@@ -733,6 +860,10 @@ class LaunchScheduler:
         self.gc_max_age_days = gc_max_age_days
         self.gc_max_bytes = gc_max_bytes
         self.resume = resume
+        self.serve = serve
+        #: The live progress HTTP server (``--serve``), set by :meth:`run`.
+        self.status_server: Any = None
+        self._started: float | None = None
 
         if injector is None and use_env_faults:
             injector = FaultInjector.from_env()
@@ -854,8 +985,11 @@ class LaunchScheduler:
             self.logs_dir,
         ):
             path.mkdir(parents=True, exist_ok=True)
-        if not self.resume and self.journal_path.exists():
-            landed = any(
+        if not self.resume:
+            # A compacted run's landed shards live in the snapshot, not
+            # the (truncated) log — check both before clobbering.
+            snapshot = Journal.read_snapshot(self.journal_path)
+            landed = bool(snapshot and snapshot.get("landed")) or any(
                 event.get("event") in ("land", "restore")
                 for event in Journal.read_events(self.journal_path)
             )
@@ -882,6 +1016,11 @@ class LaunchScheduler:
             retry=dataclasses.asdict(self.retry),
             faults=self.injector.spec.describe() if self.injector else None,
         )
+        # Remote backends journal their own events (host quarantine and
+        # recovery) through this sink; local backends have none to emit.
+        sink = getattr(self.backend, "set_event_sink", None)
+        if sink is not None:
+            sink(self.journal.append)
 
     def _restore(self) -> None:
         """Rebuild state from the launch directory (crash-safe resume).
@@ -896,6 +1035,16 @@ class LaunchScheduler:
         fault draws never collide with the previous run's.
         """
         attempts_seen: dict[int, int] = {}
+        # Replay = snapshot (compacted history) + tail (events since):
+        # the snapshot holds the attempt high-water marks of everything
+        # the last graceful exit folded away.
+        snapshot = Journal.read_snapshot(self.journal_path)
+        if snapshot:
+            for shard_text, attempt in (snapshot.get("attempts") or {}).items():
+                try:
+                    attempts_seen[int(shard_text)] = int(attempt)
+                except (TypeError, ValueError):
+                    continue
         for event in Journal.read_events(self.journal_path):
             shard = event.get("shard")
             attempt = event.get("attempt")
@@ -987,16 +1136,58 @@ class LaunchScheduler:
         else:
             task.budget_spent += 1
         self._dispatches += 1
+        host = getattr(handle, "host", None)
+        task.history.append(
+            {
+                "attempt": attempt,
+                "host": host,
+                "backend": getattr(
+                    self.backend, "name", type(self.backend).__name__
+                ),
+                "speculative": speculative,
+                "started": round(handle.started, 3),
+            }
+        )
         self.journal.append(
             "dispatch",
             shard=index,
             attempt=attempt,
             speculative=speculative,
             pid=handle.pid,
+            host=host,
         )
 
     def _discard_staging(self, handle: WorkerHandle) -> None:
         shutil.rmtree(handle.staging_path, ignore_errors=True)
+
+    def _record_outcome(
+        self,
+        task: _ShardTask,
+        handle: WorkerHandle,
+        outcome: str,
+        cause: str | None = None,
+        exit_code: int | None = None,
+    ) -> None:
+        """Close out the attempt-history record this handle opened."""
+        for entry in reversed(task.history):
+            if entry["attempt"] == handle.attempt:
+                entry["outcome"] = outcome
+                entry["duration_s"] = round(time.time() - handle.started, 6)
+                if cause is not None:
+                    entry["cause"] = cause
+                if exit_code is not None:
+                    entry["exit_code"] = exit_code
+                break
+
+    def _notify_backend(self, handle: WorkerHandle, ok: bool) -> None:
+        """Feed per-host health tracking in backends that keep any."""
+        record = getattr(self.backend, "record_attempt", None)
+        if record is None:
+            return
+        try:
+            record(handle, ok)
+        except Exception:  # noqa: BLE001 - health tracking must not kill a run
+            _LOG.exception("backend attempt-health callback failed")
 
     def _land(self, task: _ShardTask, handle: WorkerHandle, artifact: ShardArtifact) -> None:
         final = self.shards_dir / task.shard.artifact_name
@@ -1008,11 +1199,13 @@ class LaunchScheduler:
             if final.exists():
                 shutil.rmtree(final, ignore_errors=True)
             os.replace(handle.staging_path, final)
+        self._notify_backend(handle, ok=True)
         if task.state is ShardState.LANDED:
             return
         task.state = ShardState.LANDED
         task.landed_attempt = handle.attempt
         task.duration_s = time.time() - handle.started
+        self._record_outcome(task, handle, "landed", exit_code=0)
         for other in task.handles:
             other.kill()
             self._discard_staging(other)
@@ -1025,13 +1218,28 @@ class LaunchScheduler:
             rows=artifact.row_count,
             duration_s=round(task.duration_s, 6),
             speculative=handle.speculative,
+            host=getattr(handle, "host", None),
         )
 
     def _attempt_failed(
-        self, task: _ShardTask, handle: WorkerHandle, reason: str, orphaned: bool = False
+        self,
+        task: _ShardTask,
+        handle: WorkerHandle,
+        reason: str,
+        orphaned: bool = False,
+        cause: str | None = None,
+        exit_code: int | None = None,
     ) -> None:
         self._discard_staging(handle)
+        self._notify_backend(handle, ok=False)
         task.failures.append(f"attempt {handle.attempt}: {reason}")
+        self._record_outcome(
+            task,
+            handle,
+            "orphaned" if orphaned else "failed",
+            cause=cause,
+            exit_code=exit_code,
+        )
         if orphaned:
             task.state = ShardState.ORPHANED
             self._orphaned_events += 1
@@ -1040,7 +1248,9 @@ class LaunchScheduler:
             shard=task.shard.index,
             attempt=handle.attempt,
             reason=reason,
+            cause=cause,
             speculative=handle.speculative,
+            host=getattr(handle, "host", None),
         )
         if task.handles:
             # A duplicate attempt is still in flight; let it race on.
@@ -1081,15 +1291,27 @@ class LaunchScheduler:
                         )
                     except ShardError as error:
                         self._attempt_failed(
-                            task, handle, f"corrupt artifact: {error}"
+                            task,
+                            handle,
+                            f"corrupt artifact: {error}",
+                            cause="corrupt-artifact",
+                            exit_code=code,
                         )
                         continue
                     self._land(task, handle, artifact)
                 elif task.state is ShardState.LANDED:
                     self._discard_staging(handle)
                 else:
+                    detail = getattr(handle, "failure_detail", None)
+                    reason = f"worker exited with code {code}"
+                    if detail:
+                        reason += f" ({detail})"
                     self._attempt_failed(
-                        task, handle, f"worker exited with code {code}"
+                        task,
+                        handle,
+                        reason,
+                        cause=getattr(handle, "failure_cause", None) or "exit",
+                        exit_code=code,
                     )
 
     def _check_liveness(self) -> None:
@@ -1102,11 +1324,24 @@ class LaunchScheduler:
                     pulse = handle.started
                 stale = now - max(pulse, handle.started)
                 reason = None
-                if self.heartbeat_timeout and stale > self.heartbeat_timeout:
+                cause = None
+                if getattr(handle, "unreachable", False):
+                    # Remote handles flag the host as unreachable after
+                    # consecutive transport failures in their heartbeat
+                    # relay — a distinct cause (the *network* died, not
+                    # the worker), declared dead without waiting out the
+                    # heartbeat timeout.
+                    reason = (
+                        f"host {getattr(handle, 'host', '?')} unreachable "
+                        "(transport failures during heartbeat relay)"
+                    )
+                    cause = "unreachable"
+                elif self.heartbeat_timeout and stale > self.heartbeat_timeout:
                     reason = (
                         f"heartbeat stale for {stale:.1f}s "
                         f"(timeout {self.heartbeat_timeout}s)"
                     )
+                    cause = "heartbeat"
                 elif (
                     self.shard_timeout
                     and now - handle.started > self.shard_timeout
@@ -1114,11 +1349,14 @@ class LaunchScheduler:
                     reason = (
                         f"attempt exceeded shard timeout {self.shard_timeout}s"
                     )
+                    cause = "timeout"
                 if reason is None:
                     continue
                 handle.kill()
                 task.handles.remove(handle)
-                self._attempt_failed(task, handle, reason, orphaned=True)
+                self._attempt_failed(
+                    task, handle, reason, orphaned=True, cause=cause
+                )
 
     def _active_handles(self) -> int:
         return sum(len(task.handles) for task in self._tasks.values())
@@ -1214,6 +1452,12 @@ class LaunchScheduler:
                         "shard": index,
                         "attempts": self._tasks[index].budget_spent,
                         "reasons": self._tasks[index].failures,
+                        # The full dispatch trail — which host ran each
+                        # attempt, on which backend, how it ended and how
+                        # long it took — so remote flakiness (one bad
+                        # machine, a lossy link) is diagnosable from the
+                        # report alone.
+                        "attempt_history": self._tasks[index].history,
                         "point_indices": list(
                             self._tasks[index].shard.point_indices
                         ),
@@ -1228,6 +1472,9 @@ class LaunchScheduler:
                     for index in failed
                 ],
             }
+            describe_hosts = getattr(self.backend, "describe_hosts", None)
+            if describe_hosts is not None:
+                report_payload["hosts"] = describe_hosts()
             failure_report_path = self.failure_report_path
             tmp = failure_report_path.with_suffix(".json.tmp")
             tmp.write_text(json.dumps(report_payload, indent=2))
@@ -1238,6 +1485,23 @@ class LaunchScheduler:
             csv_path = self.csv_path
         shutil.rmtree(self.staging_dir, ignore_errors=True)
         self._teardown_gc()
+        # Graceful exit (complete or partial): fold the event log into a
+        # snapshot so journals stay bounded across retry/resume cycles.
+        # A later --resume replays snapshot + tail.
+        self.journal.compact(
+            {
+                "digest": self.plan.digest,
+                "shard_count": self.plan.count,
+                "exit_code": exit_code,
+                "attempts": {
+                    str(index): task.attempt_counter
+                    for index, task in sorted(self._tasks.items())
+                    if task.attempt_counter
+                },
+                "landed": landed,
+                "failed": failed,
+            }
+        )
         self.journal.append(
             "complete",
             exit_code=exit_code,
@@ -1263,22 +1527,89 @@ class LaunchScheduler:
             artifact=self._merged,
         )
 
+    # -- live progress -------------------------------------------------- #
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready view of the run for the progress API (read-only)."""
+        shards = []
+        counts: dict[str, int] = {state.value: 0 for state in ShardState}
+        for index in sorted(self._tasks):
+            task = self._tasks[index]
+            counts[task.state.value] += 1
+            last = task.history[-1] if task.history else {}
+            shards.append(
+                {
+                    "index": index,
+                    "state": task.state.value,
+                    "attempts": task.attempt_counter,
+                    "points": len(task.shard.point_indices),
+                    "host": last.get("host"),
+                    "speculated": task.speculated,
+                    "restored": task.restored,
+                    "duration_s": task.duration_s,
+                }
+            )
+        merged = self._merged
+        payload: dict[str, Any] = {
+            "kind": "repro-launch-status",
+            "version": __version__,
+            "digest": self.plan.digest,
+            "shard_count": self.plan.count,
+            "backend": getattr(self.backend, "name", type(self.backend).__name__),
+            "elapsed_s": (
+                round(time.time() - self._started, 3)
+                if self._started is not None
+                else None
+            ),
+            "dispatches": self._dispatches,
+            "speculative_dispatches": self._speculative_dispatches,
+            "orphaned_events": self._orphaned_events,
+            "states": counts,
+            "shards": shards,
+            "merge": (
+                {
+                    "covered_shards": list(merged.shard_indices),
+                    "rows": merged.row_count,
+                    "points": len(merged.points),
+                }
+                if merged is not None
+                else None
+            ),
+        }
+        describe_hosts = getattr(self.backend, "describe_hosts", None)
+        if describe_hosts is not None:
+            payload["hosts"] = describe_hosts()
+        return payload
+
     # ------------------------------------------------------------------ #
     def run(self) -> LaunchReport:
         """Drive every shard to a terminal state and merge the results."""
         started = time.time()
+        self._started = started
         self._prepare()
-        if self.resume:
-            self._restore()
-        while any(not task.state.terminal for task in self._tasks.values()):
-            self._reap()
-            self._check_liveness()
-            self._dispatch_ready()
-            self._maybe_speculate()
-            if any(not task.state.terminal for task in self._tasks.values()):
-                time.sleep(self.poll_interval)
-        self._reap()  # collect any attempt that finished during the last sleep
-        return self._finalize(started)
+        if self.serve is not None:
+            from repro.experiments.status import StatusServer
+
+            self.status_server = StatusServer(
+                self.snapshot, self.journal_path, address=self.serve
+            )
+            self.journal.append("serve", url=self.status_server.url)
+        try:
+            if self.resume:
+                self._restore()
+            while any(not task.state.terminal for task in self._tasks.values()):
+                self._reap()
+                self._check_liveness()
+                self._dispatch_ready()
+                self._maybe_speculate()
+                if any(
+                    not task.state.terminal for task in self._tasks.values()
+                ):
+                    time.sleep(self.poll_interval)
+            self._reap()  # collect any attempt finished during the last sleep
+            return self._finalize(started)
+        finally:
+            if self.status_server is not None:
+                self.status_server.close()
 
 
 def launch_sweep(

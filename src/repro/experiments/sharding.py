@@ -49,6 +49,7 @@ simulate miss becomes every later shard's profile hit — see
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 from dataclasses import dataclass
@@ -82,6 +83,57 @@ _LOG = logging.getLogger(__name__)
 
 class ShardError(ValueError):
     """A shard artifact is unreadable, foreign, duplicated or missing."""
+
+
+def _file_digest(path: Path) -> str:
+    """Streaming SHA-256 of one file (``sha256:<hex>``), O(1) memory."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return f"sha256:{digest.hexdigest()}"
+
+
+def verify_artifact_files(path: str | Path, require: bool = True) -> None:
+    """Check an artifact's column stores against the manifest's digests.
+
+    The transfer-side validation hook: a worker calls it right after
+    writing (catching a torn local write before the artifact ever
+    travels), and a remote backend calls it after fetching (a torn or
+    bit-flipped transfer then degrades exactly like a local corrupt
+    write — the attempt fails and the shard re-dispatches).  Raises
+    :class:`ShardError` on any mismatch or missing file.  Artifacts
+    written before digests existed carry no ``files`` entry; ``require``
+    decides whether that is an error (the default — every transfer path
+    deals in freshly written artifacts) or accepted silently.
+    """
+    path = Path(path)
+    try:
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+    except (OSError, ValueError) as error:
+        raise ShardError(
+            f"{path}: not a readable shard artifact ({error})"
+        ) from error
+    files = manifest.get("files") if isinstance(manifest, dict) else None
+    if not isinstance(files, dict):
+        if require:
+            raise ShardError(
+                f"{path}: manifest carries no content digests "
+                "(written by an older version?)"
+            )
+        return
+    for name, expected in sorted(files.items()):
+        try:
+            actual = _file_digest(path / name)
+        except OSError as error:
+            raise ShardError(
+                f"{path}: column store {name} is unreadable ({error})"
+            ) from error
+        if actual != expected:
+            raise ShardError(
+                f"{path}: content digest mismatch on {name} (torn or "
+                f"corrupt transfer): {actual} != {expected}"
+            )
 
 
 def spec_digest(spec: SweepSpec) -> str:
@@ -482,6 +534,12 @@ class ShardArtifact:
             path / OBJECT_NAME,
             lambda handle: handle.write(json.dumps(objects).encode("utf-8")),
         )
+        # Content digests of every column store, written into the
+        # manifest so transfers (and the workers' own writes) can be
+        # verified end to end — see :func:`verify_artifact_files`.
+        files = {OBJECT_NAME: _file_digest(path / OBJECT_NAME)}
+        if numeric:
+            files[NUMERIC_NAME] = _file_digest(path / NUMERIC_NAME)
         manifest = {
             "schema": SHARD_SCHEMA,
             "kind": "repro-shard",
@@ -493,6 +551,7 @@ class ShardArtifact:
             "row_count": self.row_count,
             "columns": list(self.columns),
             "numeric_columns": numeric,
+            "files": files,
             "points": [
                 {"index": index, "cache_key": key, "rows": rows}
                 for index, key, rows in self.points
@@ -950,4 +1009,5 @@ __all__ = [
     "read_artifacts",
     "resolve_artifact_paths",
     "spec_digest",
+    "verify_artifact_files",
 ]

@@ -1,0 +1,214 @@
+"""Live progress API for ``repro launch`` (``--serve``) and its client.
+
+:class:`StatusServer` is a read-only stdlib :mod:`http.server` running
+on a daemon thread inside the scheduler process.  It exposes the run
+as JSON:
+
+=============  ========================================================
+``/status``    the scheduler's live snapshot — per-shard state/attempts/
+               host, per-host health, partial merge summary
+``/journal``   the launch journal (live tail; ``?archive=1`` prepends
+               the compacted archive's events)
+``/``          endpoint index
+=============  ========================================================
+
+Everything is GET-only and computed on demand from scheduler state the
+main loop already maintains; the server never mutates anything, so a
+watcher cannot perturb a run.  :func:`fetch_status` /
+:func:`render_status` back the ``repro launch-status URL`` command.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable
+
+
+class StatusError(RuntimeError):
+    """The progress endpoint could not be reached or parsed."""
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """``":8765"`` / ``"8765"`` / ``"0.0.0.0:8765"`` → ``(host, port)``.
+
+    The default host is loopback — exposing the API beyond the machine
+    is an explicit opt-in (``0.0.0.0:PORT``).
+    """
+    text = text.strip()
+    host, _, port_text = text.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise StatusError(
+            f"bad --serve address {text!r} (expected [HOST]:PORT)"
+        ) from None
+    return host, port
+
+
+class StatusServer:
+    """Serves a scheduler's live snapshot over HTTP (read-only)."""
+
+    def __init__(
+        self,
+        snapshot: Callable[[], dict[str, Any]],
+        journal_path: str | Path,
+        *,
+        address: str = ":0",
+    ):
+        self._snapshot = snapshot
+        self._journal_path = Path(journal_path)
+        host, port = parse_address(address)
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args: Any) -> None:  # quiet by design
+                pass
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                try:
+                    payload = server._route(self.path)
+                except Exception as error:  # noqa: BLE001 - 500, not a crash
+                    self._reply(500, {"error": str(error)})
+                    return
+                if payload is None:
+                    self._reply(404, {"error": f"no such endpoint {self.path}"})
+                else:
+                    self._reply(200, payload)
+
+            def _reply(self, code: int, payload: Any) -> None:
+                body = json.dumps(payload, indent=2).encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-status:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- routing --------------------------------------------------------- #
+    def _route(self, path: str) -> Any | None:
+        parsed = urllib.parse.urlparse(path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/":
+            return {
+                "kind": "repro-launch-status-index",
+                "endpoints": ["/status", "/journal"],
+            }
+        if route == "/status":
+            return self._snapshot()
+        if route == "/journal":
+            from repro.experiments.scheduler import Journal
+
+            query = urllib.parse.parse_qs(parsed.query)
+            events: list[dict[str, Any]] = []
+            if query.get("archive", ["0"])[0] not in ("0", ""):
+                events += Journal.read_events(
+                    self._journal_path.with_name("journal-archive.jsonl")
+                )
+            events += Journal.read_events(self._journal_path)
+            return {"kind": "repro-launch-journal", "events": events}
+        return None
+
+    # -- lifecycle ------------------------------------------------------- #
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        display = "127.0.0.1" if host in ("0.0.0.0", "::") else host
+        return f"http://{display}:{self.port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+
+# ---------------------------------------------------------------------- #
+# Client side (``repro launch-status``)
+# ---------------------------------------------------------------------- #
+def fetch_status(url: str, timeout: float = 10.0) -> dict[str, Any]:
+    """GET ``URL[/status]`` and return the decoded snapshot."""
+    if "://" not in url:
+        url = f"http://{url}"
+    if not url.rstrip("/").endswith("/status"):
+        url = url.rstrip("/") + "/status"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        raise StatusError(f"cannot fetch {url}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("kind") != "repro-launch-status":
+        raise StatusError(f"{url} did not return a launch-status payload")
+    return payload
+
+
+def render_status(payload: dict[str, Any]) -> str:
+    """Human-readable rendering of a ``/status`` snapshot."""
+    states = payload.get("states", {})
+    state_text = ", ".join(
+        f"{name}: {count}" for name, count in sorted(states.items()) if count
+    )
+    lines = [
+        f"launch {payload.get('digest', '?')} "
+        f"({payload.get('shard_count', '?')} shard(s), "
+        f"backend {payload.get('backend', '?')})",
+        f"elapsed       : {payload.get('elapsed_s', '?')}s",
+        f"states        : {state_text or 'none'}",
+        f"dispatches    : {payload.get('dispatches', 0)} "
+        f"({payload.get('speculative_dispatches', 0)} speculative, "
+        f"{payload.get('orphaned_events', 0)} orphaned)",
+    ]
+    merge = payload.get("merge")
+    if merge:
+        lines.append(
+            f"partial merge : {len(merge.get('covered_shards', []))} shard(s), "
+            f"{merge.get('rows', 0)} row(s)"
+        )
+    hosts = payload.get("hosts")
+    if hosts:
+        lines.append("hosts         :")
+        for host in hosts:
+            flags = " QUARANTINED" if host.get("quarantined") else ""
+            lines.append(
+                f"  {host.get('name')}: {host.get('landed', 0)} landed, "
+                f"{host.get('failures', 0)} failed, "
+                f"{host.get('inflight', 0)} in flight{flags}"
+            )
+    shards = payload.get("shards", ())
+    busy = [s for s in shards if s.get("state") not in ("landed",)]
+    if busy:
+        lines.append("shards        :")
+        for shard in busy:
+            where = f" @{shard['host']}" if shard.get("host") else ""
+            lines.append(
+                f"  #{shard['index']}: {shard['state']} "
+                f"(attempt {shard.get('attempts', 0)}{where})"
+            )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "StatusError",
+    "StatusServer",
+    "fetch_status",
+    "parse_address",
+    "render_status",
+]

@@ -40,6 +40,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Last log line of a worker that ran to an orderly exit.  Remote
+#: backends use it to tell a worker's own exit status apart from the
+#: transport's (``ssh`` reports 255 for connection failures *and*
+#: forwards a worker's 255): transport codes never come with a sentinel.
+EXIT_SENTINEL = "REPRO-WORKER-EXIT"
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     spec, stored_count = pickle.loads(Path(args.spec).read_bytes())
@@ -51,7 +58,7 @@ def main(argv: list[str] | None = None) -> int:
     injector = (
         FaultInjector(FaultSpec.parse(args.fault_spec)) if args.fault_spec else None
     )
-    return execute_shard_attempt(
+    code = execute_shard_attempt(
         spec,
         args.index,
         args.count,
@@ -63,6 +70,13 @@ def main(argv: list[str] | None = None) -> int:
         attempt=args.attempt,
         hard_crash=True,
     )
+    # (An injected hard crash os._exit()s above and skips the sentinel —
+    # exactly what a real segfault would do.)
+    print(
+        f"{EXIT_SENTINEL} code={code} shard={args.index} attempt={args.attempt}",
+        flush=True,
+    )
+    return code
 
 
 if __name__ == "__main__":

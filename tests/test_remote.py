@@ -1,0 +1,454 @@
+"""Remote dispatch: transports, host health, and network chaos.
+
+The contract mirrors ``test_scheduler`` one layer out: whatever the
+*network* does — dropped operations, stalled connections, torn
+transfers, hosts that vanish mid-run — a launch over the remote
+backend that completes produces a merged CSV **byte-identical** to the
+monolithic run.  Everything runs hermetically on the loopback
+transport; the SSH transport is covered at the argv/parse level (no
+real SSH in CI).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import SweepRunner, SweepSpec
+from repro.experiments.remote import (
+    EXIT_TRANSPORT,
+    HostPool,
+    LocalLoopbackTransport,
+    LoopbackBackend,
+    RemoteBackend,
+    RemoteHost,
+    SshTransport,
+    TransportError,
+    parse_hosts,
+    with_retry,
+)
+from repro.experiments.scheduler import (
+    EXIT_COMPLETE,
+    EXIT_PARTIAL,
+    DispatchContext,
+    FaultInjector,
+    FaultSpec,
+    Journal,
+    LaunchError,
+    LaunchScheduler,
+    RetryPolicy,
+)
+
+SPEC = SweepSpec(
+    workloads=("dlrm-s-inference",),
+    chips=("NPU-C", "NPU-D"),
+    batch_sizes=(1,),
+)
+SHARDS = 3
+
+FAST_TRANSPORT_RETRY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.01, max_delay_s=0.05, jitter=0.0
+)
+
+
+@pytest.fixture(scope="module")
+def monolithic_csv(tmp_path_factory) -> bytes:
+    path = tmp_path_factory.mktemp("mono") / "mono.csv"
+    SweepRunner(SPEC).run().write_csv(path)
+    return path.read_bytes()
+
+
+def fleet_scheduler(tmp_path, *, hosts=("loop-a", "loop-b"), shard_count=SHARDS,
+                    backend_overrides=None, **overrides) -> LaunchScheduler:
+    backend_kwargs = dict(
+        relay_interval=0.05,
+        transport_retry=FAST_TRANSPORT_RETRY,
+        stall_s=0.2,
+    )
+    backend_kwargs.update(backend_overrides or {})
+    backend = LoopbackBackend(
+        tmp_path / "fleet", host_names=hosts, **backend_kwargs
+    )
+    kwargs = dict(
+        backend=backend,
+        poll_interval=0.02,
+        heartbeat_interval=0.2,
+        heartbeat_timeout=30.0,
+        max_workers=shard_count,
+        retry=RetryPolicy(
+            max_attempts=4, base_delay_s=0.01, max_delay_s=0.05, jitter=0.0
+        ),
+        speculate=False,
+        use_env_faults=False,
+        csv_path=tmp_path / "out.csv",
+    )
+    kwargs.update(overrides)
+    return LaunchScheduler(tmp_path / "run", SPEC, shard_count, **kwargs)
+
+
+def journal_events(directory, kind=None):
+    events = Journal.read_events(
+        Path(directory) / "journal-archive.jsonl"
+    ) + Journal.read_events(Path(directory) / "journal.jsonl")
+    if kind is None:
+        return events
+    return [event for event in events if event.get("event") == kind]
+
+
+# ---------------------------------------------------------------------- #
+# Units: retry wrapper, hosts parsing, host pool
+# ---------------------------------------------------------------------- #
+class TestWithRetry:
+    def test_passes_try_number_and_recovers(self):
+        tries = []
+
+        def flaky(try_number):
+            tries.append(try_number)
+            if try_number < 3:
+                raise TransportError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.0, jitter=0.0)
+        assert with_retry(policy, flaky) == "ok"
+        assert tries == [1, 2, 3]
+
+    def test_exhaustion_raises_with_cause(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+
+        def always(_):
+            raise TransportError("connection reset")
+
+        with pytest.raises(TransportError, match="failed after 2 tries"):
+            with_retry(policy, always, description="push spec")
+
+    def test_non_transport_errors_propagate_immediately(self):
+        calls = []
+
+        def broken(try_number):
+            calls.append(try_number)
+            raise ValueError("a bug, not weather")
+
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0, jitter=0.0)
+        with pytest.raises(ValueError):
+            with_retry(policy, broken)
+        assert calls == [1]
+
+    def test_cancel_aborts_before_trying(self):
+        cancel = threading.Event()
+        cancel.set()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+        with pytest.raises(TransportError, match="cancelled"):
+            with_retry(policy, lambda n: "never", cancel=cancel)
+
+
+class TestParseHosts:
+    def test_commas_newlines_and_comments(self):
+        text = "a@one, b@two\n# a comment line\nc@three # trailing\n\n"
+        assert parse_hosts(text) == ["a@one", "b@two", "c@three"]
+
+    def test_empty_text(self):
+        assert parse_hosts("# only comments\n") == []
+
+
+class TestHostPool:
+    def _pool(self, names=("a", "b"), **kwargs):
+        hosts = [RemoteHost(name=n, transport=object()) for n in names]
+        return HostPool(hosts, **kwargs)
+
+    def test_picks_least_loaded_then_round_robins(self):
+        pool = self._pool(("a", "b"))
+        first, second = pool.pick(), pool.pick()
+        assert {first.name, second.name} == {"a", "b"}
+        pool.record(first.name, ok=True)
+        # a is idle again but b has fewer dispatches-equal... both at 1
+        # dispatch; the idle one wins over the one still in flight.
+        third = pool.pick()
+        assert third.name == first.name
+
+    def test_quarantine_after_consecutive_failures_and_recovery(self):
+        events = []
+        pool = self._pool(("a", "b"), quarantine_after=2)
+        pool.event_sink = lambda event, **f: events.append((event, f))
+        for _ in range(2):
+            host = pool.hosts["a"]
+            host.inflight += 1
+            pool.record("a", ok=False)
+        assert pool.hosts["a"].quarantined
+        assert ("host-quarantine", {"host": "a", "consecutive_failures": 2}) in events
+        # New dispatches avoid the quarantined host entirely.
+        assert {pool.pick().name, pool.pick().name} == {"b"}
+        # A straggling in-flight success recovers it.
+        pool.record("a", ok=True)
+        assert not pool.hosts["a"].quarantined
+        assert ("host-recover", {"host": "a"}) in events
+
+    def test_all_quarantined_degrades_to_least_bad(self):
+        events = []
+        pool = self._pool(("a",), quarantine_after=1)
+        pool.event_sink = lambda event, **f: events.append(event)
+        pool.pick()
+        pool.record("a", ok=False)
+        assert pool.hosts["a"].quarantined
+        assert pool.pick().name == "a"  # degrade, don't deadlock
+        assert "host-pool-degraded" in events
+
+    def test_rejects_empty_and_duplicate_fleets(self):
+        with pytest.raises(LaunchError, match="at least one host"):
+            HostPool([])
+        with pytest.raises(LaunchError, match="duplicate host names"):
+            self._pool(("a", "a"))
+
+
+# ---------------------------------------------------------------------- #
+# Units: SSH transport argv (no real SSH), worker argv
+# ---------------------------------------------------------------------- #
+class TestSshTransport:
+    def _capture(self, monkeypatch, returncode=0, stdout="", stderr=""):
+        calls = []
+
+        def fake_run(argv, **kwargs):
+            calls.append(argv)
+            return subprocess.CompletedProcess(argv, returncode, stdout, stderr)
+
+        monkeypatch.setattr(subprocess, "run", fake_run)
+        return calls
+
+    def test_helper_commands_are_batchmode_with_timeouts(self, monkeypatch):
+        calls = self._capture(monkeypatch)
+        transport = SshTransport("user@box", connect_timeout=7)
+        transport.ensure_dir("work/dir with space")
+        [argv] = calls
+        assert argv[0] == "ssh"
+        assert "BatchMode=yes" in argv and "ConnectTimeout=7" in argv
+        assert argv[-2] == "user@box"
+        assert argv[-1] == "mkdir -p 'work/dir with space'"
+
+    def test_push_and_pull_use_recursive_scp(self, monkeypatch, tmp_path):
+        calls = self._capture(monkeypatch)
+        transport = SshTransport("user@box")
+        transport.push(tmp_path / "spec.pkl", "root/spec.pkl")
+        transport.pull("root/artifact", tmp_path / "staged")
+        push, pull = calls
+        assert push[0] == "scp" and "-r" in push
+        assert push[-1] == "user@box:root/spec.pkl"
+        assert pull[-2] == "user@box:root/artifact"
+
+    def test_nonzero_exit_is_a_transport_error(self, monkeypatch):
+        self._capture(monkeypatch, returncode=255, stderr="connection refused")
+        transport = SshTransport("user@box")
+        with pytest.raises(TransportError, match="connection refused"):
+            transport.ensure_dir("x")
+
+    def test_stat_mtime_parses_and_signals_absence(self, monkeypatch):
+        calls = self._capture(monkeypatch, stdout="1723456789\n")
+        transport = SshTransport("user@box")
+        assert transport.stat_mtime("hb") == 1723456789.0
+        self._capture(monkeypatch, stdout="stat: cannot stat\nREPRO-ENOENT\n")
+        assert transport.stat_mtime("hb") is None
+        assert calls  # first capture consumed
+
+    def test_run_quotes_argv_and_exports_pythonpath(self, monkeypatch, tmp_path):
+        captured = {}
+
+        def fake_popen(argv, **kwargs):
+            captured["argv"] = argv
+
+            class P:
+                pid = 1234
+
+            return P()
+
+        monkeypatch.setattr(subprocess, "Popen", fake_popen)
+        transport = SshTransport("user@box")
+        log = open(tmp_path / "log", "ab")
+        try:
+            transport.run(
+                ["python3", "-m", "repro.experiments.worker", "--spec", "a b.pkl"],
+                log,
+                pythonpath="/srv/repro/src",
+            )
+        finally:
+            log.close()
+        command = captured["argv"][-1]
+        assert command.startswith("PYTHONPATH=/srv/repro/src python3")
+        assert "'a b.pkl'" in command
+
+
+class TestWorkerArgv:
+    def _ctx(self, tmp_path, shared_cache=None, fault_text=None):
+        return DispatchContext(
+            spec=SPEC,
+            spec_path=tmp_path / "spec.pkl",
+            shard_index=1,
+            shard_count=SHARDS,
+            attempt=2,
+            staging_path=tmp_path / "staging",
+            heartbeat_path=tmp_path / "hb",
+            heartbeat_interval=0.5,
+            log_path=tmp_path / "log",
+            shared_cache=shared_cache,
+            fault_text=fault_text,
+            speculative=False,
+        )
+
+    def test_shared_cache_rides_only_local_filesystems(self, tmp_path):
+        loopback = LocalLoopbackTransport(tmp_path / "fake")
+        ssh = SshTransport("user@box")
+        backend = RemoteBackend(
+            [RemoteHost(name="h", transport=loopback)], python="python3"
+        )
+        ctx = self._ctx(tmp_path, shared_cache="/cache", fault_text="crash:0.5")
+        local_argv = backend.worker_argv(ctx, loopback, "art", "hb")
+        assert "--shared-cache" in local_argv and "--fault-spec" in local_argv
+        remote_argv = backend.worker_argv(ctx, ssh, "art", "hb")
+        assert "--shared-cache" not in remote_argv
+        assert "--fault-spec" in remote_argv
+
+    def test_paths_resolve_through_the_transport(self, tmp_path):
+        loopback = LocalLoopbackTransport(tmp_path / "fake", name="h")
+        backend = RemoteBackend([RemoteHost(name="h", transport=loopback)])
+        ctx = self._ctx(tmp_path)
+        argv = backend.worker_argv(ctx, loopback, "base/art", "base/hb")
+        staging = argv[argv.index("--staging") + 1]
+        assert staging == str(tmp_path / "fake" / "base" / "art")
+
+
+# ---------------------------------------------------------------------- #
+# Integration: the loopback fleet under network chaos
+# ---------------------------------------------------------------------- #
+class TestFleetLaunch:
+    def test_clean_fleet_launch_is_byte_identical(self, tmp_path, monolithic_csv):
+        scheduler = fleet_scheduler(tmp_path)
+        report = scheduler.run()
+        assert report.exit_code == EXIT_COMPLETE
+        assert (tmp_path / "out.csv").read_bytes() == monolithic_csv
+        # Every dispatch/land event names the host it ran on, and the
+        # work spread across the fleet.
+        dispatches = journal_events(tmp_path / "run", "dispatch")
+        hosts = {event["host"] for event in dispatches}
+        assert hosts == {"loop-a", "loop-b"}
+        for event in journal_events(tmp_path / "run", "land"):
+            assert event["host"] in hosts
+        described = scheduler.backend.describe_hosts()
+        assert sum(h["landed"] for h in described) == SHARDS
+        assert not any(h["quarantined"] for h in described)
+
+    def test_dropped_operations_retry_then_redispatch(
+        self, tmp_path, monolithic_csv
+    ):
+        injector = FaultInjector(FaultSpec(drop=1.0, until=1))
+        scheduler = fleet_scheduler(
+            tmp_path,
+            backend_overrides=dict(injector=injector),
+            injector=injector,
+        )
+        report = scheduler.run()
+        assert report.exit_code == EXIT_COMPLETE
+        assert (tmp_path / "out.csv").read_bytes() == monolithic_csv
+        # Attempt 1 of every shard drowned in drops (transport retries
+        # exhausted -> EXIT_TRANSPORT) and attempt 2 ran clean.
+        fails = journal_events(tmp_path / "run", "fail")
+        assert len(fails) == SHARDS
+        for event in fails:
+            assert event["cause"] == "transport"
+            assert str(EXIT_TRANSPORT) in event["reason"]
+
+    def test_torn_transfers_are_caught_by_digests(self, tmp_path, monolithic_csv):
+        injector = FaultInjector(FaultSpec(tear=1.0, until=1))
+        scheduler = fleet_scheduler(
+            tmp_path,
+            backend_overrides=dict(injector=injector),
+            injector=injector,
+        )
+        report = scheduler.run()
+        assert report.exit_code == EXIT_COMPLETE
+        assert (tmp_path / "out.csv").read_bytes() == monolithic_csv
+        fails = journal_events(tmp_path / "run", "fail")
+        # Only non-empty shards have a column store to tear.
+        assert fails and all(f["cause"] == "corrupt-transfer" for f in fails)
+        # No torn artifact ever reached the landed area: the merge is
+        # byte-identical (above) and every landed artifact verifies.
+        from repro.experiments.sharding import verify_artifact_files
+
+        for artifact in sorted((tmp_path / "run" / "shards").iterdir()):
+            verify_artifact_files(artifact)
+
+    def test_dead_host_is_quarantined_and_fleet_rebalances(
+        self, tmp_path, monolithic_csv
+    ):
+        scheduler = fleet_scheduler(
+            tmp_path,
+            hosts=("loop-a", "loop-b", "loop-c"),
+            backend_overrides=dict(
+                die_after_ops={"loop-a": 6},
+                quarantine_after=2,
+                unreachable_after=2,
+                transport_retry=RetryPolicy(
+                    max_attempts=2, base_delay_s=0.01, max_delay_s=0.05, jitter=0.0
+                ),
+            ),
+        )
+        report = scheduler.run()
+        assert report.exit_code == EXIT_COMPLETE
+        assert (tmp_path / "out.csv").read_bytes() == monolithic_csv
+        quarantines = journal_events(tmp_path / "run", "host-quarantine")
+        assert [q["host"] for q in quarantines] == ["loop-a"]
+        described = {h["name"]: h for h in scheduler.backend.describe_hosts()}
+        assert described["loop-a"]["quarantined"]
+        assert described["loop-a"]["landed"] == 0
+        # The survivors absorbed the whole plan.
+        assert (
+            described["loop-b"]["landed"] + described["loop-c"]["landed"]
+            == SHARDS
+        )
+
+    def test_unreachable_host_orphans_with_cause_and_report_names_hosts(
+        self, tmp_path
+    ):
+        # One host that answers just long enough to start the worker,
+        # then drops off the network while the worker hangs: the
+        # heartbeat relay must flag UNREACHABLE (the worker itself never
+        # exits), the attempt must orphan, and with no surviving host
+        # the launch must degrade to a partial exit with a report that
+        # names the host and the causes.
+        injector = FaultInjector(FaultSpec(hang=1.0))
+        scheduler = fleet_scheduler(
+            tmp_path,
+            hosts=("loop-a",),
+            shard_count=1,
+            backend_overrides=dict(
+                die_after_ops={"loop-a": 4},
+                quarantine_after=1,
+                unreachable_after=2,
+                injector=injector,
+                transport_retry=RetryPolicy(
+                    max_attempts=2, base_delay_s=0.01, max_delay_s=0.05, jitter=0.0
+                ),
+            ),
+            injector=injector,
+            retry=RetryPolicy(
+                max_attempts=2, base_delay_s=0.01, max_delay_s=0.05, jitter=0.0
+            ),
+            heartbeat_timeout=30.0,
+        )
+        report = scheduler.run()
+        assert report.exit_code == EXIT_PARTIAL
+        [orphan] = journal_events(tmp_path / "run", "orphan")
+        assert orphan["cause"] == "unreachable"
+        assert "unreachable" in orphan["reason"]
+        assert journal_events(tmp_path / "run", "host-quarantine")
+        assert journal_events(tmp_path / "run", "host-pool-degraded")
+        payload = json.loads(report.failure_report_path.read_text())
+        [host] = payload["hosts"]
+        assert host["name"] == "loop-a" and host["quarantined"]
+        causes = [
+            entry.get("cause")
+            for entry in payload["failed_shards"][0]["attempt_history"]
+        ]
+        assert causes[0] == "unreachable"
+        assert all(entry["host"] == "loop-a"
+                   for entry in payload["failed_shards"][0]["attempt_history"])

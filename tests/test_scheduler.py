@@ -98,7 +98,10 @@ def assert_csv_identical(report, monolithic_csv: bytes) -> None:
 
 
 def journal_events(directory, kind: str | None = None) -> list[dict]:
-    events = Journal.read_events(Path(directory) / "journal.jsonl")
+    """Events from the live journal plus the compaction archive."""
+    events = Journal.read_events(
+        Path(directory) / "journal-archive.jsonl"
+    ) + Journal.read_events(Path(directory) / "journal.jsonl")
     if kind is None:
         return events
     return [event for event in events if event.get("event") == kind]
@@ -201,9 +204,22 @@ class TestLaunchScenarios:
         # The incrementally re-merged partial artifact is the full merge.
         merged = ShardArtifact.read(report.merged_path)
         assert merged.shard_indices == tuple(range(SHARDS))
+        # A clean exit compacts the journal: the per-shard event log is
+        # rotated to journal-archive.jsonl, state folds into
+        # journal-snapshot.json, and the live log keeps only the
+        # compaction marker plus the terminal event.
         events = [event["event"] for event in journal_events(tmp_path / "run")]
         assert events[0] == "launch" and events[-1] == "complete"
         assert events.count("land") == SHARDS
+        live = [
+            event["event"]
+            for event in Journal.read_events(tmp_path / "run" / "journal.jsonl")
+        ]
+        assert live == ["compact", "complete"]
+        snapshot = Journal.read_snapshot(tmp_path / "run" / "journal.jsonl")
+        assert snapshot is not None
+        assert snapshot["landed"] == list(range(SHARDS))
+        assert snapshot["folded_events"] >= SHARDS  # launch + dispatch/land
 
     def test_injected_crashes_are_retried_to_completion(
         self, tmp_path, monolithic_csv
@@ -279,6 +295,15 @@ class TestLaunchScenarios:
         [failed] = payload["failed_shards"]
         assert failed["shard"] == 0 and failed["attempts"] == 2
         assert failed["point_indices"] and failed["point_cache_keys"]
+        # Per-attempt history makes remote flakiness diagnosable
+        # post-mortem: every attempt records where it ran and how it died.
+        history = failed["attempt_history"]
+        assert [entry["attempt"] for entry in history] == [1, 2]
+        for entry in history:
+            assert entry["outcome"] == "failed"
+            assert entry["exit_code"] == EXIT_INJECTED_CRASH
+            assert entry["backend"] == "thread"
+            assert entry["duration_s"] >= 0.0
         # The partial merge covers exactly the landed shards and merges
         # again later (associativity) once shard 0 is re-run.
         partial = ShardArtifact.read(report.merged_path)
@@ -441,6 +466,47 @@ class TestProcessBackendAndResume:
         fast_scheduler(launch_dir).run()
         with pytest.raises(LaunchError, match="resume"):
             fast_scheduler(launch_dir).run()
+
+    def test_compaction_bounds_journal_and_resume_replays_snapshot(
+        self, tmp_path, monolithic_csv
+    ):
+        class CrashOneShard(FaultInjector):
+            def __init__(self, target: int):
+                super().__init__(FaultSpec())
+                self.target = target
+
+            def draw(self, shard_index: int, attempt: int) -> str | None:
+                return "crash" if shard_index == self.target else None
+
+        launch_dir = tmp_path / "run"
+        first = fast_scheduler(
+            launch_dir,
+            injector=CrashOneShard(0),
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.0),
+        ).run()
+        assert first.exit_code == EXIT_PARTIAL
+        # A graceful partial exit compacts too — that is exactly the
+        # journal a --resume will read.  The live log is O(1), not
+        # O(attempts); history is archived, state is in the snapshot.
+        live = Journal.read_events(launch_dir / "journal.jsonl")
+        assert [e["event"] for e in live] == ["compact", "complete"]
+        snapshot = Journal.read_snapshot(launch_dir / "journal.jsonl")
+        assert snapshot["exit_code"] == EXIT_PARTIAL
+        assert snapshot["failed"] == [0]
+        assert snapshot["attempts"]["0"] == 3
+        # Resume replays snapshot + tail: the retry budget and attempt
+        # numbering continue where the first scheduler stopped.
+        report = fast_scheduler(
+            launch_dir, resume=True, csv_path=tmp_path / "out.csv"
+        ).run()
+        assert report.complete
+        dispatches = [
+            e
+            for e in Journal.read_events(launch_dir / "journal-archive.jsonl")
+            if e["event"] == "dispatch" and e["shard"] == 0
+        ]
+        assert dispatches and dispatches[-1]["attempt"] == 4
+        assert_csv_identical(report, monolithic_csv)
 
 
 # ---------------------------------------------------------------------- #

@@ -351,6 +351,59 @@ class TestMergeValidation:
         assert "workload" not in manifest["numeric_columns"]
 
 
+class TestContentDigests:
+    """The manifest's per-file SHA-256 digests gate every transfer."""
+
+    def test_manifest_records_digests_and_verification_passes(
+        self, shard_artifacts
+    ):
+        from repro.experiments.sharding import verify_artifact_files
+
+        paths, _oracle = shard_artifacts
+        for path in paths:
+            manifest = json.loads((path / "manifest.json").read_text())
+            assert set(manifest["files"]) >= {"columns.json"}
+            assert all(
+                digest.startswith("sha256:")
+                for digest in manifest["files"].values()
+            )
+            verify_artifact_files(path)  # freshly written == intact
+
+    def test_single_corrupt_byte_is_detected(self, shard_artifacts, tmp_path):
+        import shutil
+
+        from repro.experiments.sharding import verify_artifact_files
+
+        source, _oracle = shard_artifacts
+        torn = tmp_path / "torn.repro-shard"
+        shutil.copytree(source[0], torn)
+        target = torn / "columns.npy"
+        if not target.exists():
+            target = torn / "columns.json"
+        blob = bytearray(target.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        with pytest.raises(ShardError, match="content digest mismatch"):
+            verify_artifact_files(torn)
+
+    def test_predigest_artifacts_only_fail_when_required(
+        self, shard_artifacts, tmp_path
+    ):
+        import shutil
+
+        from repro.experiments.sharding import verify_artifact_files
+
+        source, _oracle = shard_artifacts
+        legacy = tmp_path / "legacy.repro-shard"
+        shutil.copytree(source[0], legacy)
+        manifest = json.loads((legacy / "manifest.json").read_text())
+        del manifest["files"]
+        (legacy / "manifest.json").write_text(json.dumps(manifest))
+        verify_artifact_files(legacy, require=False)  # pre-digest schema: ok
+        with pytest.raises(ShardError, match="no content digests"):
+            verify_artifact_files(legacy)
+
+
 # ---------------------------------------------------------------------- #
 # The cross-run shared cache
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,229 @@
+"""The live progress API: ``repro launch --serve`` + ``launch-status``.
+
+Unit coverage drives :class:`StatusServer` against a fake snapshot;
+the integration test runs a real scheduler with ``serve=":0"`` and
+polls it mid-run — the acceptance criterion is that ``GET /status``
+returns valid JSON with shard states while the launch is live.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import SweepRunner, SweepSpec
+from repro.experiments.scheduler import (
+    Journal,
+    LaunchScheduler,
+    RetryPolicy,
+)
+from repro.experiments.status import (
+    StatusError,
+    StatusServer,
+    fetch_status,
+    parse_address,
+    render_status,
+)
+
+SPEC = SweepSpec(
+    workloads=("dlrm-s-inference",),
+    chips=("NPU-C", "NPU-D"),
+    batch_sizes=(1,),
+)
+SHARDS = 3
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+FAKE_SNAPSHOT = {
+    "kind": "repro-launch-status",
+    "digest": "cafe",
+    "shard_count": 2,
+    "backend": "loopback",
+    "elapsed_s": 1.5,
+    "dispatches": 3,
+    "speculative_dispatches": 1,
+    "orphaned_events": 0,
+    "states": {"running": 1, "landed": 1},
+    "shards": [
+        {"index": 0, "state": "landed", "attempts": 1, "host": "loop-a"},
+        {"index": 1, "state": "running", "attempts": 2, "host": "loop-b"},
+    ],
+    "merge": {"covered_shards": [0], "rows": 5, "points": 1},
+    "hosts": [
+        {"name": "loop-a", "landed": 1, "failures": 0, "inflight": 0,
+         "quarantined": False},
+        {"name": "loop-b", "landed": 0, "failures": 3, "inflight": 1,
+         "quarantined": True},
+    ],
+}
+
+
+class TestParseAddress:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            (":8765", ("127.0.0.1", 8765)),
+            ("8765", ("127.0.0.1", 8765)),
+            ("0.0.0.0:9000", ("0.0.0.0", 9000)),
+            (" 10.0.0.5:80 ", ("10.0.0.5", 80)),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_address(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "host:", "no-port", ":https"])
+    def test_rejected_forms(self, text):
+        with pytest.raises(StatusError, match="bad --serve address"):
+            parse_address(text)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    journal.append("launch", digest="cafe")
+    journal.append("dispatch", shard=0, attempt=1, host="loop-a")
+    instance = StatusServer(
+        lambda: dict(FAKE_SNAPSHOT), journal.path, address=":0"
+    )
+    yield instance
+    instance.close()
+
+
+class TestStatusServer:
+    def test_status_endpoint_serves_the_snapshot(self, server):
+        code, payload = _get(server.url + "/status")
+        assert code == 200
+        assert payload == FAKE_SNAPSHOT
+
+    def test_journal_endpoint_and_archive_opt_in(self, server, tmp_path):
+        _, payload = _get(server.url + "/journal")
+        assert payload["kind"] == "repro-launch-journal"
+        assert [e["event"] for e in payload["events"]] == ["launch", "dispatch"]
+        # Compacted history is opt-in via ?archive=1.
+        archive = Journal(tmp_path / "journal-archive.jsonl")
+        archive.append("land", shard=9)
+        _, with_archive = _get(server.url + "/journal?archive=1")
+        assert [e["event"] for e in with_archive["events"]] == [
+            "land", "launch", "dispatch",
+        ]
+
+    def test_index_and_unknown_routes(self, server):
+        _, index = _get(server.url + "/")
+        assert "/status" in index["endpoints"]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_snapshot_crash_is_a_500_not_a_dead_server(self, tmp_path):
+        def broken():
+            raise RuntimeError("scheduler state race")
+
+        instance = StatusServer(broken, tmp_path / "journal.jsonl", address=":0")
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(instance.url + "/status")
+            assert excinfo.value.code == 500
+            # The server survives and keeps answering other routes.
+            code, _ = _get(instance.url + "/")
+            assert code == 200
+        finally:
+            instance.close()
+
+
+class TestClient:
+    def test_fetch_normalizes_urls_and_validates_kind(self, server):
+        port = server.port
+        # Bare host:port, no scheme, no /status suffix.
+        payload = fetch_status(f"127.0.0.1:{port}")
+        assert payload["kind"] == "repro-launch-status"
+        with pytest.raises(StatusError, match="cannot fetch"):
+            fetch_status("127.0.0.1:1")  # nothing listens there
+
+    def test_fetch_rejects_non_status_payloads(self, tmp_path):
+        instance = StatusServer(
+            lambda: {"kind": "something-else"},
+            tmp_path / "journal.jsonl",
+            address=":0",
+        )
+        try:
+            with pytest.raises(StatusError, match="launch-status payload"):
+                fetch_status(instance.url)
+        finally:
+            instance.close()
+
+    def test_render_covers_states_hosts_and_quarantine(self):
+        text = render_status(dict(FAKE_SNAPSHOT))
+        assert "landed: 1" in text and "running: 1" in text
+        assert "partial merge : 1 shard(s), 5 row(s)" in text
+        assert "loop-b: 0 landed, 3 failed, 1 in flight QUARANTINED" in text
+        assert "#1: running (attempt 2 @loop-b)" in text
+
+
+class TestLiveScheduler:
+    def test_serve_answers_mid_run_and_cli_renders_it(self, tmp_path, capsys):
+        from repro.cli import main
+
+        scheduler = LaunchScheduler(
+            tmp_path / "run",
+            SPEC,
+            SHARDS,
+            backend="thread",
+            poll_interval=0.02,
+            heartbeat_interval=0.1,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.0),
+            speculate=False,
+            use_env_faults=False,
+            csv_path=tmp_path / "out.csv",
+            serve="127.0.0.1:0",
+        )
+        done: dict = {}
+
+        def _run() -> None:
+            done["report"] = scheduler.run()
+
+        thread = threading.Thread(target=_run)
+        thread.start()
+        try:
+            deadline = time.time() + 30
+            while scheduler.status_server is None and time.time() < deadline:
+                time.sleep(0.01)
+            assert scheduler.status_server is not None, "server never started"
+            url = scheduler.status_server.url
+            payload = fetch_status(url)
+            assert payload["kind"] == "repro-launch-status"
+            assert payload["digest"] == scheduler.plan.digest
+            assert sum(payload["states"].values()) == SHARDS
+            assert {s["index"] for s in payload["shards"]} == set(range(SHARDS))
+            assert all(
+                s["state"] in ("pending", "running", "landed", "failed",
+                               "orphaned")
+                for s in payload["shards"]
+            )
+            # The CLI client renders the same endpoint.
+            assert main(["launch-status", url]) == 0
+            rendered = capsys.readouterr().out
+            assert f"launch {scheduler.plan.digest}" in rendered
+        finally:
+            thread.join(timeout=120)
+        assert not thread.is_alive()
+        report = done["report"]
+        assert report.complete
+        # The journal records where the server listened...
+        events = Journal.read_events(
+            tmp_path / "run" / "journal-archive.jsonl"
+        )
+        [serve_event] = [e for e in events if e["event"] == "serve"]
+        assert serve_event["url"] == url
+        # ...and the server is down once the run finishes.
+        with pytest.raises(StatusError):
+            fetch_status(url, timeout=2)
