@@ -247,8 +247,21 @@ def _cmd_merge_shards(args: argparse.Namespace) -> str:
         )
         if args.output:
             # Partial merges are allowed when writing an artifact: the
-            # combined artifact merges again later with the rest.
-            path = merged.write(args.output)
+            # combined artifact merges again later with the rest.  The
+            # skipped-artifact list rides along in the manifest so
+            # repair tooling / re-runs can consume it without having to
+            # scrape this command's stderr.
+            extra = (
+                {
+                    "skipped": [
+                        {"path": str(skipped_path), "reason": reason}
+                        for skipped_path, reason in skipped
+                    ]
+                }
+                if skipped
+                else None
+            )
+            path = merged.write(args.output, extra_manifest=extra)
         else:
             if missing:
                 raise ShardError(
@@ -380,6 +393,7 @@ def _cmd_launch(args: argparse.Namespace) -> str:
             csv_path=args.csv,
             resume=args.resume,
             serve=args.serve,
+            catalog=args.catalog,
         )
         report = scheduler.run()
     except (LaunchError, ShardError) as error:
@@ -413,11 +427,76 @@ def _cmd_cache_gc(args: argparse.Namespace) -> str:
         max_age_days=args.max_age_days,
         max_bytes=args.max_bytes,
         dry_run=args.dry_run,
+        # Auditing (--dry-run) always checks entry integrity; destructive
+        # runs only pay the full read with an explicit --verify.
+        verify=args.verify or args.dry_run,
     )
     lines = [report.describe()]
     if args.dry_run:
         for path, reason in report.removed:
             lines.append(f"  {path} ({reason})")
+    return "\n".join(lines)
+
+
+def _open_catalog(args: argparse.Namespace):
+    from repro.experiments.catalog import CatalogError, ExperimentCatalog
+
+    try:
+        return ExperimentCatalog(args.db)
+    except CatalogError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def _cmd_catalog_list(args: argparse.Namespace) -> str:
+    catalog = _open_catalog(args)
+    entries = catalog.entries()
+    summary = catalog.summary()
+    lines = [
+        f"catalog       : {catalog.path}",
+        f"entries       : {summary['entries']} "
+        f"(by status {summary['by_status'] or '{}'}; "
+        f"by kind {summary['by_kind'] or '{}'})",
+    ]
+    lines += [entry.describe() for entry in entries]
+    return "\n".join(lines)
+
+
+def _cmd_catalog_query(args: argparse.Namespace) -> str:
+    catalog = _open_catalog(args)
+    entries = catalog.query(
+        spec_digest=args.spec, status=args.status, kind=args.kind
+    )
+    if args.json:
+        import json
+
+        return json.dumps([entry.to_json() for entry in entries], indent=2)
+    if not entries:
+        return "no matching catalog entries"
+    return "\n".join(entry.describe() for entry in entries)
+
+
+def _cmd_catalog_verify(args: argparse.Namespace) -> str:
+    catalog = _open_catalog(args)
+    report = catalog.verify(spec_digest=args.spec)
+    if report.flagged:
+        # Like a partial launch: print the findings, then exit nonzero
+        # so CI and scripts can gate on catalog health.
+        print(report.describe())
+        raise SystemExit(1)
+    return report.describe()
+
+
+def _cmd_catalog_repair(args: argparse.Namespace) -> str:
+    catalog = _open_catalog(args)
+    report = catalog.repair(spec_digest=args.spec)
+    return report.describe()
+
+
+def _cmd_catalog_gc(args: argparse.Namespace) -> str:
+    catalog = _open_catalog(args)
+    evicted = catalog.gc()
+    lines = [f"evicted       : {len(evicted)} entr(ies) with no artifact on disk"]
+    lines += [f"  {entry.path} ({entry.shard_key})" for entry in evicted]
     return "\n".join(lines)
 
 
@@ -657,7 +736,8 @@ def build_parser() -> argparse.ArgumentParser:
     launch.add_argument(
         "--serve", metavar="[HOST]:PORT",
         help="serve live progress as JSON over HTTP while the launch runs "
-             "(GET /status, /journal; read-only; host defaults to 127.0.0.1)",
+             "(GET /status, /journal, /catalog with --catalog; read-only; "
+             "host defaults to 127.0.0.1)",
     )
     launch.add_argument(
         "--max-workers", type=int, default=None, metavar="N",
@@ -712,6 +792,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue a killed launch: restore landed shards from --dir "
              "and re-run only the rest",
     )
+    launch.add_argument(
+        "--catalog", metavar="PATH", default=None,
+        help="cross-run experiment catalog (SQLite file, or a directory "
+             "getting catalog.sqlite): register landed artifacts and adopt "
+             "shards prior runs already computed instead of re-running them",
+    )
     launch.set_defaults(handler=_cmd_launch)
 
     launch_status = subparsers.add_parser(
@@ -753,9 +839,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_gc.add_argument(
         "--dry-run", action="store_true",
-        help="list what would be removed without unlinking anything",
+        help="list what would be removed without unlinking anything "
+             "(also audits entry integrity and reports corrupt entries)",
+    )
+    cache_gc.add_argument(
+        "--verify", action="store_true",
+        help="read every entry and evict corrupt/unreadable ones too "
+             "(always on with --dry-run)",
     )
     cache_gc.set_defaults(handler=_cmd_cache_gc)
+
+    catalog = subparsers.add_parser(
+        "catalog",
+        help="inspect and repair the cross-run experiment catalog "
+             "(`repro launch --catalog`)",
+    )
+    catalog_sub = catalog.add_subparsers(dest="catalog_command", required=True)
+
+    def add_catalog_db(target: argparse.ArgumentParser) -> None:
+        target.add_argument(
+            "db", metavar="PATH",
+            help="catalog database (SQLite file, or a directory containing "
+                 "catalog.sqlite)",
+        )
+
+    catalog_list = catalog_sub.add_parser(
+        "list", help="list every cataloged artifact with its status"
+    )
+    add_catalog_db(catalog_list)
+    catalog_list.set_defaults(handler=_cmd_catalog_list)
+
+    catalog_query = catalog_sub.add_parser(
+        "query", help="filter catalog entries by spec digest, status or kind"
+    )
+    add_catalog_db(catalog_query)
+    catalog_query.add_argument(
+        "--spec", metavar="DIGEST", default=None,
+        help="only entries of this spec digest",
+    )
+    catalog_query.add_argument(
+        "--status", metavar="STATUS", default=None,
+        choices=("ok", "corrupt", "missing", "outdated"),
+        help="only entries with this status",
+    )
+    catalog_query.add_argument(
+        "--kind", metavar="KIND", default=None, choices=("shard", "merged"),
+        help="only shard or only merged artifacts",
+    )
+    catalog_query.add_argument(
+        "--json", action="store_true", help="print the raw entries as JSON"
+    )
+    catalog_query.set_defaults(handler=_cmd_catalog_query)
+
+    catalog_verify = catalog_sub.add_parser(
+        "verify",
+        help="re-verify recorded digests against the artifacts on disk; "
+             "marks corrupt/missing/outdated entries and exits nonzero if "
+             "any are flagged",
+    )
+    add_catalog_db(catalog_verify)
+    catalog_verify.add_argument(
+        "--spec", metavar="DIGEST", default=None,
+        help="only verify entries of this spec digest",
+    )
+    catalog_verify.set_defaults(handler=_cmd_catalog_verify)
+
+    catalog_repair = catalog_sub.add_parser(
+        "repair",
+        help="verify, evict every flagged entry, and report exactly which "
+             "shards need re-running",
+    )
+    add_catalog_db(catalog_repair)
+    catalog_repair.add_argument(
+        "--spec", metavar="DIGEST", default=None,
+        help="only repair entries of this spec digest",
+    )
+    catalog_repair.set_defaults(handler=_cmd_catalog_repair)
+
+    catalog_gc = catalog_sub.add_parser(
+        "gc",
+        help="drop entries whose artifact directory no longer exists "
+             "(cheap; no digest re-checking)",
+    )
+    add_catalog_db(catalog_gc)
+    catalog_gc.set_defaults(handler=_cmd_catalog_gc)
 
     perf = subparsers.add_parser(
         "perf",

@@ -21,6 +21,10 @@ parallel parameter studies:
   dispatch over a retrying, digest-verified transport with per-host
   quarantine, plus :class:`StatusServer` — the live ``--serve``
   progress API.
+* :class:`ExperimentCatalog` — a durable, content-addressed index over
+  shard and merged artifacts (``repro launch --catalog`` / ``repro
+  catalog``): cross-run adoption of already-computed shards, digest
+  re-verification, and self-healing eviction of corrupt entries.
 
 See ``docs/experiments.md`` for a guide and the cache-invalidation rules.
 """
@@ -37,8 +41,17 @@ from repro.experiments.cache import (
     simulate_cached_many,
     unpack_rows,
 )
+from repro.experiments.catalog import (
+    CatalogEntry,
+    CatalogError,
+    CatalogRepairReport,
+    CatalogVerifyReport,
+    ExperimentCatalog,
+    resolve_catalog_path,
+)
 from repro.experiments.keys import (
     canonical,
+    file_digest,
     point_key,
     profile_key,
     report_key,
@@ -82,6 +95,7 @@ from repro.experiments.sharding import (
     ShardError,
     ShardPlan,
     ShardRunner,
+    load_manifest,
     merge_artifacts,
     merge_shard_paths,
     read_artifacts,
@@ -92,7 +106,12 @@ from repro.experiments.status import StatusServer
 
 __all__ = [
     "CacheGcReport",
+    "CatalogEntry",
+    "CatalogError",
+    "CatalogRepairReport",
+    "CatalogVerifyReport",
     "DEFAULT_GATING_LABEL",
+    "ExperimentCatalog",
     "FaultInjector",
     "FaultSpec",
     "HostPool",
@@ -125,7 +144,9 @@ __all__ = [
     "TransportError",
     "assemble_packed_rows",
     "canonical",
+    "file_digest",
     "launch_sweep",
+    "load_manifest",
     "merge_artifacts",
     "merge_shard_paths",
     "pack_rows",
@@ -134,6 +155,7 @@ __all__ = [
     "profile_key",
     "read_artifacts",
     "report_key",
+    "resolve_catalog_path",
     "rows_from_result",
     "run_point",
     "run_points",

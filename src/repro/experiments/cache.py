@@ -30,6 +30,7 @@ from __future__ import annotations
 import dataclasses
 import functools
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -54,6 +55,8 @@ from repro.simulator.engine import NPUSimulator, WorkloadProfile
 from repro.workloads.registry import WorkloadSpec, get_workload
 
 from repro.experiments.keys import profile_key, report_key
+
+_LOG = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------- #
@@ -224,17 +227,22 @@ class CacheGcReport:
     removed_bytes: int = 0
     kept_files: int = 0
     kept_bytes: int = 0
+    #: Entries whose bytes no longer parse (``verify=True`` passes only).
+    corrupt_files: int = 0
     #: ``(path, reason)`` per entry selected for removal (dry-run keeps
     #: the full list so operators can audit before deleting).
     removed: list[tuple[Path, str]] = dataclasses.field(default_factory=list)
 
     def describe(self) -> str:
         verb = "would remove" if self.dry_run else "removed"
-        return (
+        text = (
             f"{verb} {self.removed_files} entr(ies) "
             f"({self.removed_bytes / 1e6:.1f} MB); kept {self.kept_files} "
             f"({self.kept_bytes / 1e6:.1f} MB) under {self.root}"
         )
+        if self.corrupt_files:
+            text += f"; {self.corrupt_files} corrupt/unreadable entr(ies)"
+        return text
 
 
 class SharedCacheDir:
@@ -254,10 +262,32 @@ class SharedCacheDir:
     "last writer wins" is indistinguishable from "first writer wins").
     Any unreadable entry — missing, truncated by a crashed writer's
     filesystem, or corrupted — degrades to a cache miss, never an error.
+    The degradation is *not* silent, though: corrupt (present but
+    unparseable) entries are tallied in :attr:`corrupt_entries`, the
+    first one logs a warning, and ``repro cache gc --dry-run`` surfaces
+    the count (see :meth:`gc` with ``verify=True``).
     """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+        #: Entries found present-but-unreadable by this instance's reads
+        #: (a missing file is an ordinary miss and is not counted).
+        self.corrupt_entries = 0
+        self._corrupt_warned = False
+
+    def _note_corrupt(self, path: Path, error: BaseException) -> None:
+        self.corrupt_entries += 1
+        if not self._corrupt_warned:
+            self._corrupt_warned = True
+            _LOG.warning(
+                "shared cache entry %s is corrupt/unreadable (%s: %s); "
+                "treating as a miss — further corrupt entries are counted "
+                "silently (see SimulationCache.stats()['shared_corrupt'] "
+                "or `repro cache gc --dry-run`)",
+                path,
+                type(error).__name__,
+                error,
+            )
 
     def _path(self, layer: str, key: str, suffix: str) -> Path:
         return self.root / layer / f"{key}{suffix}"
@@ -269,10 +299,15 @@ class SharedCacheDir:
 
     # -- JSON entries (reports, rows) ---------------------------------- #
     def get_json(self, layer: str, key: str) -> Any:
+        path = self._path(layer, key, ".json")
         try:
-            text = self._path(layer, key, ".json").read_text()
+            text = path.read_text()
+        except OSError:
+            return None  # absent entry: an ordinary miss
+        try:
             return json.loads(text)
-        except (OSError, ValueError):
+        except ValueError as error:
+            self._note_corrupt(path, error)
             return None
 
     def put_json(self, layer: str, key: str, value: Any) -> None:
@@ -286,13 +321,18 @@ class SharedCacheDir:
 
     # -- profile entries ------------------------------------------------ #
     def get_profile(self, key: str) -> WorkloadProfile | None:
+        path = self._path("profiles", key, ".pkl")
         try:
-            blob = self._path("profiles", key, ".pkl").read_bytes()
+            blob = path.read_bytes()
+        except OSError:
+            return None  # absent entry: an ordinary miss
+        try:
             profile = pickle.loads(blob)
-        except Exception:
+        except Exception as error:  # noqa: BLE001
             # Truncated/corrupt pickles raise a zoo of exception types
             # (EOFError, UnpicklingError, AttributeError, ...); all of
             # them mean "miss", never "crash the sweep".
+            self._note_corrupt(path, error)
             return None
         return profile if isinstance(profile, WorkloadProfile) else None
 
@@ -308,12 +348,35 @@ class SharedCacheDir:
             pass  # an unpicklable custom profile just isn't shared
 
     # -- garbage collection --------------------------------------------- #
+    def _entry_corrupt(self, path: Path) -> str | None:
+        """Why this entry's bytes are unusable, or ``None`` if they parse.
+
+        JSON entries are fully parsed; pickles get a cheap structural
+        check (complete pickles end with the STOP opcode ``b"."``) —
+        enough to catch the truncation a crashed writer's filesystem
+        leaves behind, without unpickling anything.
+        """
+        try:
+            blob = path.read_bytes()
+        except OSError as error:
+            return f"unreadable entry ({error})"
+        if path.suffix == ".json":
+            try:
+                json.loads(blob.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                return "corrupt JSON entry"
+        elif path.suffix == ".pkl":
+            if not blob.endswith(b"."):
+                return "truncated pickle entry"
+        return None
+
     def gc(
         self,
         max_age_days: float | None = None,
         max_bytes: int | None = None,
         dry_run: bool = False,
         now: float | None = None,
+        verify: bool = False,
     ) -> CacheGcReport:
         """Evict cache entries by age and/or total size (LRU by mtime).
 
@@ -326,7 +389,10 @@ class SharedCacheDir:
         Unlinks are best-effort and safe against concurrent runs: a
         reader that loses an entry mid-race sees an ordinary cache miss,
         and ``*.tmp`` ghosts from crashed writers are always collected.
-        ``dry_run`` only reports what would be removed.
+        ``dry_run`` only reports what would be removed.  ``verify=True``
+        additionally reads every surviving entry and dooms the
+        corrupt/unreadable ones (tallied in
+        :attr:`CacheGcReport.corrupt_files`), regardless of age/size.
         """
         now = time.time() if now is None else now
         report = CacheGcReport(root=self.root, dry_run=dry_run)
@@ -347,6 +413,14 @@ class SharedCacheDir:
                     report.removed_files += 1
                     report.removed_bytes += stat.st_size
                     continue
+                if verify:
+                    reason = self._entry_corrupt(path)
+                    if reason is not None:
+                        report.removed.append((path, reason))
+                        report.removed_files += 1
+                        report.removed_bytes += stat.st_size
+                        report.corrupt_files += 1
+                        continue
                 entries.append((stat.st_mtime, stat.st_size, path))
         doomed: list[tuple[Path, str]] = []
         survivors: list[tuple[float, int, Path]] = []
@@ -597,6 +671,9 @@ class SimulationCache:
             "profiles": len(self._profiles),
             "reports": len(self._reports) + len(self._lazy_reports),
             "rows": len(self._rows),
+            "shared_corrupt": (
+                self._shared.corrupt_entries if self._shared is not None else 0
+            ),
         }
 
     def _count(self, hit: bool) -> None:

@@ -1,0 +1,576 @@
+"""Content-addressed experiment catalog: durable, verified artifact reuse.
+
+Sweep artifacts survive crashes, faults and flaky networks (the
+scheduler, journal and digest-verified transport), but until now nothing
+answered *"has any run, anywhere, already computed this?"* — a killed
+fleet or a re-launched overlapping spec silently recomputed everything,
+and a corrupted artifact was only discovered when a merge happened to
+read it.  :class:`ExperimentCatalog` closes that gap: a SQLite-backed
+index over ``.repro-shard`` artifacts keyed by the content digests the
+artifacts already carry.
+
+Design:
+
+* **One row per artifact**, primary-keyed by the artifact's
+  content-addressed :func:`~repro.experiments.keys.shard_key` — which
+  covers the spec digest, the plan's shard count, the covered shard and
+  point index sets *and* the cache-schema version.  Two artifacts share
+  a key exactly when they are interchangeable; artifacts from another
+  release or another grid can never answer a lookup, so stale-version
+  and foreign-spec reuse is refused by construction (and re-checked
+  explicitly from the recorded ``version`` column).
+* **Registration is metadata-only**: the manifest the artifact writer
+  already produced (spec digest, shard key, per-file SHA-256 digests,
+  row accounting, code version) is copied into the row.  The catalog
+  never re-hashes column stores on the hot path — that is what
+  :meth:`verify` is for.
+* **Crash-safe, multi-process-safe**: the database runs in WAL mode,
+  every mutation is one transaction, and writers retry on lock
+  contention with a deterministic backoff.  Concurrent schedulers
+  registering the same (content-addressed) artifact are idempotent —
+  last writer wins with identical content.
+* **Self-healing**: :meth:`verify` re-checks every recorded digest
+  against the bytes on disk and marks entries ``corrupt`` / ``missing``
+  / ``outdated``; :meth:`repair` evicts the flagged entries and reports
+  exactly which shards (and sweep points) need re-running.  Lookups
+  only ever return ``ok`` entries, and the scheduler re-verifies an
+  adopted artifact's digests before trusting it — a rotten entry
+  degrades to a cache miss, never a wrong merge.
+
+The scheduler integration (``repro launch --catalog``) registers every
+artifact at promotion time and adopts already-landed shards from prior
+runs before dispatching workers — cross-run resume with byte-identical
+results, because shard artifacts are deterministic functions of their
+plan slice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro import __version__
+from repro.experiments.keys import file_digest
+from repro.experiments.sharding import (
+    MANIFEST_NAME,
+    SHARD_SCHEMA,
+    ShardError,
+    load_manifest,
+    verify_artifact_files,
+)
+
+#: Catalog database schema generation (bumped when the table changes shape).
+CATALOG_SCHEMA = 1
+
+#: Default database filename (``repro launch --catalog DIR`` appends it
+#: when handed a directory).
+CATALOG_DB_NAME = "catalog.sqlite"
+
+#: Entry statuses.  ``ok`` is the only status :meth:`lookup` serves.
+STATUS_OK = "ok"
+STATUS_CORRUPT = "corrupt"
+STATUS_MISSING = "missing"
+STATUS_OUTDATED = "outdated"
+
+_BAD_STATUSES = (STATUS_CORRUPT, STATUS_MISSING, STATUS_OUTDATED)
+
+#: Lock-contention retry schedule (seconds) on top of SQLite's own busy
+#: timeout; WAL writers block each other only for the commit itself, so
+#: a handful of short waits rides out any realistic register storm.
+_BUSY_TIMEOUT_S = 10.0
+_RETRIES = 5
+_RETRY_DELAY_S = 0.05
+
+
+class CatalogError(RuntimeError):
+    """The catalog database or a registration argument is unusable."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CatalogEntry:
+    """One cataloged artifact (a row of the ``artifacts`` table)."""
+
+    shard_key: str
+    kind: str  # "shard" (one index) or "merged" (a union)
+    spec_digest: str
+    shard_count: int
+    shard_indices: tuple[int, ...]
+    point_indices: tuple[int, ...]
+    row_count: int
+    version: str
+    shard_schema: int
+    path: Path
+    files: dict[str, str]
+    registered_at: float
+    verified_at: float | None
+    status: str
+
+    def to_json(self) -> dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["path"] = str(self.path)
+        payload["shard_indices"] = list(self.shard_indices)
+        payload["point_indices"] = list(self.point_indices)
+        return payload
+
+    def describe(self) -> str:
+        indices = ",".join(map(str, self.shard_indices))
+        return (
+            f"{self.shard_key}  {self.kind:<6} shards [{indices}] of "
+            f"{self.shard_count}  {self.row_count} row(s)  "
+            f"v{self.version}  {self.status:<8} {self.path}"
+        )
+
+
+@dataclasses.dataclass
+class CatalogVerifyReport:
+    """Outcome of one :meth:`ExperimentCatalog.verify` pass."""
+
+    checked: int = 0
+    ok: int = 0
+    corrupt: list[CatalogEntry] = dataclasses.field(default_factory=list)
+    missing: list[CatalogEntry] = dataclasses.field(default_factory=list)
+    outdated: list[CatalogEntry] = dataclasses.field(default_factory=list)
+
+    @property
+    def flagged(self) -> list[CatalogEntry]:
+        return [*self.corrupt, *self.missing, *self.outdated]
+
+    def describe(self) -> str:
+        lines = [
+            f"checked       : {self.checked} entr(ies)",
+            f"ok            : {self.ok}",
+        ]
+        for label, entries in (
+            ("corrupt", self.corrupt),
+            ("missing", self.missing),
+            ("outdated", self.outdated),
+        ):
+            lines.append(f"{label:<14}: {len(entries)}")
+            for entry in entries:
+                lines.append(f"  {entry.path} (shards {list(entry.shard_indices)})")
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class CatalogRepairReport:
+    """Outcome of one :meth:`ExperimentCatalog.repair` pass."""
+
+    verify: CatalogVerifyReport
+    evicted: list[CatalogEntry] = dataclasses.field(default_factory=list)
+
+    def rerun_shards(self) -> dict[str, list[int]]:
+        """Per spec digest, the sorted shard indices needing a re-run."""
+        shards: dict[str, set[int]] = {}
+        for entry in self.evicted:
+            shards.setdefault(entry.spec_digest, set()).update(
+                entry.shard_indices
+            )
+        return {digest: sorted(ids) for digest, ids in sorted(shards.items())}
+
+    def rerun_points(self) -> dict[str, list[int]]:
+        """Per spec digest, the sorted point indices needing a re-run."""
+        points: dict[str, set[int]] = {}
+        for entry in self.evicted:
+            points.setdefault(entry.spec_digest, set()).update(
+                entry.point_indices
+            )
+        return {digest: sorted(ids) for digest, ids in sorted(points.items())}
+
+    def describe(self) -> str:
+        lines = [self.verify.describe(), f"evicted       : {len(self.evicted)}"]
+        for digest, shards in self.rerun_shards().items():
+            points = self.rerun_points().get(digest, [])
+            lines.append(
+                f"re-run        : spec {digest} shards {shards} "
+                f"({len(points)} point(s))"
+            )
+        if not self.evicted:
+            lines.append("re-run        : nothing (catalog is healthy)")
+        return "\n".join(lines)
+
+
+def _entry_from_row(row: sqlite3.Row) -> CatalogEntry:
+    return CatalogEntry(
+        shard_key=row["shard_key"],
+        kind=row["kind"],
+        spec_digest=row["spec_digest"],
+        shard_count=row["shard_count"],
+        shard_indices=tuple(json.loads(row["shard_indices"])),
+        point_indices=tuple(json.loads(row["point_indices"])),
+        row_count=row["row_count"],
+        version=row["version"],
+        shard_schema=row["shard_schema"],
+        path=Path(row["path"]),
+        files=json.loads(row["files"]),
+        registered_at=row["registered_at"],
+        verified_at=row["verified_at"],
+        status=row["status"],
+    )
+
+
+def resolve_catalog_path(path: str | Path) -> Path:
+    """Normalize a ``--catalog`` argument: directories get the default
+    database name appended; files are used as-is."""
+    path = Path(path)
+    if path.is_dir() or (not path.suffix and not path.exists()):
+        return path / CATALOG_DB_NAME
+    return path
+
+
+class ExperimentCatalog:
+    """SQLite-backed index over shard and merged-result artifacts.
+
+    Every public method opens (and closes) its own connection: cheap
+    against a WAL database, and it makes the object safe to share
+    across threads (the ``--serve`` status endpoint queries from HTTP
+    handler threads) and trivially safe across ``fork``.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = resolve_catalog_path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as connection:
+            self._init_schema(connection)
+
+    # -- connection plumbing ------------------------------------------- #
+    def _connect(self) -> sqlite3.Connection:
+        try:
+            connection = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_S)
+        except sqlite3.Error as error:
+            raise CatalogError(
+                f"cannot open catalog {self.path}: {error}"
+            ) from error
+        connection.row_factory = sqlite3.Row
+        # WAL survives crashes and lets readers run concurrently with
+        # one writer; NORMAL sync is durable across process crashes
+        # (the artifacts themselves are the ground truth regardless —
+        # a lost registration is a future cache miss, never corruption).
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        return connection
+
+    def _init_schema(self, connection: sqlite3.Connection) -> None:
+        connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS artifacts (
+                shard_key     TEXT PRIMARY KEY,
+                kind          TEXT NOT NULL,
+                spec_digest   TEXT NOT NULL,
+                shard_count   INTEGER NOT NULL,
+                shard_indices TEXT NOT NULL,
+                point_indices TEXT NOT NULL,
+                row_count     INTEGER NOT NULL,
+                version       TEXT NOT NULL,
+                shard_schema  INTEGER NOT NULL,
+                path          TEXT NOT NULL,
+                files         TEXT NOT NULL,
+                registered_at REAL NOT NULL,
+                verified_at   REAL,
+                status        TEXT NOT NULL DEFAULT 'ok'
+            )
+            """
+        )
+        connection.execute(
+            "CREATE INDEX IF NOT EXISTS idx_artifacts_spec "
+            "ON artifacts (spec_digest)"
+        )
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS catalog_meta "
+            "(key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        connection.execute(
+            "INSERT OR IGNORE INTO catalog_meta (key, value) VALUES (?, ?)",
+            ("catalog_schema", str(CATALOG_SCHEMA)),
+        )
+        connection.commit()
+        row = connection.execute(
+            "SELECT value FROM catalog_meta WHERE key = 'catalog_schema'"
+        ).fetchone()
+        if row is not None and int(row["value"]) > CATALOG_SCHEMA:
+            raise CatalogError(
+                f"{self.path}: written by a newer catalog schema "
+                f"({row['value']} > {CATALOG_SCHEMA}); upgrade repro"
+            )
+
+    def _write(self, statement: str, parameters: Iterable[Any]) -> None:
+        """One retried, transactional write (lock contention tolerated)."""
+        for remaining in range(_RETRIES, -1, -1):
+            try:
+                with self._connect() as connection:
+                    with connection:
+                        connection.execute(statement, tuple(parameters))
+                return
+            except sqlite3.OperationalError as error:
+                if remaining == 0 or "locked" not in str(error).lower():
+                    raise CatalogError(
+                        f"catalog write failed on {self.path}: {error}"
+                    ) from error
+                time.sleep(_RETRY_DELAY_S)
+
+    # -- registration --------------------------------------------------- #
+    def register(
+        self,
+        path: str | Path,
+        manifest: dict[str, Any] | None = None,
+        kind: str | None = None,
+    ) -> CatalogEntry:
+        """Index one on-disk artifact by its manifest's content digests.
+
+        ``manifest`` may be passed when the caller just wrote (or
+        validated) the artifact and still holds it; otherwise it is read
+        from disk.  Metadata-only — nothing is re-hashed.  Registration
+        is an upsert keyed by the artifact's content-addressed shard
+        key, so re-registering the same content (from any process) is
+        idempotent.
+        """
+        path = Path(path).resolve()
+        if manifest is None:
+            manifest = load_manifest(path)
+        try:
+            shard_indices = tuple(int(i) for i in manifest["shard_indices"])
+            point_indices = tuple(
+                int(entry["index"]) for entry in manifest["points"]
+            )
+            entry = CatalogEntry(
+                shard_key=manifest["shard_key"],
+                kind=kind
+                or ("shard" if len(shard_indices) == 1 else "merged"),
+                spec_digest=manifest["spec_digest"],
+                shard_count=int(manifest["shard_count"]),
+                shard_indices=shard_indices,
+                point_indices=point_indices,
+                row_count=int(manifest["row_count"]),
+                version=str(manifest.get("version", "unknown")),
+                shard_schema=int(manifest["schema"]),
+                path=path,
+                files=dict(manifest.get("files") or {}),
+                registered_at=time.time(),
+                verified_at=None,
+                status=STATUS_OK,
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CatalogError(
+                f"{path}: manifest is missing catalog fields ({error})"
+            ) from error
+        self._write(
+            """
+            INSERT OR REPLACE INTO artifacts (
+                shard_key, kind, spec_digest, shard_count, shard_indices,
+                point_indices, row_count, version, shard_schema, path,
+                files, registered_at, verified_at, status
+            ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            (
+                entry.shard_key,
+                entry.kind,
+                entry.spec_digest,
+                entry.shard_count,
+                json.dumps(list(entry.shard_indices)),
+                json.dumps(list(entry.point_indices)),
+                entry.row_count,
+                entry.version,
+                entry.shard_schema,
+                str(entry.path),
+                json.dumps(entry.files, sort_keys=True),
+                entry.registered_at,
+                entry.verified_at,
+                entry.status,
+            ),
+        )
+        return entry
+
+    # -- queries --------------------------------------------------------- #
+    def lookup(self, shard_key: str) -> CatalogEntry | None:
+        """The reusable entry under ``shard_key``, or ``None``.
+
+        Only ``ok`` entries written by the *current* code version and
+        artifact schema are served: the shard key already refuses
+        foreign specs and stale cache-schema versions (both are hashed
+        into it), and the explicit version/schema re-check keeps even a
+        hand-edited database from handing out stale artifacts.
+        """
+        with self._connect() as connection:
+            row = connection.execute(
+                "SELECT * FROM artifacts WHERE shard_key = ?", (shard_key,)
+            ).fetchone()
+        if row is None:
+            return None
+        entry = _entry_from_row(row)
+        if entry.status != STATUS_OK:
+            return None
+        if entry.version != __version__ or entry.shard_schema != SHARD_SCHEMA:
+            return None
+        return entry
+
+    def query(
+        self,
+        spec_digest: str | None = None,
+        status: str | None = None,
+        kind: str | None = None,
+    ) -> list[CatalogEntry]:
+        """Entries matching the given filters, registration order."""
+        clauses, parameters = [], []
+        for column, value in (
+            ("spec_digest", spec_digest),
+            ("status", status),
+            ("kind", kind),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                parameters.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT * FROM artifacts"
+                + where
+                + " ORDER BY registered_at, shard_key",
+                parameters,
+            ).fetchall()
+        return [_entry_from_row(row) for row in rows]
+
+    def entries(self) -> list[CatalogEntry]:
+        return self.query()
+
+    def summary(self, spec_digest: str | None = None) -> dict[str, Any]:
+        """JSON-ready counts for the ``/catalog`` status endpoint."""
+        entries = self.entries()
+        by_status: dict[str, int] = {}
+        by_kind: dict[str, int] = {}
+        for entry in entries:
+            by_status[entry.status] = by_status.get(entry.status, 0) + 1
+            by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+        payload: dict[str, Any] = {
+            "kind": "repro-catalog",
+            "path": str(self.path),
+            "entries": len(entries),
+            "by_status": by_status,
+            "by_kind": by_kind,
+        }
+        if spec_digest is not None:
+            mine = [e for e in entries if e.spec_digest == spec_digest]
+            payload["spec"] = {
+                "digest": spec_digest,
+                "entries": len(mine),
+                "shards": sorted(
+                    {
+                        index
+                        for entry in mine
+                        if entry.status == STATUS_OK
+                        for index in entry.shard_indices
+                    }
+                ),
+            }
+        return payload
+
+    # -- integrity ------------------------------------------------------- #
+    def _status_of(self, entry: CatalogEntry) -> str:
+        """Re-derive one entry's status from the bytes on disk."""
+        if entry.version != __version__ or entry.shard_schema != SHARD_SCHEMA:
+            return STATUS_OUTDATED
+        if not (entry.path / MANIFEST_NAME).is_file():
+            return STATUS_MISSING
+        try:
+            manifest = load_manifest(entry.path)
+            if manifest.get("shard_key") != entry.shard_key:
+                # The directory was replaced by a different artifact.
+                return STATUS_CORRUPT
+            verify_artifact_files(entry.path)
+            for name, expected in sorted(entry.files.items()):
+                # The manifest's own digests were just re-checked; also
+                # re-check against the digests *recorded at registration*
+                # so a rewritten manifest cannot vouch for new bytes.
+                if file_digest(entry.path / name) != expected:
+                    return STATUS_CORRUPT
+        except (ShardError, OSError):
+            return STATUS_CORRUPT
+        return STATUS_OK
+
+    def verify(self, spec_digest: str | None = None) -> CatalogVerifyReport:
+        """Re-verify recorded digests against the artifacts on disk.
+
+        Every entry's column stores are re-hashed and compared against
+        both the manifest's digests and the digests recorded at
+        registration time; entries from other code versions are marked
+        ``outdated``, vanished artifacts ``missing``, mismatching bytes
+        ``corrupt``.  Statuses are persisted, so subsequent lookups
+        refuse the flagged entries until :meth:`repair` (or a fresh
+        registration of rebuilt artifacts) clears them.
+        """
+        report = CatalogVerifyReport()
+        for entry in self.query(spec_digest=spec_digest):
+            status = self._status_of(entry)
+            report.checked += 1
+            updated = dataclasses.replace(
+                entry, status=status, verified_at=time.time()
+            )
+            self._write(
+                "UPDATE artifacts SET status = ?, verified_at = ? "
+                "WHERE shard_key = ?",
+                (status, updated.verified_at, entry.shard_key),
+            )
+            if status == STATUS_OK:
+                report.ok += 1
+            elif status == STATUS_CORRUPT:
+                report.corrupt.append(updated)
+            elif status == STATUS_MISSING:
+                report.missing.append(updated)
+            else:
+                report.outdated.append(updated)
+        return report
+
+    def repair(self, spec_digest: str | None = None) -> CatalogRepairReport:
+        """Verify, then evict every flagged entry.
+
+        Eviction only removes catalog *rows* (the artifacts, healthy or
+        not, stay on disk for post-mortems); the report names exactly
+        which shards and points of which spec need re-running, which is
+        what a follow-up ``repro launch`` (same directory or a fresh
+        one) uses to fill the holes.
+        """
+        verify_report = self.verify(spec_digest=spec_digest)
+        report = CatalogRepairReport(verify=verify_report)
+        for entry in verify_report.flagged:
+            self._write(
+                "DELETE FROM artifacts WHERE shard_key = ? AND status = ?",
+                (entry.shard_key, entry.status),
+            )
+            report.evicted.append(entry)
+        return report
+
+    def gc(self) -> list[CatalogEntry]:
+        """Drop entries whose artifact directory no longer exists.
+
+        The cheap hygiene pass (no re-hashing): rows pointing at
+        deleted launch directories are removed and returned.  Use
+        :meth:`verify`/:meth:`repair` for full digest checking.
+        """
+        evicted: list[CatalogEntry] = []
+        for entry in self.entries():
+            if (entry.path / MANIFEST_NAME).is_file():
+                continue
+            self._write(
+                "DELETE FROM artifacts WHERE shard_key = ?",
+                (entry.shard_key,),
+            )
+            evicted.append(entry)
+        return evicted
+
+
+__all__ = [
+    "CATALOG_DB_NAME",
+    "CATALOG_SCHEMA",
+    "CatalogEntry",
+    "CatalogError",
+    "CatalogRepairReport",
+    "CatalogVerifyReport",
+    "ExperimentCatalog",
+    "STATUS_CORRUPT",
+    "STATUS_MISSING",
+    "STATUS_OK",
+    "STATUS_OUTDATED",
+    "resolve_catalog_path",
+]

@@ -18,6 +18,7 @@ import hashlib
 import json
 import weakref
 from enum import Enum
+from pathlib import Path
 from typing import Any
 
 from repro import __version__
@@ -107,6 +108,24 @@ def stable_hash(value: Any) -> str:
     """Hex digest of the canonical JSON rendering of ``value``."""
     payload = json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:KEY_HEX_CHARS]
+
+
+def file_digest(path: str | Path) -> str:
+    """Streaming SHA-256 of one file (``sha256:<hex>``), O(1) memory.
+
+    The content digest recorded per column store in every shard
+    manifest, re-checked by
+    :func:`~repro.experiments.sharding.verify_artifact_files` and the
+    experiment catalog's integrity pass.  Full-width (not truncated to
+    :data:`KEY_HEX_CHARS`): these digests guard against corruption, not
+    just collisions, and the on-disk format already shipped them at
+    full width.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return f"sha256:{digest.hexdigest()}"
 
 
 # ---------------------------------------------------------------------- #
@@ -228,6 +247,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "KEY_HEX_CHARS",
     "canonical",
+    "file_digest",
     "point_key",
     "profile_key",
     "report_key",

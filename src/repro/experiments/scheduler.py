@@ -82,6 +82,7 @@ from typing import Any, IO, Mapping
 
 from repro import __version__
 from repro.experiments.cache import SharedCacheDir, SimulationCache
+from repro.experiments.catalog import ExperimentCatalog
 from repro.experiments.sharding import (
     MANIFEST_NAME,
     NUMERIC_NAME,
@@ -722,6 +723,8 @@ class _ShardTask:
     handles: list[WorkerHandle] = field(default_factory=list)
     speculated: bool = False
     restored: bool = False
+    #: Landed without computing: copied from a prior run via the catalog.
+    adopted: bool = False
     landed_attempt: int | None = None
     duration_s: float | None = None
     #: One record per dispatch — host, backend, exit code, failure
@@ -741,6 +744,7 @@ class LaunchReport:
     landed: list[int]
     failed: list[int]
     restored: list[int]
+    adopted: list[int]
     dispatches: int
     orphaned_events: int
     speculative_dispatches: int
@@ -759,7 +763,12 @@ class LaunchReport:
             f"plan          : {self.digest} ({self.shard_count} shard(s), "
             f"backend={self.backend})",
             f"landed        : {len(self.landed)}/{self.shard_count}"
-            + (f" ({len(self.restored)} restored on resume)" if self.restored else ""),
+            + (f" ({len(self.restored)} restored on resume)" if self.restored else "")
+            + (
+                f" ({len(self.adopted)} adopted from catalog)"
+                if self.adopted
+                else ""
+            ),
             f"dispatches    : {self.dispatches}"
             + (
                 f" ({self.speculative_dispatches} speculative)"
@@ -820,6 +829,14 @@ class LaunchScheduler:
     shared_cache, gc_max_age_days, gc_max_bytes:
         Workers share a :class:`~repro.experiments.cache.SharedCacheDir`;
         teardown garbage-collects it when either GC knob is set.
+    catalog:
+        An :class:`~repro.experiments.catalog.ExperimentCatalog` (or its
+        database path) — ``repro launch --catalog``.  Every landed and
+        merged artifact is registered at promotion time, and before
+        dispatching, shards a *prior* run already landed anywhere are
+        adopted (copied, digest-verified, re-validated against this
+        plan) instead of recomputed.  Byte-identical by construction:
+        shard artifacts are deterministic functions of their plan slice.
     """
 
     def __init__(
@@ -846,6 +863,7 @@ class LaunchScheduler:
         csv_path: str | Path | None = None,
         resume: bool = False,
         serve: str | None = None,
+        catalog: str | Path | ExperimentCatalog | None = None,
     ):
         self.directory = Path(directory)
         self.retry = retry if retry is not None else RetryPolicy()
@@ -861,6 +879,14 @@ class LaunchScheduler:
         self.gc_max_bytes = gc_max_bytes
         self.resume = resume
         self.serve = serve
+        # The cross-run experiment catalog (``repro launch --catalog``):
+        # landed artifacts are registered at promotion, and shards some
+        # prior run already landed are adopted instead of re-dispatched.
+        self.catalog: ExperimentCatalog | None = (
+            catalog
+            if catalog is None or isinstance(catalog, ExperimentCatalog)
+            else ExperimentCatalog(catalog)
+        )
         #: The live progress HTTP server (``--serve``), set by :meth:`run`.
         self.status_server: Any = None
         self._started: float | None = None
@@ -1069,6 +1095,7 @@ class LaunchScheduler:
             task.restored = True
             task.landed_attempt = task.attempt_counter or None
             self._merge_in(artifact)
+            self._register_artifact(final)
             self.journal.append(
                 "restore", shard=task.shard.index, rows=artifact.row_count
             )
@@ -1104,6 +1131,90 @@ class LaunchScheduler:
             else merge_artifacts([self._merged, artifact])
         )
         self._merged.write(self.merged_path)
+
+    def _register_artifact(self, path: Path, kind: str | None = None) -> None:
+        """Index one promoted artifact in the cross-run catalog.
+
+        Best-effort by design: the artifact on disk is the ground truth
+        and a lost registration only costs a future cache miss, so a
+        catalog hiccup (contended database on a dying disk, say) is
+        logged and the run continues.
+        """
+        if self.catalog is None:
+            return
+        try:
+            entry = self.catalog.register(path, kind=kind)
+        except Exception:  # noqa: BLE001 - cataloging must never kill a run
+            _LOG.exception("catalog registration failed for %s", path)
+            return
+        self.journal.append(
+            "catalog-register",
+            shard_key=entry.shard_key,
+            kind=entry.kind,
+            path=str(entry.path),
+        )
+
+    def _adopt_from_catalog(self) -> None:
+        """Land pending shards some prior run already computed.
+
+        For every still-pending shard, the catalog is asked for an
+        ``ok``-status artifact under the shard's content-addressed key
+        (which covers spec digest, shard count, index sets and code
+        version, so foreign specs and stale versions cannot answer).
+        A hit is copied into staging, its per-file digests re-verified,
+        re-validated against *this* plan, and promoted exactly like a
+        worker-produced artifact — so a rotten catalog entry degrades
+        to a normal dispatch, never a wrong merge.
+        """
+        if self.catalog is None:
+            return
+        for task in sorted(self._tasks.values(), key=lambda t: t.shard.index):
+            if task.state is not ShardState.PENDING:
+                continue
+            try:
+                entry = self.catalog.lookup(task.shard.key)
+            except Exception:  # noqa: BLE001 - catalog loss != launch loss
+                _LOG.exception("catalog lookup failed; dispatching normally")
+                return
+            if entry is None:
+                continue
+            final = self.shards_dir / task.shard.artifact_name
+            staging = (
+                self.staging_dir
+                / f"adopt-{task.shard.index:04d}{SHARD_SUFFIX}"
+            )
+            shutil.rmtree(staging, ignore_errors=True)
+            try:
+                shutil.copytree(entry.path, staging)
+                verify_artifact_files(staging)
+                artifact = self._validated_artifact(staging, task.shard)
+            except (OSError, ShardError) as error:
+                _LOG.warning(
+                    "refusing catalog entry %s for shard %d: %s",
+                    entry.path,
+                    task.shard.index,
+                    error,
+                )
+                shutil.rmtree(staging, ignore_errors=True)
+                self.journal.append(
+                    "adopt-reject",
+                    shard=task.shard.index,
+                    source=str(entry.path),
+                    reason=str(error),
+                )
+                continue
+            if final.exists():
+                shutil.rmtree(final, ignore_errors=True)
+            os.replace(staging, final)
+            task.state = ShardState.LANDED
+            task.adopted = True
+            self._merge_in(artifact)
+            self.journal.append(
+                "adopt",
+                shard=task.shard.index,
+                source=str(entry.path),
+                rows=artifact.row_count,
+            )
 
     def _dispatch(self, task: _ShardTask, speculative: bool = False) -> None:
         task.attempt_counter += 1
@@ -1211,6 +1322,7 @@ class LaunchScheduler:
             self._discard_staging(other)
         task.handles.clear()
         self._merge_in(self._validated_artifact(final, task.shard))
+        self._register_artifact(final)
         self.journal.append(
             "land",
             shard=task.shard.index,
@@ -1437,6 +1549,9 @@ class LaunchScheduler:
         restored = sorted(
             index for index, task in self._tasks.items() if task.restored
         )
+        adopted = sorted(
+            index for index, task in self._tasks.items() if task.adopted
+        )
         exit_code = EXIT_COMPLETE if not failed else EXIT_PARTIAL
         failure_report_path = None
         if failed:
@@ -1483,6 +1598,10 @@ class LaunchScheduler:
         if self._merged is not None and self.csv_path is not None:
             self._merged.result().write_csv(self.csv_path)
             csv_path = self.csv_path
+        if self._merged is not None and not failed:
+            # A complete merge is itself a reusable content-addressed
+            # artifact (its shard key covers the full index union).
+            self._register_artifact(self.merged_path, kind="merged")
         shutil.rmtree(self.staging_dir, ignore_errors=True)
         self._teardown_gc()
         # Graceful exit (complete or partial): fold the event log into a
@@ -1517,6 +1636,7 @@ class LaunchScheduler:
             landed=landed,
             failed=failed,
             restored=restored,
+            adopted=adopted,
             dispatches=self._dispatches,
             orphaned_events=self._orphaned_events,
             speculative_dispatches=self._speculative_dispatches,
@@ -1545,6 +1665,7 @@ class LaunchScheduler:
                     "host": last.get("host"),
                     "speculated": task.speculated,
                     "restored": task.restored,
+                    "adopted": task.adopted,
                     "duration_s": task.duration_s,
                 }
             )
@@ -1590,12 +1711,20 @@ class LaunchScheduler:
             from repro.experiments.status import StatusServer
 
             self.status_server = StatusServer(
-                self.snapshot, self.journal_path, address=self.serve
+                self.snapshot,
+                self.journal_path,
+                address=self.serve,
+                catalog=(
+                    (lambda: self.catalog.summary(self.plan.digest))
+                    if self.catalog is not None
+                    else None
+                ),
             )
             self.journal.append("serve", url=self.status_server.url)
         try:
             if self.resume:
                 self._restore()
+            self._adopt_from_catalog()
             while any(not task.state.terminal for task in self._tasks.values()):
                 self._reap()
                 self._check_liveness()

@@ -49,7 +49,6 @@ simulate miss becomes every later shard's profile hit — see
 
 from __future__ import annotations
 
-import hashlib
 import json
 import logging
 from dataclasses import dataclass
@@ -63,7 +62,7 @@ from repro.gating.policies import ChipMajorPacks
 
 from repro.experiments import keys
 from repro.experiments.cache import PackedRows, SimulationCache, atomic_replace
-from repro.experiments.keys import shard_key, stable_hash
+from repro.experiments.keys import file_digest, shard_key, stable_hash
 from repro.experiments.result import SweepResult
 from repro.experiments.runner import SweepRunner
 from repro.experiments.spec import SweepPoint, SweepSpec
@@ -85,13 +84,32 @@ class ShardError(ValueError):
     """A shard artifact is unreadable, foreign, duplicated or missing."""
 
 
-def _file_digest(path: Path) -> str:
-    """Streaming SHA-256 of one file (``sha256:<hex>``), O(1) memory."""
-    digest = hashlib.sha256()
-    with open(path, "rb") as handle:
-        for chunk in iter(lambda: handle.read(1 << 20), b""):
-            digest.update(chunk)
-    return f"sha256:{digest.hexdigest()}"
+#: Backwards-compatible alias; the digest helper moved to
+#: :func:`repro.experiments.keys.file_digest` so the experiment catalog
+#: shares one definition with the artifact writer/verifier.
+_file_digest = file_digest
+
+
+def load_manifest(path: str | Path) -> dict[str, Any]:
+    """Read and shape-check one artifact's ``manifest.json``.
+
+    The single manifest-parsing entry point shared by
+    :meth:`ShardArtifact.read`, :func:`verify_artifact_files` and the
+    experiment catalog's registration path.  Only the envelope is
+    validated here (readable JSON object of ``kind`` repro-shard);
+    schema and field validation stay with the callers, which disagree
+    on how strict to be.
+    """
+    path = Path(path)
+    try:
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+    except (OSError, ValueError) as error:
+        raise ShardError(
+            f"{path}: not a readable shard artifact ({error})"
+        ) from error
+    if not isinstance(manifest, dict) or manifest.get("kind") != "repro-shard":
+        raise ShardError(f"{path}: manifest is not a repro-shard manifest")
+    return manifest
 
 
 def verify_artifact_files(path: str | Path, require: bool = True) -> None:
@@ -108,13 +126,8 @@ def verify_artifact_files(path: str | Path, require: bool = True) -> None:
     deals in freshly written artifacts) or accepted silently.
     """
     path = Path(path)
-    try:
-        manifest = json.loads((path / MANIFEST_NAME).read_text())
-    except (OSError, ValueError) as error:
-        raise ShardError(
-            f"{path}: not a readable shard artifact ({error})"
-        ) from error
-    files = manifest.get("files") if isinstance(manifest, dict) else None
+    manifest = load_manifest(path)
+    files = manifest.get("files")
     if not isinstance(files, dict):
         if require:
             raise ShardError(
@@ -124,7 +137,7 @@ def verify_artifact_files(path: str | Path, require: bool = True) -> None:
         return
     for name, expected in sorted(files.items()):
         try:
-            actual = _file_digest(path / name)
+            actual = file_digest(path / name)
         except OSError as error:
             raise ShardError(
                 f"{path}: column store {name} is unreadable ({error})"
@@ -494,7 +507,11 @@ class ShardArtifact:
         }
         return series, numeric
 
-    def write(self, target: str | Path) -> Path:
+    def write(
+        self,
+        target: str | Path,
+        extra_manifest: "dict[str, Any] | None" = None,
+    ) -> Path:
         """Serialize into ``target`` and return the artifact directory.
 
         ``target`` is either the artifact directory itself (a path
@@ -507,6 +524,11 @@ class ShardArtifact:
         strings/ints, so codes serialize and parse far faster than the
         cells); the manifest is written last so a crashed writer never
         leaves a manifest describing missing column files.
+
+        ``extra_manifest`` merges additional keys into the manifest —
+        annotations like the skipped-artifact list a lenient partial
+        merge records — without being able to shadow the schema's own
+        fields (the canonical keys are applied last).
         """
         target = Path(target)
         path = target if target.name.endswith(SHARD_SUFFIX) else (
@@ -537,10 +559,11 @@ class ShardArtifact:
         # Content digests of every column store, written into the
         # manifest so transfers (and the workers' own writes) can be
         # verified end to end — see :func:`verify_artifact_files`.
-        files = {OBJECT_NAME: _file_digest(path / OBJECT_NAME)}
+        files = {OBJECT_NAME: file_digest(path / OBJECT_NAME)}
         if numeric:
-            files[NUMERIC_NAME] = _file_digest(path / NUMERIC_NAME)
+            files[NUMERIC_NAME] = file_digest(path / NUMERIC_NAME)
         manifest = {
+            **(extra_manifest or {}),
             "schema": SHARD_SCHEMA,
             "kind": "repro-shard",
             "version": self.version,
@@ -576,14 +599,7 @@ class ShardArtifact:
         export pull in only the mapped pages they actually touch.
         """
         path = Path(path)
-        try:
-            manifest = json.loads((path / MANIFEST_NAME).read_text())
-        except (OSError, ValueError) as error:
-            raise ShardError(
-                f"{path}: not a readable shard artifact ({error})"
-            ) from error
-        if not isinstance(manifest, dict) or manifest.get("kind") != "repro-shard":
-            raise ShardError(f"{path}: manifest is not a repro-shard manifest")
+        manifest = load_manifest(path)
         if manifest.get("schema") != SHARD_SCHEMA:
             raise ShardError(
                 f"{path}: unsupported shard schema {manifest.get('schema')!r} "
@@ -1004,6 +1020,7 @@ __all__ = [
     "ShardError",
     "ShardPlan",
     "ShardRunner",
+    "load_manifest",
     "merge_artifacts",
     "merge_shard_paths",
     "read_artifacts",

@@ -9,6 +9,9 @@ as JSON:
                host, per-host health, partial merge summary
 ``/journal``   the launch journal (live tail; ``?archive=1`` prepends
                the compacted archive's events)
+``/catalog``   cross-run experiment-catalog summary (entry counts by
+               status/kind plus this spec's coverage) — only when the
+               launch runs with ``--catalog``
 ``/``          endpoint index
 =============  ========================================================
 
@@ -62,9 +65,11 @@ class StatusServer:
         journal_path: str | Path,
         *,
         address: str = ":0",
+        catalog: Callable[[], dict[str, Any]] | None = None,
     ):
         self._snapshot = snapshot
         self._journal_path = Path(journal_path)
+        self._catalog = catalog
         host, port = parse_address(address)
         server = self
 
@@ -105,10 +110,15 @@ class StatusServer:
         parsed = urllib.parse.urlparse(path)
         route = parsed.path.rstrip("/") or "/"
         if route == "/":
+            endpoints = ["/status", "/journal"]
+            if self._catalog is not None:
+                endpoints.append("/catalog")
             return {
                 "kind": "repro-launch-status-index",
-                "endpoints": ["/status", "/journal"],
+                "endpoints": endpoints,
             }
+        if route == "/catalog" and self._catalog is not None:
+            return self._catalog()
         if route == "/status":
             return self._snapshot()
         if route == "/journal":
@@ -153,7 +163,18 @@ def fetch_status(url: str, timeout: float = 10.0) -> dict[str, Any]:
     try:
         with urllib.request.urlopen(url, timeout=timeout) as response:
             payload = json.loads(response.read().decode("utf-8"))
-    except (urllib.error.URLError, OSError, ValueError) as error:
+    except urllib.error.HTTPError as error:
+        # The server is alive but rejected the request — its actual
+        # status matters, so don't collapse it into "not reachable".
+        raise StatusError(f"cannot fetch {url}: {error}") from error
+    except (urllib.error.URLError, OSError, TimeoutError) as error:
+        # Connection refused / timed out / DNS failure: the usual cause
+        # is simply that the launch (and its --serve endpoint) is gone.
+        raise StatusError(
+            f"cannot fetch {url}: server not reachable (run over?) "
+            f"[{getattr(error, 'reason', error)}]"
+        ) from error
+    except ValueError as error:
         raise StatusError(f"cannot fetch {url}: {error}") from error
     if not isinstance(payload, dict) or payload.get("kind") != "repro-launch-status":
         raise StatusError(f"{url} did not return a launch-status payload")

@@ -120,9 +120,36 @@ class TestStatusServer:
     def test_index_and_unknown_routes(self, server):
         _, index = _get(server.url + "/")
         assert "/status" in index["endpoints"]
+        # Without a catalog, /catalog neither exists nor is advertised.
+        assert "/catalog" not in index["endpoints"]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/catalog")
+        assert excinfo.value.code == 404
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(server.url + "/nope")
         assert excinfo.value.code == 404
+
+    def test_catalog_endpoint_serves_the_summary(self, tmp_path):
+        summary = {
+            "kind": "repro-catalog",
+            "entries": 4,
+            "by_status": {"ok": 4},
+            "by_kind": {"shard": 3, "merged": 1},
+        }
+        instance = StatusServer(
+            lambda: dict(FAKE_SNAPSHOT),
+            tmp_path / "journal.jsonl",
+            address=":0",
+            catalog=lambda: dict(summary),
+        )
+        try:
+            _, index = _get(instance.url + "/")
+            assert "/catalog" in index["endpoints"]
+            code, payload = _get(instance.url + "/catalog")
+            assert code == 200
+            assert payload == summary
+        finally:
+            instance.close()
 
     def test_snapshot_crash_is_a_500_not_a_dead_server(self, tmp_path):
         def broken():
@@ -148,6 +175,20 @@ class TestClient:
         assert payload["kind"] == "repro-launch-status"
         with pytest.raises(StatusError, match="cannot fetch"):
             fetch_status("127.0.0.1:1")  # nothing listens there
+
+    def test_dead_server_gets_a_friendly_message_and_nonzero_exit(
+        self, capsys
+    ):
+        """`repro launch-status` against a finished run: no traceback,
+        a 'server not reachable' explanation, exit code != 0."""
+        from repro.cli import main
+
+        with pytest.raises(StatusError, match=r"not reachable \(run over\?\)"):
+            fetch_status("127.0.0.1:1", timeout=2)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["launch-status", "127.0.0.1:1", "--timeout", "2"])
+        assert excinfo.value.code not in (0, None)
+        assert "server not reachable (run over?)" in str(excinfo.value.code)
 
     def test_fetch_rejects_non_status_payloads(self, tmp_path):
         instance = StatusServer(
