@@ -25,7 +25,7 @@ from repro.gating.policies import PolicyName
 from repro.hardware.chips import NPUChipSpec, get_chip, list_chips
 from repro.workloads.registry import get_workload, list_workloads
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "EnergyReport",

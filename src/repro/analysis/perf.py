@@ -35,6 +35,11 @@ recorded.  The measured pairs are:
   after partition imbalance and artifact/merge overhead;
 * **idle_detector** — the run-length-encoded detection-window state
   machine vs the stepwise :class:`~repro.gating.idle_detection.IdleDetector`;
+* **serving_sim** — the fleet serving simulation's batching + queueing
+  kernels (:mod:`repro.serving`) on a synthetic multi-workload trace:
+  columnar batch formation and the cumsum/running-max FCFS recursion vs
+  the event-at-a-time oracle.  Service times come from a synthetic
+  table, so the pair isolates the queueing kernels from the simulator;
 * **cold_sweep** — a cold multi-workload × multi-chip grid through the
   :class:`~repro.experiments.SweepRunner` (the ROADMAP's headline
   number; the grids are defined in :data:`PERF_GRIDS`).
@@ -623,6 +628,82 @@ def bench_idle_detector(repeat: int) -> PerfResult:
     )
 
 
+#: Shape of the ``serving_sim`` benchmark's synthetic trace: enough
+#: requests that the oracle's per-request Python loop dominates, small
+#: enough to keep CI's small-grid suite quick.
+SERVING_SIM_WORKLOADS = ("decode", "prefill", "rank")
+SERVING_SIM_RATE_QPS = 800.0
+SERVING_SIM_DURATION_S = 10.0
+SERVING_SIM_REPLICAS = 4
+
+
+def bench_serving_sim(repeat: int) -> PerfResult:
+    """Vectorized serving batching+queueing vs the event-at-a-time oracle.
+
+    Service times are a synthetic function of batch size (no simulator
+    calls), so the pair isolates the queueing kernels; both sides are
+    asserted exactly equal before timing — the benchmark doubles as the
+    serving equivalence check on a trace far larger than the test
+    suite's.
+    """
+    from repro.serving.arrivals import poisson_trace
+    from repro.serving.batching import (
+        BatchPolicy,
+        form_batches,
+        form_batches_oracle,
+    )
+    from repro.serving.queueing import queue_batches, queue_batches_oracle
+
+    trace = poisson_trace(
+        SERVING_SIM_WORKLOADS,
+        SERVING_SIM_RATE_QPS,
+        SERVING_SIM_DURATION_S,
+        seed=42,
+    )
+    policies = {
+        wid: BatchPolicy(max_batch=4 + 4 * wid, max_wait_s=0.010)
+        for wid in range(len(trace.workloads))
+    }
+
+    def service_table(batches) -> np.ndarray:
+        # Synthetic per-batch service time: affine in batch size.
+        return (200_000 + 50_000 * batches.sizes).astype(np.int64)
+
+    def vectorized():
+        batches = form_batches(trace, policies)
+        return batches, queue_batches(
+            batches, service_table(batches), SERVING_SIM_REPLICAS
+        )
+
+    def oracle():
+        batches = form_batches_oracle(trace, policies)
+        return batches, queue_batches_oracle(
+            batches, service_table(batches), SERVING_SIM_REPLICAS
+        )
+
+    fast_batches, (fast_start, fast_finish, fast_replica) = vectorized()
+    slow_batches, (slow_start, slow_finish, slow_replica) = oracle()
+    if not (
+        np.array_equal(fast_batches.close_ns, slow_batches.close_ns)
+        and np.array_equal(fast_batches.sizes, slow_batches.sizes)
+        and np.array_equal(fast_batches.request_batch, slow_batches.request_batch)
+        and np.array_equal(fast_start, slow_start)
+        and np.array_equal(fast_finish, slow_finish)
+        and np.array_equal(fast_replica, slow_replica)
+    ):  # pragma: no cover - equivalence is tested
+        raise AssertionError("serving sim paths disagree")
+    object_s, object_mean_s, columnar_s, columnar_mean_s = _interleaved(
+        oracle, vectorized, repeat
+    )
+    return PerfResult(
+        "serving_sim",
+        object_s=object_s,
+        columnar_s=columnar_s,
+        object_mean_s=object_mean_s,
+        columnar_mean_s=columnar_mean_s,
+    )
+
+
 def bench_cold_sweep(grid: str, repeat: int) -> PerfResult:
     spec = perf_sweep_spec(grid)
 
@@ -678,6 +759,7 @@ BENCHMARK_RUNNERS: "dict[str, Any]" = {
         lambda grid, repeat: bench_multi_machine_shard(max(1, repeat - 1))
     ),
     "idle_detector": lambda grid, repeat: bench_idle_detector(repeat),
+    "serving_sim": lambda grid, repeat: bench_serving_sim(repeat),
     "cold_sweep": lambda grid, repeat: bench_cold_sweep(grid, max(1, repeat - 1)),
 }
 
@@ -725,7 +807,7 @@ def run_perf_suite(grid: str = "full", repeat: int = 3) -> dict[str, Any]:
     # modelled machine count; record it so payloads are self-describing.
     payload_benchmarks["multi_machine_shard"]["shards"] = MULTI_MACHINE_SHARDS
     return {
-        "schema": 5,
+        "schema": 6,
         "version": __version__,
         "grid": grid,
         "grid_points": spec.num_points,
@@ -753,10 +835,45 @@ def write_payload(payload: dict[str, Any], path: str | Path) -> Path:
 UNGATED_BENCHMARKS: frozenset[str] = frozenset()
 
 
+def _version_tuple(text: str) -> tuple[int, ...]:
+    """Dotted-version prefix as a comparable int tuple (1.8.0 -> (1,8,0)).
+
+    Non-numeric segments end the prefix, so odd stamps compare on
+    whatever leading numbers they do have instead of raising.
+    """
+    parts: list[int] = []
+    for segment in str(text).split("."):
+        if not segment.isdigit():
+            break
+        parts.append(int(segment))
+    return tuple(parts)
+
+
+def payload_version_drift(payload: dict[str, Any]) -> str | None:
+    """Why this payload's version stamp trails the package, if it does.
+
+    Perf payloads are committed artifacts; a stamp older than the
+    running package means the numbers predate current code and must be
+    regenerated (``repro perf --output ...``).  Returns ``None`` when
+    the stamp is current (or ahead, e.g. comparing against a newer
+    branch's payload).
+    """
+    stamped = payload.get("version")
+    if not isinstance(stamped, str) or not _version_tuple(stamped):
+        return f"payload has no valid version stamp (package is {__version__})"
+    if _version_tuple(stamped) < _version_tuple(__version__):
+        return (
+            f"payload version {stamped} trails the package ({__version__}); "
+            "regenerate it with `repro perf`"
+        )
+    return None
+
+
 def check_regression(
     payload: dict[str, Any],
     baseline: dict[str, Any],
     tolerance: float = 0.25,
+    check_version: bool = True,
 ) -> list[str]:
     """Compare speedups against a committed baseline payload.
 
@@ -765,8 +882,19 @@ def check_regression(
     baseline's speedup.  Absolute times are machine-dependent, so only
     the object/columnar ratio is compared.
     :data:`UNGATED_BENCHMARKS` are informational and never fail.
+
+    With ``check_version`` (the default — what the CI perf gate runs),
+    a baseline stamped with an older package version fails loudly: its
+    numbers predate current code, so the gate would be comparing
+    against stale machinery — regenerate and commit the baseline
+    instead.  ``--compare`` of two historical payloads disables it and
+    warns in the report instead.
     """
     failures: list[str] = []
+    if check_version:
+        drift = payload_version_drift(baseline)
+        if drift:
+            failures.append(f"baseline: {drift}")
     current = payload.get("benchmarks", {})
     for name, entry in baseline.get("benchmarks", {}).items():
         if name in UNGATED_BENCHMARKS:
@@ -809,6 +937,10 @@ def compare_payloads(
     when nothing regressed beyond ``tolerance``).  Replaces eyeballing
     two JSON files — ``repro perf --compare OLD.json NEW.json`` prints
     the table and exits nonzero on regression.
+
+    Payloads stamped with a version older than the running package get
+    a warning line under the table (historical payloads are the point
+    of ``--compare``, so drift warns here instead of failing).
     """
     from repro.analysis.tables import format_table
 
@@ -856,7 +988,16 @@ def compare_payloads(
             f"new schema {new.get('schema')})"
         ),
     )
-    return report, check_regression(new, old, tolerance=tolerance)
+    warnings = [
+        f"warning: {label} {drift}"
+        for label, payload in (("OLD", old), ("NEW", new))
+        if (drift := payload_version_drift(payload))
+    ]
+    if warnings:
+        report += "\n" + "\n".join(warnings)
+    return report, check_regression(
+        new, old, tolerance=tolerance, check_version=False
+    )
 
 
 def format_report(payload: dict[str, Any]) -> str:
@@ -912,8 +1053,10 @@ __all__ = [
     "bench_policy_evaluation",
     "bench_sensitivity_grid",
     "bench_sensitivity_sweep",
+    "bench_serving_sim",
     "check_regression",
     "compare_payloads",
+    "payload_version_drift",
     "format_report",
     "multi_chip_sweep_spec",
     "multi_machine_shard_spec",

@@ -46,6 +46,25 @@ class LifespanAnalysis:
     utilization_seconds_per_year: float = 365.25 * 24 * 3600
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def for_serving(
+        cls,
+        result: SimulationResult,
+        utilization: float,
+        operational_model: OperationalCarbonModel | None = None,
+        **kwargs: object,
+    ) -> "LifespanAnalysis":
+        """A lifespan analysis at a *measured* fleet duty cycle.
+
+        The serving simulation observes how busy each replica pool
+        actually is; substituting that for the assumed 60% duty cycle
+        makes the Figure 25 trade-off reflect the trace.
+        """
+        model = (operational_model or OperationalCarbonModel()).with_duty_cycle(
+            min(1.0, max(0.01, utilization))
+        )
+        return cls(result=result, operational_model=model, **kwargs)  # type: ignore[arg-type]
+
     def work_per_chip_year(self, policy: PolicyName) -> float:
         """Units of work one pod completes per year at the duty cycle."""
         duty = self.operational_model.duty_cycle

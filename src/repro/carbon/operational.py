@@ -10,7 +10,7 @@ it reduces busy energy (Figure 24).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.config import (
     DEFAULT_CARBON_INTENSITY,
@@ -34,6 +34,17 @@ class OperationalCarbonModel:
     duty_cycle: float = DEFAULT_DUTY_CYCLE
 
     # ------------------------------------------------------------------ #
+    def with_duty_cycle(self, duty_cycle: float) -> "OperationalCarbonModel":
+        """The same grid/PUE assumptions at a different duty cycle.
+
+        The serving simulation *measures* fleet utilization instead of
+        assuming the paper's 60% duty cycle; this lets the carbon rollup
+        price duty-cycle idle energy at what the trace actually showed.
+        """
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in (0, 1]")
+        return replace(self, duty_cycle=duty_cycle)
+
     def energy_to_carbon_kg(self, energy_j: float) -> float:
         """Facility-level carbon of a given amount of chip energy."""
         return energy_j * self.pue * self.carbon_intensity_kg_per_kwh / JOULES_PER_KWH

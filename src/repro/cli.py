@@ -500,6 +500,133 @@ def _cmd_catalog_gc(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import dataclasses
+
+    from repro.serving import (
+        Autoscaler,
+        PodSpec,
+        ServiceModel,
+        ServingError,
+        TraceError,
+        carbon_table,
+        curve_table,
+        diurnal_trace,
+        load_trace,
+        poisson_trace,
+        rollup_carbon,
+        simulate_serving,
+        utilization_curve,
+        write_trace_csv,
+    )
+    from repro.serving.simulate import DEFAULT_LOAD_FACTORS
+
+    try:
+        if args.arrival == "trace" or args.trace:
+            if not args.trace:
+                raise SystemExit("--arrival trace needs --trace FILE")
+            trace = load_trace(args.trace, args.workload or ())
+        else:
+            if not args.workload:
+                raise SystemExit(
+                    f"{args.arrival} arrivals need at least one -w/--workload"
+                )
+            rates: list[float] | float = args.rate or 10.0
+            if args.arrival == "poisson":
+                trace = poisson_trace(
+                    args.workload, rates, args.duration, seed=args.seed
+                )
+            else:
+                trace = diurnal_trace(
+                    args.workload,
+                    rates,
+                    args.duration,
+                    seed=args.seed,
+                    period_s=args.period,
+                    amplitude=args.amplitude,
+                )
+    except TraceError as error:
+        raise SystemExit(f"error: {error}")
+
+    model = ServiceModel(policies=_parse_policies(args.policy))
+    scaler = Autoscaler(
+        model,
+        chip=args.chip,
+        target_utilization=args.target_utilization,
+        max_replicas=args.max_replicas,
+    )
+    try:
+        if args.replicas is not None:
+            # Manual fleet: one pod shape for every workload, replica
+            # count forced (the demand numbers stay for context).
+            plans = {
+                name: dataclasses.replace(
+                    scaler.size(
+                        trace,
+                        name,
+                        pod=PodSpec(
+                            workload=name, chip=args.chip, max_batch=args.max_batch
+                        ),
+                    ),
+                    replicas=args.replicas,
+                )
+                for name in trace.workloads
+            }
+        else:
+            plans = scaler.plan_fleet(trace)
+        report = simulate_serving(trace, plans, model, max_wait_s=args.max_wait)
+    except (ServingError, TraceError) as error:
+        raise SystemExit(f"error: {error}")
+
+    counts = trace.request_counts()
+    lines = [
+        f"trace         : {len(trace)} request(s) over "
+        f"{trace.span_ns / 1e9:.3f}s "
+        f"({', '.join(f'{name}: {count}' for name, count in counts.items()) or 'empty'})",
+        "fleet         :",
+    ]
+    lines += [f"  {plan.describe()}" for plan in plans.values()]
+    lines += ["", report.metrics_table()]
+
+    payload = report.to_json()
+    if args.curve:
+        factors = tuple(args.load_factor) if args.load_factor else DEFAULT_LOAD_FACTORS
+        try:
+            points = utilization_curve(
+                trace, plans, model, load_factors=factors, max_wait_s=args.max_wait
+            )
+        except TraceError as error:
+            raise SystemExit(f"error: {error}")
+        lines += ["", curve_table(points)]
+        payload["curve"] = [
+            {
+                "load_factor": point.load_factor,
+                "qps": point.qps,
+                "utilization": point.utilization,
+                "p99_latency_ms": point.p99_latency_ms,
+                "savings": {k.value: v for k, v in point.savings.items()},
+                "energy_per_request_j": {
+                    k.value: v for k, v in point.energy_per_request_j.items()
+                },
+            }
+            for point in points
+        ]
+    if args.carbon:
+        rollup = rollup_carbon(report, model)
+        lines += ["", carbon_table(rollup)]
+        payload["carbon"] = rollup.to_json()
+    if args.save_trace:
+        write_trace_csv(trace, args.save_trace)
+        lines.append(f"trace written : {args.save_trace}")
+    if args.json:
+        import json as _json
+        from pathlib import Path as _Path
+
+        _Path(args.json).write_text(_json.dumps(payload, indent=2))
+        lines.append(f"json written  : {args.json}")
+    return "\n".join(lines)
+
+
 def _cmd_perf(args: argparse.Namespace) -> str:
     from repro.analysis.perf import (
         check_regression,
@@ -923,6 +1050,101 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_catalog_db(catalog_gc)
     catalog_gc.set_defaults(handler=_cmd_catalog_gc)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="trace-driven fleet serving simulation with SLO-aware "
+             "autoscaling (queueing + dynamic batching over the NPU "
+             "energy model)",
+    )
+    serve.add_argument(
+        "-w", "--workload", action="append",
+        help="workload pool to serve (repeatable; required for synthetic "
+             "arrivals, optional tag whitelist for --trace)",
+    )
+    serve.add_argument(
+        "--arrival", choices=("poisson", "diurnal", "trace"), default="poisson",
+        help="arrival process (default poisson; trace replays --trace FILE)",
+    )
+    serve.add_argument(
+        "--rate", action="append", type=float, metavar="QPS",
+        help="mean request rate per workload (repeatable: one per -w, or "
+             "one broadcast to all; default 10)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=60.0, metavar="SECONDS",
+        help="synthetic trace length (default 60)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="arrival-process seed (default 0)"
+    )
+    serve.add_argument(
+        "--period", type=float, default=86_400.0, metavar="SECONDS",
+        help="diurnal period (default 86400, one day)",
+    )
+    serve.add_argument(
+        "--amplitude", type=float, default=0.8, metavar="FRACTION",
+        help="diurnal rate swing around the mean, 0..1 (default 0.8)",
+    )
+    serve.add_argument(
+        "--trace", metavar="PATH",
+        help="trace file to replay: CSV (timestamp_s,workload header) or "
+             "JSONL with the same keys",
+    )
+    serve.add_argument(
+        "--chip", default="NPU-D", help="NPU generation (default NPU-D)"
+    )
+    serve.add_argument(
+        "--policy", action="append",
+        help="evaluate only these gating policies (repeatable); NoPG is "
+             "always included",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=None, metavar="N",
+        help="manual replica count per pool (default: SLO-aware autoscaling "
+             "sizes each pool from the trace's peak windowed demand)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8, metavar="N",
+        help="batch cap of manually sized pods (with --replicas; default 8; "
+             "autoscaled pods use the SLO search's batch size)",
+    )
+    serve.add_argument(
+        "--max-wait", type=float, default=0.050, metavar="SECONDS",
+        help="batch forming window (default 0.050)",
+    )
+    serve.add_argument(
+        "--target-utilization", type=float, default=0.8, metavar="FRACTION",
+        help="autoscaler head-room target in (0, 1] (default 0.8)",
+    )
+    serve.add_argument(
+        "--max-replicas", type=int, default=64, metavar="N",
+        help="autoscaler replica cap per pool (default 64)",
+    )
+    serve.add_argument(
+        "--curve", action="store_true",
+        help="also emit the power-gating-savings vs fleet-utilization curve "
+             "(replays the trace time-compressed across load levels)",
+    )
+    serve.add_argument(
+        "--load-factor", action="append", type=float, metavar="X",
+        help="curve load levels (repeatable; default 0.125..4x)",
+    )
+    serve.add_argument(
+        "--carbon", action="store_true",
+        help="also emit the operational-carbon rollup and the "
+             "carbon-optimal device lifespan at measured utilization",
+    )
+    serve.add_argument(
+        "--save-trace", metavar="PATH",
+        help="write the (possibly generated) trace as a CSV trace file",
+    )
+    serve.add_argument(
+        "--json", metavar="PATH",
+        help="write the serving report (plus curve/carbon when requested) "
+             "as JSON",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     perf = subparsers.add_parser(
         "perf",

@@ -42,7 +42,32 @@ class SLOSelection:
 
     @property
     def meets_slo(self) -> bool:
-        return self.attained_slo <= 1.0 + 1e-9
+        return self.feasible and self.attained_slo <= 1.0 + 1e-9
+
+    @property
+    def feasible(self) -> bool:
+        """Whether *any* runnable configuration backed this selection."""
+        return self.num_chips > 0
+
+    @classmethod
+    def infeasible(cls, workload: str, chip: str) -> "SLOSelection":
+        """The explicit no-runnable-configuration marker.
+
+        Returned by :meth:`SLOSearch.search` when every candidate pod
+        is rejected (weights do not fit, no valid parallelism, empty
+        candidate grids) — callers such as the serving autoscaler branch
+        on ``feasible``/``meets_slo`` instead of catching exceptions.
+        """
+        return cls(
+            workload=workload,
+            chip=chip,
+            num_chips=0,
+            batch_size=0,
+            parallelism=ParallelismConfig(),
+            throughput=0.0,
+            energy_per_work_j=math.inf,
+            attained_slo=math.inf,
+        )
 
 
 @dataclass
@@ -108,7 +133,13 @@ class SLOSearch:
 
         If no configuration meets the 1x SLO, the best relaxed SLO the
         chip can attain is reported (the paper labels such bars with the
-        attainable SLO, e.g. "2x").
+        attainable SLO, e.g. "2x").  If *no* candidate configuration is
+        runnable at all — the workload's weights fit on none of the
+        candidate pods, or the candidate grids are empty — an explicit
+        infeasible :class:`SLOSelection` is returned
+        (``feasible``/``meets_slo`` both ``False``) rather than raising,
+        so sweep- and autoscaler-style callers can record the gap and
+        move on.
         """
         spec = workload if isinstance(workload, WorkloadSpec) else get_workload(workload)
         target = self.slo_throughput(spec)
@@ -143,7 +174,7 @@ class SLOSearch:
             return best_compliant[1]
         if best_any is not None:
             return best_any[1]
-        raise RuntimeError(f"no feasible configuration found for {spec.name} on {chip}")
+        return SLOSelection.infeasible(spec.name, chip)
 
     def table4(
         self, workloads: list[str], chip: str = "NPU-D"

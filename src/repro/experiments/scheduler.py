@@ -890,6 +890,7 @@ class LaunchScheduler:
         #: The live progress HTTP server (``--serve``), set by :meth:`run`.
         self.status_server: Any = None
         self._started: float | None = None
+        self._finished: float | None = None
 
         if injector is None and use_env_faults:
             injector = FaultInjector.from_env()
@@ -1621,12 +1622,15 @@ class LaunchScheduler:
                 "failed": failed,
             }
         )
+        # Freeze the run clock: a finished run's /status payload must
+        # report the final elapsed time, not keep counting wall-clock.
+        self._finished = time.time()
         self.journal.append(
             "complete",
             exit_code=exit_code,
             landed=len(landed),
             failed=failed,
-            duration_s=round(time.time() - started, 6),
+            duration_s=round(self._finished - started, 6),
         )
         return LaunchReport(
             digest=self.plan.digest,
@@ -1643,7 +1647,7 @@ class LaunchScheduler:
             merged_path=self.merged_path if self._merged is not None else None,
             csv_path=csv_path,
             failure_report_path=failure_report_path,
-            duration_s=time.time() - started,
+            duration_s=self._finished - started,
             artifact=self._merged,
         )
 
@@ -1677,7 +1681,7 @@ class LaunchScheduler:
             "shard_count": self.plan.count,
             "backend": getattr(self.backend, "name", type(self.backend).__name__),
             "elapsed_s": (
-                round(time.time() - self._started, 3)
+                round((self._finished or time.time()) - self._started, 3)
                 if self._started is not None
                 else None
             ),

@@ -187,11 +187,13 @@ def render_status(payload: dict[str, Any]) -> str:
     state_text = ", ".join(
         f"{name}: {count}" for name, count in sorted(states.items()) if count
     )
+    elapsed = payload.get("elapsed_s")
+    elapsed_text = f"{elapsed}s" if isinstance(elapsed, (int, float)) else "?"
     lines = [
         f"launch {payload.get('digest', '?')} "
         f"({payload.get('shard_count', '?')} shard(s), "
         f"backend {payload.get('backend', '?')})",
-        f"elapsed       : {payload.get('elapsed_s', '?')}s",
+        f"elapsed       : {elapsed_text}",
         f"states        : {state_text or 'none'}",
         f"dispatches    : {payload.get('dispatches', 0)} "
         f"({payload.get('speculative_dispatches', 0)} speculative, "

@@ -1,0 +1,220 @@
+"""Dynamic batch formation for the serving simulation.
+
+Requests are grouped into batches by a *clocked window* policy
+(:class:`BatchPolicy`): the batch former ticks every ``max_wait_s``,
+and within one tick's window requests of the same workload fill batches
+of up to ``max_batch``.  A batch dispatches (its *close* time) as soon
+as it fills, or at the window boundary if the window ends first — so no
+request waits more than one window for its batch to form, and batching
+never depends on downstream replica state.  That last property is what
+makes batch formation a pure function of the trace, computable either
+columnar (:func:`form_batches`) or event-at-a-time
+(:func:`form_batches_oracle`) with bit-identical results.
+
+Both paths operate on integer-nanosecond timestamps, so there is no
+floating-point drift between them: the equivalence suite asserts exact
+array equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.arrivals import NS, RequestTrace, TraceError
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Batch-formation knobs: size cap and forming window.
+
+    ``max_batch`` caps how many requests share one inference iteration;
+    ``max_wait_s`` is the forming-window length (the most extra latency
+    batching itself can add to a request).
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 0.050
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise TraceError("max_batch must be >= 1")
+        if self.max_wait_s <= 0:
+            raise TraceError("max_wait_s must be positive")
+
+    @property
+    def window_ns(self) -> int:
+        return max(1, int(round(self.max_wait_s * NS)))
+
+    def with_max_batch(self, max_batch: int) -> "BatchPolicy":
+        return BatchPolicy(max_batch=max_batch, max_wait_s=self.max_wait_s)
+
+
+@dataclass(frozen=True)
+class BatchTable:
+    """Columnar batch table: one row per formed batch.
+
+    Batches are grouped by workload — all of a workload's batches form
+    one contiguous slice, ordered by dispatch (close) time — and
+    ``request_batch`` maps every request of the originating trace to
+    its batch row.
+    """
+
+    workload_ids: np.ndarray  # int64 per batch
+    close_ns: np.ndarray  # int64 per batch: dispatch-ready time
+    sizes: np.ndarray  # int64 per batch
+    request_batch: np.ndarray  # int64 per request (original trace order)
+    workloads: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.close_ns)
+
+    def workload_slice(self, workload_id: int) -> slice:
+        """The contiguous batch-row slice of one workload."""
+        indices = np.flatnonzero(self.workload_ids == workload_id)
+        if len(indices) == 0:
+            return slice(0, 0)
+        return slice(int(indices[0]), int(indices[-1]) + 1)
+
+
+def _empty_table(trace: RequestTrace) -> BatchTable:
+    return BatchTable(
+        workload_ids=np.empty(0, dtype=np.int64),
+        close_ns=np.empty(0, dtype=np.int64),
+        sizes=np.empty(0, dtype=np.int64),
+        request_batch=np.empty(0, dtype=np.int64),
+        workloads=trace.workloads,
+    )
+
+
+def _policy_columns(
+    trace: RequestTrace, policy: "BatchPolicy | dict[int, BatchPolicy]"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-workload-id ``(window_ns, max_batch)`` lookup columns.
+
+    A single :class:`BatchPolicy` broadcasts across the fleet; a dict
+    maps workload id → policy (missing ids fall back to the default),
+    so every pod can run its own SLO-selected batch cap.
+    """
+    count = max(1, len(trace.workloads))
+    if isinstance(policy, BatchPolicy):
+        policies = {wid: policy for wid in range(count)}
+    else:
+        default = BatchPolicy()
+        policies = {wid: policy.get(wid, default) for wid in range(count)}
+    window_ns = np.asarray(
+        [policies[wid].window_ns for wid in range(count)], dtype=np.int64
+    )
+    max_batch = np.asarray(
+        [policies[wid].max_batch for wid in range(count)], dtype=np.int64
+    )
+    return window_ns, max_batch
+
+
+def form_batches(
+    trace: RequestTrace, policy: "BatchPolicy | dict[int, BatchPolicy]"
+) -> BatchTable:
+    """Columnar batch formation (no per-request Python loop).
+
+    One stable sort brings each workload's requests together (they are
+    already in arrival order); window indices, in-window ranks and
+    size-capped chunks then fall out of array arithmetic.
+    """
+    if len(trace) == 0:
+        return _empty_table(trace)
+    window_by_id, batch_by_id = _policy_columns(trace, policy)
+    order = np.argsort(trace.workload_ids, kind="stable")
+    arrival = trace.arrival_ns[order]
+    workload = trace.workload_ids[order]
+    window_ns = window_by_id[workload]
+    max_batch = batch_by_id[workload]
+    window = arrival // window_ns
+
+    # A new (workload, window) group starts wherever either changes.
+    new_group = np.ones(len(arrival), dtype=bool)
+    new_group[1:] = (workload[1:] != workload[:-1]) | (window[1:] != window[:-1])
+    group_id = np.cumsum(new_group) - 1
+    group_starts = np.flatnonzero(new_group)
+    rank = np.arange(len(arrival)) - group_starts[group_id]
+
+    # Within a group, a new batch opens every ``max_batch`` requests.
+    new_batch = (rank % max_batch) == 0
+    batch_id = np.cumsum(new_batch) - 1
+    batch_starts = np.flatnonzero(new_batch)
+    batch_ends = np.append(batch_starts[1:], len(arrival))
+    sizes = (batch_ends - batch_starts).astype(np.int64)
+
+    last_arrival = arrival[batch_ends - 1]
+    window_close = (window[batch_starts] + 1) * window_ns[batch_starts]
+    full = sizes == max_batch[batch_starts]
+    close_ns = np.where(full, last_arrival, window_close).astype(np.int64)
+
+    request_batch = np.empty(len(arrival), dtype=np.int64)
+    request_batch[order] = batch_id
+    return BatchTable(
+        workload_ids=workload[batch_starts].astype(np.int64),
+        close_ns=close_ns,
+        sizes=sizes,
+        request_batch=request_batch,
+        workloads=trace.workloads,
+    )
+
+
+def form_batches_oracle(
+    trace: RequestTrace, policy: "BatchPolicy | dict[int, BatchPolicy]"
+) -> BatchTable:
+    """Event-at-a-time reference with identical semantics.
+
+    Walks each workload's requests one by one, opening and closing
+    batches exactly as a stepwise batch former would.  Kept as the
+    equivalence oracle for :func:`form_batches` — both must agree on
+    every output array, exactly.
+    """
+    if len(trace) == 0:
+        return _empty_table(trace)
+    window_by_id, batch_by_id = _policy_columns(trace, policy)
+
+    workload_rows: list[int] = []
+    close_rows: list[int] = []
+    size_rows: list[int] = []
+    request_rows: list[tuple[int, int]] = []  # (original index, batch row)
+
+    for workload_id in range(len(trace.workloads)):
+        indices = np.flatnonzero(trace.workload_ids == workload_id)
+        window_ns = int(window_by_id[workload_id])
+        max_batch = int(batch_by_id[workload_id])
+        open_window: int | None = None
+        open_size = 0
+        for original in indices:
+            arrival = int(trace.arrival_ns[original])
+            window = arrival // window_ns
+            if open_window is None or window != open_window or open_size >= max_batch:
+                # Open a new batch; the previous one (if any) keeps the
+                # close time already recorded below.
+                workload_rows.append(workload_id)
+                close_rows.append((window + 1) * window_ns)  # provisional
+                size_rows.append(0)
+                open_window = window
+                open_size = 0
+            row = len(size_rows) - 1
+            open_size += 1
+            size_rows[row] = open_size
+            request_rows.append((int(original), row))
+            if open_size >= max_batch:
+                close_rows[row] = arrival  # filled: dispatch immediately
+                open_window = None  # force a fresh batch next request
+
+    request_batch = np.empty(len(trace), dtype=np.int64)
+    for original, row in request_rows:
+        request_batch[original] = row
+    return BatchTable(
+        workload_ids=np.asarray(workload_rows, dtype=np.int64),
+        close_ns=np.asarray(close_rows, dtype=np.int64),
+        sizes=np.asarray(size_rows, dtype=np.int64),
+        request_batch=request_batch,
+        workloads=trace.workloads,
+    )
+
+
+__all__ = ["BatchPolicy", "BatchTable", "form_batches", "form_batches_oracle"]

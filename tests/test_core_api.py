@@ -1,5 +1,7 @@
 """Tests for the top-level simulation API, configuration and results."""
 
+import math
+
 import pytest
 
 from repro.core.config import SimulationConfig
@@ -157,10 +159,27 @@ class TestSLOSearch:
         old = search.search("llama3-8b-prefill", "NPU-A")
         assert old.num_chips >= new.num_chips
 
-    def test_infeasible_workload_raises(self, search):
-        """Llama3-70B weights cannot fit in 8 NPU-A chips (16 GB HBM each)."""
-        with pytest.raises(RuntimeError):
-            search.search("llama3-70b-prefill", "NPU-A")
+    def test_infeasible_workload_returns_explicit_selection(self, search):
+        """Llama3-70B weights cannot fit in 8 NPU-A chips (16 GB HBM each).
+
+        Regression: the no-candidate path used to raise RuntimeError;
+        it must instead return an explicit infeasible selection so
+        callers (the serving autoscaler, sweep drivers) can branch on
+        feasibility without catching exceptions.
+        """
+        selection = search.search("llama3-70b-prefill", "NPU-A")
+        assert not selection.feasible
+        assert not selection.meets_slo
+        assert selection.num_chips == 0
+        assert selection.batch_size == 0
+        assert selection.workload == "llama3-70b-prefill"
+        assert selection.chip == "NPU-A"
+        assert math.isinf(selection.energy_per_work_j)
+        assert math.isinf(selection.attained_slo)
+
+    def test_feasible_selection_reports_feasible(self, search):
+        selection = search.search("llama3-8b-prefill", "NPU-D")
+        assert selection.feasible
 
     def test_energy_per_work_positive(self, search):
         selection = search.search("dlrm-s-inference", "NPU-D")

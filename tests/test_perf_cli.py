@@ -27,6 +27,7 @@ EXPECTED_BENCHMARKS = {
     "multi_chip_sweep",
     "multi_machine_shard",
     "idle_detector",
+    "serving_sim",
     "cold_sweep",
 }
 
@@ -48,7 +49,7 @@ class TestPerfSuite:
             assert entry["object_mean_s"] >= entry["object_s"]
             assert entry["columnar_mean_s"] >= entry["columnar_s"]
         assert tiny_payload["grid"] == "tiny"
-        assert tiny_payload["schema"] == 5
+        assert tiny_payload["schema"] == 6
 
     def test_grids_pick_largest_graphs(self):
         spec = perf_sweep_spec("tiny")
@@ -81,7 +82,10 @@ class TestPerfSuite:
         inflated["benchmarks"]["cold_sweep"]["speedup"] *= 1000
         failures = check_regression(tiny_payload, inflated, tolerance=0.25)
         assert failures and "cold_sweep" in failures[0]
-        missing = {"benchmarks": {"nonexistent": {"speedup": 5.0}}}
+        missing = {
+            "version": tiny_payload["version"],
+            "benchmarks": {"nonexistent": {"speedup": 5.0}},
+        }
         assert check_regression(tiny_payload, missing) == [
             "nonexistent: missing from current run"
         ]
@@ -99,6 +103,54 @@ class TestPerfSuite:
         regressed["benchmarks"]["multi_machine_shard"]["speedup"] /= 1000
         failures = check_regression(regressed, tiny_payload, tolerance=0.25)
         assert failures and "multi_machine_shard" in failures[0]
+
+    def test_version_drift_fails_the_gate_and_warns_in_compare(
+        self, tiny_payload
+    ):
+        """Regression: BENCH payloads were committed with a stale
+        version stamp (1.4.0 under a 1.7.0 package) and nothing
+        noticed.  The gate (--check) must fail loudly on a stale
+        baseline; --compare of historical payloads warns instead."""
+        from repro.analysis.perf import compare_payloads, payload_version_drift
+
+        stale = json.loads(json.dumps(tiny_payload))
+        stale["version"] = "1.4.0"
+        drift = payload_version_drift(stale)
+        assert drift is not None and "1.4.0" in drift and "regenerate" in drift
+        assert payload_version_drift(tiny_payload) is None
+        assert payload_version_drift({"version": "999.0.0"}) is None
+        assert payload_version_drift({}) is not None
+
+        failures = check_regression(tiny_payload, stale)
+        assert any(
+            "baseline" in failure and "1.4.0" in failure for failure in failures
+        )
+        # Speedups are identical — only the stamp is stale — so
+        # disabling the version check passes, proving the drift failure
+        # comes from the stamp and not a timing delta.
+        assert check_regression(tiny_payload, stale, check_version=False) == []
+
+        report, failures = compare_payloads(stale, tiny_payload)
+        assert failures == []  # --compare never fails on drift alone
+        assert "warning: OLD" in report and "1.4.0" in report
+        report, _ = compare_payloads(tiny_payload, stale)
+        assert "warning: NEW" in report
+
+    def test_committed_payloads_are_current(self):
+        """The repo's committed BENCH payloads must carry the current
+        package version — the bug this PR fixes."""
+        from pathlib import Path
+
+        from repro import __version__
+        from repro.analysis.perf import payload_version_drift
+
+        root = Path(__file__).resolve().parent.parent
+        for name in ("BENCH_perf.json", "benchmarks/BENCH_perf_baseline.json"):
+            payload = json.loads((root / name).read_text())
+            assert payload_version_drift(payload) is None, name
+            assert payload["version"] == __version__, name
+            assert payload["schema"] == 6, name
+            assert "serving_sim" in payload["benchmarks"], name
 
     def test_compare_schema_drift_reports_per_name(self, tiny_payload):
         """Regression: payloads whose benchmark sets or entry shapes have

@@ -205,9 +205,20 @@ class TestClient:
     def test_render_covers_states_hosts_and_quarantine(self):
         text = render_status(dict(FAKE_SNAPSHOT))
         assert "landed: 1" in text and "running: 1" in text
+        assert "elapsed       : 1.5s" in text
         assert "partial merge : 1 shard(s), 5 row(s)" in text
         assert "loop-b: 0 landed, 3 failed, 1 in flight QUARANTINED" in text
         assert "#1: running (attempt 2 @loop-b)" in text
+
+    def test_render_is_none_safe_for_elapsed(self):
+        """Regression: a snapshot taken before run() started carries
+        ``elapsed_s: None``, which used to render as ``Nones``."""
+        payload = dict(FAKE_SNAPSHOT, elapsed_s=None)
+        text = render_status(payload)
+        assert "elapsed       : ?" in text
+        assert "Nones" not in text
+        del payload["elapsed_s"]
+        assert "elapsed       : ?" in render_status(payload)
 
 
 class TestLiveScheduler:
@@ -268,3 +279,34 @@ class TestLiveScheduler:
         # ...and the server is down once the run finishes.
         with pytest.raises(StatusError):
             fetch_status(url, timeout=2)
+
+    def test_finished_run_snapshot_freezes_elapsed_and_counts(self, tmp_path):
+        """Regression: a finished run's status payload used to keep
+        counting wall-clock time in ``elapsed_s``.  It must freeze at
+        the run's duration, and shard counts must reflect the plan."""
+        scheduler = LaunchScheduler(
+            tmp_path / "run",
+            SPEC,
+            SHARDS,
+            backend="thread",
+            poll_interval=0.02,
+            heartbeat_interval=0.1,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.0),
+            speculate=False,
+            use_env_faults=False,
+        )
+        report = scheduler.run()
+        assert report.complete
+        first = scheduler.snapshot()
+        time.sleep(0.05)
+        second = scheduler.snapshot()
+        assert first["elapsed_s"] == second["elapsed_s"]
+        assert first["elapsed_s"] == pytest.approx(report.duration_s, abs=0.002)
+        assert first["shard_count"] == SHARDS
+        assert len(first["shards"]) == SHARDS
+        assert sum(first["states"].values()) == SHARDS
+        assert first["states"]["landed"] == SHARDS
+        # The frozen payload renders cleanly end to end.
+        text = render_status(first)
+        assert f"({SHARDS} shard(s)" in text
+        assert f"elapsed       : {first['elapsed_s']}s" in text
